@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Float Hgp_baselines Hgp_core Hgp_graph Hgp_hierarchy Hgp_racke Hgp_sim Hgp_tree Hgp_util Hgp_workloads List Printf String Unix

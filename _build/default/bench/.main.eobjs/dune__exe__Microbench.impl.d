@@ -1,0 +1,1 @@
+bench/microbench.ml: Analyze Array Bechamel Benchmark Float Hashtbl Hgp_baselines Hgp_core Hgp_flow Hgp_graph Hgp_hierarchy Hgp_racke Hgp_tree Hgp_util List Measure Printf Staged Test Time Toolkit

@@ -1,0 +1,46 @@
+(* Benchmark entry point.
+
+   Runs the full experiment suite (E1-E10, see DESIGN.md section 5 and
+   EXPERIMENTS.md) followed by the Bechamel micro-benchmarks.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- E3 E7   # selected experiments
+     dune exec bench/main.exe -- micro   # micro-benchmarks only *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  Printf.printf "hierarchical graph partitioning — experiment suite\n";
+  Printf.printf "(paper: Hajiaghayi, Johnson, Khani, Saha — SPAA 2014)\n%!";
+  match args with
+  | [] ->
+    Experiments.run_all ();
+    Microbench.run ()
+  | selected ->
+    let table =
+      [
+        ("E1", Experiments.e1_cost_identity);
+        ("E2", Experiments.e2_normalization);
+        ("E3", Experiments.e3_tree_dp_optimal);
+        ("E4", Experiments.e4_capacity_violation);
+        ("E5", Experiments.e5_approx_ratio);
+        ("E6", Experiments.e6_tree_distortion);
+        ("E7", Experiments.e7_baseline_compare);
+        ("E8", Experiments.e8_dp_scaling);
+        ("E9", Experiments.e9_ensemble_ablation);
+        ("E10", Experiments.e10_bucketing_ablation);
+        ("E11", Experiments.e11_strategy_ablation);
+        ("E12", Experiments.e12_simulation_correlation);
+        ("E13", Experiments.e13_pipeline_scaling);
+        ("E14", Experiments.e14_dynamic_churn);
+        ("micro", Microbench.run);
+      ]
+    in
+    List.iter
+      (fun name ->
+        match List.assoc_opt name table with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown experiment %S (know: %s)\n" name
+            (String.concat ", " (List.map fst table));
+          exit 1)
+      selected

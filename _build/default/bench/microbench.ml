@@ -1,0 +1,77 @@
+(* Bechamel micro-benchmarks for the computational kernels. *)
+
+open Bechamel
+module Gen = Hgp_graph.Generators
+module H = Hgp_hierarchy.Hierarchy
+module Tree = Hgp_tree.Tree
+module Instance = Hgp_core.Instance
+module Prng = Hgp_util.Prng
+
+let tests () =
+  let rng = Prng.create 4242 in
+  (* Fixed inputs, built once. *)
+  let g = Gen.randomize_weights rng (Gen.gnp_connected rng 64 0.12) ~lo:1.0 ~hi:5.0 in
+  let hy = H.Presets.dual_socket in
+  let inst = Instance.uniform_demands g hy ~load_factor:0.7 in
+  let decomposition = Hgp_racke.Decomposition.build (Prng.create 1) g in
+  let tree = Hgp_racke.Decomposition.tree decomposition in
+  let demand_units = Array.make (Tree.n_nodes tree) 0 in
+  (* 1 unit per job: 64 units against CP(0) = 8 * 16 = 128 — feasible. *)
+  Array.iter (fun l -> demand_units.(l) <- 1) (Tree.leaves tree);
+  let cfg = Hgp_core.Tree_dp.config_of_hierarchy hy ~resolution:8 ~beam_width:256 () in
+  let assignment = Array.init 64 (fun v -> v mod 16) in
+  [
+    Test.make ~name:"decomposition.build"
+      (Staged.stage (fun () -> Hgp_racke.Decomposition.build (Prng.create 7) g));
+    Test.make ~name:"tree_dp.solve"
+      (Staged.stage (fun () -> Hgp_core.Tree_dp.solve tree ~demand_units cfg));
+    Test.make ~name:"cost.assignment"
+      (Staged.stage (fun () -> Hgp_core.Cost.assignment_cost inst assignment));
+    Test.make ~name:"cost.mirror"
+      (Staged.stage (fun () -> Hgp_core.Cost.mirror_cost inst assignment));
+    Test.make ~name:"maxflow.dinic"
+      (Staged.stage (fun () -> Hgp_flow.Maxflow.min_cut_value g ~src:0 ~dst:63));
+    Test.make ~name:"multilevel.partition"
+      (Staged.stage (fun () ->
+           Hgp_baselines.Multilevel.partition (Prng.create 3) g
+             ~demands:inst.Instance.demands ~k:16 ~capacity:1.25));
+    Test.make ~name:"treecut.min_cut"
+      (Staged.stage (fun () ->
+           Hgp_tree.Treecut.min_cut_weight tree ~in_set:(fun l -> l mod 2 = 0)));
+  ]
+
+let run () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None ~stabilize:true ()
+  in
+  let grouped = Test.make_grouped ~name:"kernels" ~fmt:"%s.%s" (tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols_result with
+          | Some (t :: _) -> t
+          | _ -> nan
+        in
+        (name, estimate) :: acc)
+      results []
+    |> List.sort compare
+    |> List.map (fun (name, ns) ->
+           let time_str =
+             if Float.is_nan ns then "n/a"
+             else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+             else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+             else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+             else Printf.sprintf "%.0f ns" ns
+           in
+           [ name; time_str ])
+  in
+  Hgp_util.Tablefmt.print ~title:"micro-benchmarks (Bechamel, monotonic clock per run)"
+    ~header:[ "kernel"; "time/run" ]
+    rows

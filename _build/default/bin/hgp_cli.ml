@@ -1,0 +1,320 @@
+(* hgp_cli — command-line front end for the hierarchical graph partitioner.
+
+   Subcommands:
+     generate   emit a workload graph in METIS format
+     solve      read a graph, solve HGP, print the assignment
+     compare    run the solver against every baseline
+     validate   check an assignment file against an instance
+
+   Hierarchies are given as "degs@cms", e.g. "2x4x2@100,30,8,0". *)
+
+module Graph = Hgp_graph.Graph
+module Gen = Hgp_graph.Generators
+module Io = Hgp_graph.Io
+module Hierarchy = Hgp_hierarchy.Hierarchy
+module Instance = Hgp_core.Instance
+module Cost = Hgp_core.Cost
+module Solver = Hgp_core.Solver
+module B = Hgp_baselines
+module Prng = Hgp_util.Prng
+module Tablefmt = Hgp_util.Tablefmt
+open Cmdliner
+
+let parse_hierarchy s =
+  match Hgp_hierarchy.Topology.parse_result s with
+  | Ok h -> Ok h
+  | Error m -> Error (`Msg m)
+
+let hierarchy_conv =
+  Arg.conv
+    ( parse_hierarchy,
+      fun ppf h -> Hierarchy.pp ppf h )
+
+let hierarchy_arg =
+  let doc =
+    "Hierarchy: a preset name (flat16, dual_socket, quad_socket, cluster, \
+     datacenter) or an explicit DEGS@CMS spec such as 2x4x2@100,30,8,0."
+  in
+  Arg.(value & opt hierarchy_conv Hierarchy.Presets.dual_socket & info [ "hierarchy"; "H" ] ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let load_arg =
+  Arg.(value & opt float 0.7 & info [ "load" ] ~doc:"Load factor in (0, 1].")
+
+let slack_arg =
+  Arg.(value & opt float 1.25 & info [ "slack" ] ~doc:"Capacity slack for heuristics.")
+
+(* ---- generate ---- *)
+
+let generate_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt (enum [ ("stream", `Stream); ("mesh", `Mesh); ("gnp", `Gnp); ("powerlaw", `Pl) ])
+          `Stream
+      & info [ "kind" ] ~doc:"Workload kind: stream, mesh, gnp, powerlaw.")
+  in
+  let size = Arg.(value & opt int 64 & info [ "n" ] ~doc:"Approximate size.") in
+  let out = Arg.(value & opt (some string) None & info [ "o" ] ~doc:"Output file (stdout).") in
+  let as_instance =
+    Arg.(
+      value & flag
+      & info [ "as-instance" ]
+          ~doc:"Emit a full instance file (graph + demands + hierarchy) instead of METIS.")
+  in
+  let run kind n seed out as_instance hierarchy load =
+    let rng = Prng.create seed in
+    let g =
+      match kind with
+      | `Stream ->
+        let p =
+          { Hgp_workloads.Stream_dag.default_params with n_sources = max 2 (n / 8) }
+        in
+        (Hgp_workloads.Stream_dag.generate rng p).graph
+      | `Mesh ->
+        let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+        Gen.grid2d ~rows:side ~cols:side
+      | `Gnp -> Gen.gnp_connected rng n (4.0 /. float_of_int n)
+      | `Pl ->
+        Hgp_graph.Traversal.ensure_connected
+          (Gen.chung_lu rng ~n ~exponent:2.5 ~avg_degree:4.0)
+          rng
+    in
+    let text =
+      if as_instance then begin
+        let g = Hgp_graph.Traversal.ensure_connected g rng in
+        let inst = Instance.uniform_demands g hierarchy ~load_factor:load in
+        Hgp_core.Instance_io.to_string inst
+      end
+      else Io.to_string g
+    in
+    match out with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc text);
+      Printf.printf "wrote %s (n=%d, m=%d)\n" path (Graph.n g) (Graph.m g)
+  in
+  let term =
+    Term.(const run $ kind $ size $ seed_arg $ out $ as_instance $ hierarchy_arg $ load_arg)
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a workload graph (METIS format).") term
+
+(* ---- shared instance loading ---- *)
+
+(* Accepts either a METIS graph (demands synthesized uniformly from --load)
+   or a full instance file produced by [Instance_io] (auto-detected by its
+   "%hgp-instance" header; -H and --load are then ignored). *)
+let load_instance path hierarchy load seed =
+  let ic = open_in path in
+  let first = try input_line ic with End_of_file -> "" in
+  close_in ic;
+  if String.length first >= 13 && String.sub first 0 13 = "%hgp-instance" then
+    Hgp_core.Instance_io.load path
+  else begin
+    let g = Io.load path in
+    let rng = Prng.create seed in
+    let g = Hgp_graph.Traversal.ensure_connected g rng in
+    Instance.uniform_demands g hierarchy ~load_factor:load
+  end
+
+let graph_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc:"METIS graph file.")
+
+(* ---- solve ---- *)
+
+let solve_cmd =
+  let ensemble =
+    Arg.(value & opt int 4 & info [ "trees" ] ~doc:"Decomposition trees to sample.")
+  in
+  let resolution =
+    Arg.(value & opt (some int) None & info [ "resolution" ] ~doc:"Units per leaf capacity.")
+  in
+  let run path hierarchy load seed ensemble resolution =
+    let inst = load_instance path hierarchy load seed in
+    let options =
+      { Solver.default_options with ensemble_size = ensemble; seed; resolution }
+    in
+    let sol = Solver.solve ~options inst in
+    Printf.printf "# cost %.6g\n# violation %.4f\n# tree %d\n# dp-states %d\n" sol.cost
+      sol.max_violation sol.tree_index sol.dp_states;
+    Array.iteri (fun v leaf -> Printf.printf "%d %d\n" v leaf) sol.assignment
+  in
+  let term = Term.(const run $ graph_arg $ hierarchy_arg $ load_arg $ seed_arg $ ensemble $ resolution) in
+  Cmd.v (Cmd.info "solve" ~doc:"Solve HGP on a graph; prints 'vertex leaf' lines.") term
+
+(* ---- compare ---- *)
+
+let compare_cmd =
+  let run path hierarchy load seed slack =
+    let inst = load_instance path hierarchy load seed in
+    let rng = Prng.create seed in
+    let k = Hierarchy.num_leaves hierarchy in
+    let capacity = slack *. Hierarchy.leaf_capacity hierarchy in
+    let entries =
+      [
+        ("random", B.Placement.random rng inst ~slack);
+        ("greedy", B.Placement.greedy inst ~slack ());
+        ( "kbgp-flat",
+          B.Mapping.identity
+            (B.Multilevel.partition rng inst.graph ~demands:inst.demands ~k ~capacity).parts );
+        ( "kbgp+map",
+          let parts =
+            (B.Multilevel.partition rng inst.graph ~demands:inst.demands ~k ~capacity).parts
+          in
+          B.Mapping.optimize inst ~parts ~k );
+        ("dual-recursive", B.Recursive_bisection.assign rng inst ~slack);
+        ("hgp", (Solver.solve ~options:{ Solver.default_options with seed } inst).assignment);
+      ]
+    in
+    let rows =
+      List.map
+        (fun (name, p) ->
+          [
+            name;
+            Tablefmt.fmt_float (Cost.assignment_cost inst p);
+            Printf.sprintf "%.3f" (Cost.max_violation inst p);
+          ])
+        entries
+    in
+    Tablefmt.print ~title:"method comparison" ~header:[ "method"; "cost"; "violation" ] rows
+  in
+  let term = Term.(const run $ graph_arg $ hierarchy_arg $ load_arg $ seed_arg $ slack_arg) in
+  Cmd.v (Cmd.info "compare" ~doc:"Compare the solver against the baselines.") term
+
+(* ---- validate ---- *)
+
+let validate_cmd =
+  let assignment_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"ASSIGNMENT" ~doc:"'vertex leaf' lines.")
+  in
+  let run path assignment_path hierarchy load seed slack =
+    let inst = load_instance path hierarchy load seed in
+    let p = Array.make (Instance.n inst) (-1) in
+    let ic = open_in assignment_path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            let line = String.trim line in
+            if line <> "" && line.[0] <> '#' then
+              Scanf.sscanf line "%d %d" (fun v leaf -> p.(v) <- leaf)
+          done
+        with End_of_file -> ());
+    let report = Hgp_core.Verify.certify inst p ~eps:0.25 in
+    Format.printf "%a" Hgp_core.Verify.pp report;
+    Printf.printf "valid at %.2f slack    : %b\n" slack (Cost.is_valid inst p ~slack);
+    if not report.Hgp_core.Verify.assignment_complete then exit 1
+  in
+  let term =
+    Term.(const run $ graph_arg $ assignment_arg $ hierarchy_arg $ load_arg $ seed_arg $ slack_arg)
+  in
+  Cmd.v (Cmd.info "validate" ~doc:"Validate an assignment file for an instance.") term
+
+(* ---- describe ---- *)
+
+let describe_cmd =
+  let run hierarchy = print_string (Hgp_hierarchy.Topology.describe hierarchy) in
+  let term = Term.(const run $ hierarchy_arg) in
+  Cmd.v (Cmd.info "describe" ~doc:"Describe a hierarchy level by level.") term
+
+(* ---- portfolio ---- *)
+
+let portfolio_cmd =
+  let run path hierarchy load seed slack =
+    let inst = load_instance path hierarchy load seed in
+    let rng = Prng.create seed in
+    let r = B.Portfolio.solve rng inst ~slack ~refine_passes:8 in
+    let rows =
+      List.map
+        (fun (e : B.Portfolio.entry) ->
+          [
+            (if e.name = r.best.B.Portfolio.name then e.name ^ " *" else e.name);
+            Tablefmt.fmt_float e.cost;
+            Printf.sprintf "%.3f" e.violation;
+          ])
+        r.entries
+    in
+    Tablefmt.print ~title:"portfolio (best marked *)"
+      ~header:[ "candidate"; "cost"; "violation" ]
+      rows
+  in
+  let term = Term.(const run $ graph_arg $ hierarchy_arg $ load_arg $ seed_arg $ slack_arg) in
+  Cmd.v
+    (Cmd.info "portfolio"
+       ~doc:"Run the approximation algorithm plus refined heuristics; keep the best.")
+    term
+
+(* ---- simulate ---- *)
+
+let simulate_cmd =
+  let n_sources =
+    Arg.(value & opt int 8 & info [ "sources" ] ~doc:"Stream sources to generate.")
+  in
+  let depth = Arg.(value & opt int 5 & info [ "depth" ] ~doc:"Pipeline depth.") in
+  let sim_load =
+    Arg.(value & opt float 0.75 & info [ "sim-load" ] ~doc:"Source-rate multiplier.")
+  in
+  let run hierarchy load seed slack n_sources depth sim_load =
+    let rng = Prng.create seed in
+    let w =
+      Hgp_workloads.Stream_dag.generate rng
+        { Hgp_workloads.Stream_dag.default_params with n_sources; pipeline_depth = depth }
+    in
+    let inst = Hgp_workloads.Stream_dag.to_instance w hierarchy ~load_factor:load in
+    let sw = Hgp_workloads.Stream_dag.to_sim_workload w ~demands:inst.Instance.demands in
+    let cfg =
+      { Hgp_sim.Des.default_config with load = sim_load; comm_overhead = 2e-3; seed }
+    in
+    let sol = Solver.solve ~options:{ Solver.default_options with seed } inst in
+    let placements =
+      [
+        ("random", B.Placement.random rng inst ~slack);
+        ("greedy", B.Placement.greedy inst ~slack ());
+        ("hgp", sol.assignment);
+      ]
+    in
+    let rows =
+      List.map
+        (fun (name, p) ->
+          let m = Hgp_sim.Des.run sw hierarchy ~assignment:p cfg in
+          [
+            name;
+            Tablefmt.fmt_float (Cost.assignment_cost inst p);
+            Printf.sprintf "%.1f" m.throughput;
+            string_of_int m.dropped;
+            (if Float.is_nan m.avg_latency then "-"
+             else Printf.sprintf "%.1f" (m.avg_latency *. 1e3));
+            Printf.sprintf "%.2f" m.max_core_utilization;
+          ])
+        placements
+    in
+    Tablefmt.print ~title:"simulated stream execution"
+      ~header:[ "placement"; "cost"; "tuples/s"; "drops"; "avg lat (ms)"; "max util" ]
+      rows
+  in
+  let term =
+    Term.(
+      const run $ hierarchy_arg $ load_arg $ seed_arg $ slack_arg $ n_sources $ depth
+      $ sim_load)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Generate a stream workload, place it, and simulate its execution.")
+    term
+
+let () =
+  let info = Cmd.info "hgp_cli" ~doc:"Hierarchical graph partitioning (SPAA 2014) toolkit." in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd; solve_cmd; compare_cmd; validate_cmd; describe_cmd; portfolio_cmd;
+            simulate_cmd;
+          ]))

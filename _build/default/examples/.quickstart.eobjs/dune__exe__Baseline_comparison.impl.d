@@ -1,0 +1,1 @@
+examples/baseline_comparison.ml: Hgp_baselines Hgp_core Hgp_hierarchy Hgp_util Hgp_workloads List Printf

@@ -1,0 +1,1 @@
+examples/cluster_mapping.ml: Array Format Hgp_baselines Hgp_core Hgp_graph Hgp_hierarchy Hgp_util

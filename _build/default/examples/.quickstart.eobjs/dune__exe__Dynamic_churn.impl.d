@@ -1,0 +1,1 @@
+examples/dynamic_churn.ml: Array Format Hgp_core Hgp_hierarchy Hgp_util List

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Hgp_core Hgp_graph Hgp_hierarchy List

@@ -1,0 +1,1 @@
+examples/stream_pipeline.ml: Array Format Hgp_baselines Hgp_core Hgp_graph Hgp_hierarchy Hgp_util Hgp_workloads Printf String

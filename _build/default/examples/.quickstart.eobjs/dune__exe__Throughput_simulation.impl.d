@@ -1,0 +1,1 @@
+examples/throughput_simulation.ml: Format Hgp_baselines Hgp_core Hgp_hierarchy Hgp_sim Hgp_util Hgp_workloads List Printf

@@ -1,0 +1,1 @@
+examples/throughput_simulation.mli:

@@ -1,0 +1,60 @@
+(* Baseline shoot-out on every workload preset: reproduces the paper's
+   motivation that hierarchy-aware placement dominates flat partitioning.
+
+   Run with:  dune exec examples/baseline_comparison.exe *)
+
+module Hierarchy = Hgp_hierarchy.Hierarchy
+module Instance = Hgp_core.Instance
+module Cost = Hgp_core.Cost
+module Solver = Hgp_core.Solver
+module B = Hgp_baselines
+module Presets = Hgp_workloads.Presets
+module Prng = Hgp_util.Prng
+module Tablefmt = Hgp_util.Tablefmt
+
+let slack = 1.25
+
+let methods rng (inst : Instance.t) =
+  let k = Hierarchy.num_leaves inst.hierarchy in
+  let capacity = slack *. Hierarchy.leaf_capacity inst.hierarchy in
+  let ml () =
+    B.Multilevel.partition rng inst.graph ~demands:inst.demands ~k ~capacity
+  in
+  [
+    ("random", fun () -> B.Placement.random rng inst ~slack);
+    ("greedy", fun () -> B.Placement.greedy inst ~slack ());
+    ("kbgp-flat", fun () -> B.Mapping.identity (ml ()).parts);
+    ("kbgp+map", fun () -> B.Mapping.optimize inst ~parts:(ml ()).parts ~k);
+    ("dual-recursive", fun () -> B.Recursive_bisection.assign rng inst ~slack);
+    ( "hgp (this paper)",
+      fun () ->
+        (Solver.solve ~options:{ Solver.default_options with ensemble_size = 4 } inst)
+          .assignment );
+    ( "hgp + local search",
+      fun () ->
+        let sol = Solver.solve ~options:{ Solver.default_options with ensemble_size = 4 } inst in
+        fst (B.Local_search.refine inst sol.assignment ~slack ~max_passes:8) );
+  ]
+
+let () =
+  let hierarchy = Hierarchy.Presets.dual_socket in
+  List.iter
+    (fun spec ->
+      let rng = Prng.create 99 in
+      let inst = spec.Presets.build rng hierarchy in
+      let rows =
+        List.map
+          (fun (name, f) ->
+            let p = f () in
+            [
+              name;
+              Tablefmt.fmt_float (Cost.assignment_cost inst p);
+              Printf.sprintf "%.2f" (Cost.max_violation inst p);
+            ])
+          (methods rng inst)
+      in
+      Tablefmt.print
+        ~title:(Printf.sprintf "%s (n=%d) on dual_socket" spec.Presets.name (Instance.n inst))
+        ~header:[ "method"; "cost"; "violation" ]
+        rows)
+    Presets.small_suite

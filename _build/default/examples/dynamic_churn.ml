@@ -1,0 +1,48 @@
+(* Online placement under churn: operators of a streaming system arrive and
+   depart; the Dynamic manager places arrivals greedily and periodically
+   re-solves with the full HGP algorithm, migrating tasks only when the
+   solver actually found something cheaper.
+
+   Run with:  dune exec examples/dynamic_churn.exe *)
+
+module H = Hgp_hierarchy.Hierarchy
+module Dynamic = Hgp_core.Dynamic
+module Solver = Hgp_core.Solver
+module Prng = Hgp_util.Prng
+
+let () =
+  let hy = H.Presets.dual_socket in
+  let rng = Prng.create 77 in
+  let cfg =
+    {
+      Dynamic.slack = 1.25;
+      resolve_period = 25;
+      solver_options = { Solver.default_options with ensemble_size = 2 };
+    }
+  in
+  let t = Dynamic.create hy cfg in
+  let live = ref [] in
+  Format.printf "churning 120 events on %a@.@." H.pp hy;
+  Format.printf "%6s  %6s  %10s  %9s  %10s@." "event" "tasks" "cost" "violation" "migrations";
+  for step = 1 to 120 do
+    if !live <> [] && Prng.float rng 1.0 < 0.35 then begin
+      let victim = Prng.choose rng (Array.of_list !live) in
+      Dynamic.remove_task t victim;
+      live := List.filter (fun x -> x <> victim) !live
+    end
+    else begin
+      (* New operators talk to a few recent ones (pipeline locality). *)
+      let recent = List.filteri (fun i _ -> i < 3) !live in
+      let edges = List.map (fun id -> (id, 2. +. Prng.float rng 8.)) recent in
+      let id = Dynamic.add_task t ~demand:(0.1 +. Prng.float rng 0.3) ~edges in
+      live := id :: !live
+    end;
+    if step mod 20 = 0 then
+      Format.printf "%6d  %6d  %10.1f  %9.2f  %10d@." step (Dynamic.n_alive t)
+        (Dynamic.current_cost t) (Dynamic.max_violation t)
+        (Dynamic.stats t).migrations
+  done;
+  let before = Dynamic.current_cost t in
+  let moved = Dynamic.rebalance t in
+  Format.printf "@.final manual rebalance: cost %.1f -> %.1f (%d tasks migrated)@." before
+    (Dynamic.current_cost t) moved

@@ -1,0 +1,1 @@
+lib/baselines/brute_force.ml: Array Hgp_core Hgp_graph Hgp_hierarchy

@@ -1,0 +1,1 @@
+lib/baselines/local_search.ml: Array Hgp_core Hgp_graph Hgp_hierarchy

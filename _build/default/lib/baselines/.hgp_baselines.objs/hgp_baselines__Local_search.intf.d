@@ -1,0 +1,1 @@
+lib/baselines/local_search.mli: Hgp_core

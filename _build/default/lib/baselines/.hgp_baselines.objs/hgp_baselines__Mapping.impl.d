@@ -1,0 +1,1 @@
+lib/baselines/mapping.ml: Array Hgp_core Hgp_graph Hgp_hierarchy

@@ -1,0 +1,1 @@
+lib/baselines/mapping.mli: Hgp_core

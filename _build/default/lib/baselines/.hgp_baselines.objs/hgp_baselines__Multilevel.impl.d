@@ -1,0 +1,1 @@
+lib/baselines/multilevel.ml: Array Hashtbl Hgp_graph Hgp_util List

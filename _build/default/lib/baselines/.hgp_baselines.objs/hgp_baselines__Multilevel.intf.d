@@ -1,0 +1,1 @@
+lib/baselines/multilevel.mli: Hgp_graph Hgp_util

@@ -1,0 +1,1 @@
+lib/baselines/placement.ml: Array Hgp_core Hgp_graph Hgp_hierarchy Hgp_util List

@@ -1,0 +1,1 @@
+lib/baselines/placement.mli: Hgp_core Hgp_util

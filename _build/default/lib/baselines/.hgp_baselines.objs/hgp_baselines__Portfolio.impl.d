@@ -1,0 +1,1 @@
+lib/baselines/portfolio.ml: Hgp_core Hgp_hierarchy List Local_search Mapping Multilevel Placement Recursive_bisection

@@ -1,0 +1,1 @@
+lib/baselines/portfolio.mli: Hgp_core Hgp_util

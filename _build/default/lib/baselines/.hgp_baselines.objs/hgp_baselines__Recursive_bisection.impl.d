@@ -1,0 +1,1 @@
+lib/baselines/recursive_bisection.ml: Array Hgp_core Hgp_graph Hgp_hierarchy Multilevel

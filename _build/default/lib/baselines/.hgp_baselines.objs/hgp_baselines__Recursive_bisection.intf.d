@@ -1,0 +1,1 @@
+lib/baselines/recursive_bisection.mli: Hgp_core Hgp_util

@@ -1,0 +1,1 @@
+lib/baselines/spectral.ml: Array Float Hgp_graph

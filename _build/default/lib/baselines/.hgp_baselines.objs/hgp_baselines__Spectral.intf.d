@@ -1,0 +1,1 @@
+lib/baselines/spectral.mli: Hgp_graph

@@ -1,0 +1,57 @@
+module Graph = Hgp_graph.Graph
+module Hierarchy = Hgp_hierarchy.Hierarchy
+module Instance = Hgp_core.Instance
+
+let exact (inst : Instance.t) ~slack =
+  let g = inst.graph in
+  let hy = inst.hierarchy in
+  let n = Graph.n g in
+  let k = Hierarchy.num_leaves hy in
+  let cap = slack *. Hierarchy.leaf_capacity hy in
+  (* Heaviest vertices first: better pruning. *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b -> compare (Graph.weighted_degree g b) (Graph.weighted_degree g a))
+    order;
+  let assignment = Array.make n (-1) in
+  let loads = Array.make k 0. in
+  let best_cost = ref infinity in
+  let best_assignment = ref None in
+  let rec go i partial_cost =
+    if partial_cost < !best_cost then begin
+      if i = n then begin
+        best_cost := partial_cost;
+        best_assignment := Some (Array.copy assignment)
+      end
+      else begin
+        let v = order.(i) in
+        for leaf = 0 to k - 1 do
+          if loads.(leaf) +. inst.demands.(v) <= cap +. 1e-9 then begin
+            (* Incremental cost: edges to already-placed neighbors. *)
+            let delta =
+              Graph.fold_neighbors
+                (fun acc u w ->
+                  if assignment.(u) >= 0 then
+                    acc +. (w *. Hierarchy.edge_cost hy leaf assignment.(u))
+                  else acc)
+                0. g v
+            in
+            assignment.(v) <- leaf;
+            loads.(leaf) <- loads.(leaf) +. inst.demands.(v);
+            go (i + 1) (partial_cost +. delta);
+            loads.(leaf) <- loads.(leaf) -. inst.demands.(v);
+            assignment.(v) <- -1
+          end
+        done
+      end
+    end
+  in
+  go 0 0.;
+  match !best_assignment with
+  | Some a -> Some (a, !best_cost)
+  | None -> None
+
+let exact_or_fail inst ~slack =
+  match exact inst ~slack with
+  | Some r -> r
+  | None -> failwith "Brute_force.exact_or_fail: infeasible instance"

@@ -1,0 +1,15 @@
+(** Exact HGP by branch-and-bound — ground truth for tiny instances.
+
+    Enumerates assignments vertex by vertex (heaviest weighted degree first),
+    pruning branches that exceed leaf capacities or the best cost found so
+    far.  Exponential: intended for [n <= ~10] with small hierarchies. *)
+
+(** [exact inst ~slack] returns [(assignment, cost)] minimizing the
+    Equation-1 cost over assignments where every leaf load is at most
+    [slack *. leaf_capacity], or [None] when no such assignment exists.
+    [slack = 1.0] is the strict problem. *)
+val exact : Hgp_core.Instance.t -> slack:float -> (int array * float) option
+
+(** [exact_or_fail inst ~slack] unwraps {!exact}.
+    @raise Failure when infeasible. *)
+val exact_or_fail : Hgp_core.Instance.t -> slack:float -> int array * float

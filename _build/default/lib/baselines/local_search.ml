@@ -1,0 +1,158 @@
+module Graph = Hgp_graph.Graph
+module Hierarchy = Hgp_hierarchy.Hierarchy
+module Instance = Hgp_core.Instance
+
+type stats = {
+  passes : int;
+  moves : int;
+  swaps : int;
+  initial_cost : float;
+  final_cost : float;
+}
+
+(* Cost of vertex v's incident edges when v sits on leaf [l]. *)
+let incident_cost (inst : Instance.t) assignment v l =
+  Graph.fold_neighbors
+    (fun acc u w ->
+      if u = v then acc
+      else acc +. (w *. Hierarchy.edge_cost inst.hierarchy l assignment.(u)))
+    0. inst.graph v
+
+let refine (inst : Instance.t) p ~slack ~max_passes =
+  let n = Instance.n inst in
+  let hy = inst.hierarchy in
+  let k = Hierarchy.num_leaves hy in
+  let cap = slack *. Hierarchy.leaf_capacity hy in
+  let assignment = Array.copy p in
+  let loads = Array.make k 0. in
+  Array.iteri (fun v l -> loads.(l) <- loads.(l) +. inst.demands.(v)) assignment;
+  let initial_cost = Hgp_core.Cost.assignment_cost inst assignment in
+  let moves = ref 0 and swaps = ref 0 and passes = ref 0 in
+  let improved = ref true in
+  while !improved && !passes < max_passes do
+    improved := false;
+    incr passes;
+    for v = 0 to n - 1 do
+      let from = assignment.(v) in
+      let here = incident_cost inst assignment v from in
+      let d = inst.demands.(v) in
+      (* Best move irrespective of capacity, and best feasible move. *)
+      let best_leaf = ref from and best_gain = ref 0. in
+      let best_any_leaf = ref from and best_any_gain = ref 0. in
+      for l = 0 to k - 1 do
+        if l <> from then begin
+          let there = incident_cost inst assignment v l in
+          let gain = here -. there in
+          if gain > !best_any_gain +. 1e-12 then begin
+            best_any_gain := gain;
+            best_any_leaf := l
+          end;
+          if gain > !best_gain +. 1e-12 && loads.(l) +. d <= cap +. 1e-9 then begin
+            best_gain := gain;
+            best_leaf := l
+          end
+        end
+      done;
+      if !best_leaf <> from then begin
+        assignment.(v) <- !best_leaf;
+        loads.(from) <- loads.(from) -. d;
+        loads.(!best_leaf) <- loads.(!best_leaf) +. d;
+        incr moves;
+        improved := true
+      end
+      else if !best_any_leaf <> from then begin
+        (* Capacity-blocked: look for a profitable swap partner on the
+           target leaf. *)
+        let target = !best_any_leaf in
+        let best_u = ref (-1) and best_swap_gain = ref 0. in
+        for u = 0 to n - 1 do
+          if assignment.(u) = target && u <> v then begin
+            let du = inst.demands.(u) in
+            if
+              loads.(target) -. du +. d <= cap +. 1e-9
+              && loads.(from) -. d +. du <= cap +. 1e-9
+            then begin
+              let u_here = incident_cost inst assignment u target in
+              let u_there = incident_cost inst assignment u from in
+              let gain_v = here -. incident_cost inst assignment v target in
+              let gain_u = u_here -. u_there in
+              (* A shared edge {u,v} keeps its cost after the swap (endpoints
+                 trade places), but both naive gains assumed the other
+                 endpoint fixed and credited its saving; subtract the double
+                 count: 2 w (cm(lca(from,target)) - cm(h)). *)
+              let wuv = Graph.edge_weight inst.graph u v in
+              let correction =
+                if wuv > 0. then
+                  2. *. wuv
+                  *. (Hierarchy.edge_cost hy from target
+                     -. Hierarchy.cm hy (Hierarchy.height hy))
+                else 0.
+              in
+              let gain = gain_v +. gain_u -. correction in
+              if gain > !best_swap_gain +. 1e-12 then begin
+                best_swap_gain := gain;
+                best_u := u
+              end
+            end
+          end
+        done;
+        if !best_u >= 0 then begin
+          let u = !best_u in
+          let du = inst.demands.(u) in
+          assignment.(v) <- target;
+          assignment.(u) <- from;
+          loads.(from) <- loads.(from) -. d +. du;
+          loads.(target) <- loads.(target) +. d -. du;
+          incr swaps;
+          improved := true
+        end
+      end
+    done
+  done;
+  let final_cost = Hgp_core.Cost.assignment_cost inst assignment in
+  (assignment, { passes = !passes; moves = !moves; swaps = !swaps; initial_cost; final_cost })
+
+let repair (inst : Instance.t) p ~slack =
+  let n = Instance.n inst in
+  let hy = inst.hierarchy in
+  let k = Hierarchy.num_leaves hy in
+  let cap = slack *. Hierarchy.leaf_capacity hy in
+  let assignment = Array.copy p in
+  let loads = Array.make k 0. in
+  Array.iteri (fun v l -> loads.(l) <- loads.(l) +. inst.demands.(v)) assignment;
+  let overloaded l = loads.(l) > cap +. 1e-9 in
+  (* Repeatedly evict from the most overloaded leaf the vertex whose best
+     feasible relocation costs the least extra communication. *)
+  let progress = ref true in
+  while !progress && Array.exists (fun l -> l > cap +. 1e-9) loads do
+    progress := false;
+    let worst = ref 0 in
+    for l = 1 to k - 1 do
+      if loads.(l) > loads.(!worst) then worst := l
+    done;
+    if overloaded !worst then begin
+      let best = ref None in
+      for v = 0 to n - 1 do
+        if assignment.(v) = !worst then begin
+          let here = incident_cost inst assignment v !worst in
+          for l = 0 to k - 1 do
+            if l <> !worst && loads.(l) +. inst.demands.(v) <= cap +. 1e-9 then begin
+              let delta = incident_cost inst assignment v l -. here in
+              match !best with
+              | Some (_, _, d) when d <= delta -> ()
+              | _ -> best := Some (v, l, delta)
+            end
+          done
+        end
+      done;
+      match !best with
+      | Some (v, l, _) ->
+        loads.(!worst) <- loads.(!worst) -. inst.demands.(v);
+        loads.(l) <- loads.(l) +. inst.demands.(v);
+        assignment.(v) <- l;
+        progress := true
+      | None -> ()
+    end
+  done;
+  let feasible = Array.for_all (fun l -> l <= cap +. 1e-9) loads in
+  (assignment, feasible)

@@ -1,0 +1,32 @@
+(** Hierarchy-aware local search: move/swap refinement of an assignment.
+
+    A Fiduccia–Mattheyses-flavoured pass over the vertices: each vertex is
+    tentatively moved to the leaf minimizing its incident Equation-1 cost
+    subject to the capacity slack; when a beneficial move is blocked by
+    capacity, beneficial pairwise swaps are tried.  Passes repeat until no
+    improvement or [max_passes].  Cost strictly decreases across passes, so
+    the procedure terminates.
+
+    Useful both as a standalone heuristic (from a greedy/random start) and as
+    a post-pass on any solution, including the approximation algorithm's. *)
+
+type stats = {
+  passes : int;
+  moves : int;
+  swaps : int;
+  initial_cost : float;
+  final_cost : float;
+}
+
+(** [refine inst p ~slack ~max_passes] returns the improved assignment and
+    statistics.  [p] is not mutated. *)
+val refine :
+  Hgp_core.Instance.t -> int array -> slack:float -> max_passes:int -> int array * stats
+
+(** [repair inst p ~slack] restores per-leaf capacity (within
+    [slack *. leaf_capacity]) by moving the cheapest-to-move vertices off
+    overloaded leaves onto feasible leaves with minimal cost increase.
+    Returns the repaired assignment and whether it is now within slack
+    (repair can fail only when total demand genuinely exceeds
+    [slack * capacity]).  [p] is not mutated. *)
+val repair : Hgp_core.Instance.t -> int array -> slack:float -> int array * bool

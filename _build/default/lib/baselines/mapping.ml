@@ -1,0 +1,78 @@
+module Graph = Hgp_graph.Graph
+module Hierarchy = Hgp_hierarchy.Hierarchy
+module Instance = Hgp_core.Instance
+
+let identity parts = Array.copy parts
+
+let optimize (inst : Instance.t) ~parts ~k =
+  let hy = inst.hierarchy in
+  let n_leaves = Hierarchy.num_leaves hy in
+  if k > n_leaves then invalid_arg "Mapping.optimize: more parts than leaves";
+  (* Contracted communication matrix between parts. *)
+  let comm = Array.make_matrix k k 0. in
+  Graph.iter_edges
+    (fun u v w ->
+      let pu = parts.(u) and pv = parts.(v) in
+      if pu <> pv then begin
+        comm.(pu).(pv) <- comm.(pu).(pv) +. w;
+        comm.(pv).(pu) <- comm.(pv).(pu) +. w
+      end)
+    inst.graph;
+  (* Greedy: place parts in order of total communication volume; each part
+     goes to the free leaf minimizing its cost against placed parts. *)
+  let volume = Array.init k (fun p -> Array.fold_left ( +. ) 0. comm.(p)) in
+  let order = Array.init k (fun i -> i) in
+  Array.sort (fun a b -> compare volume.(b) volume.(a)) order;
+  let leaf_of_part = Array.make k (-1) in
+  let used = Array.make n_leaves false in
+  Array.iter
+    (fun p ->
+      let best = ref (-1) and best_cost = ref infinity in
+      for l = 0 to n_leaves - 1 do
+        if not used.(l) then begin
+          let c = ref 0. in
+          for q = 0 to k - 1 do
+            if leaf_of_part.(q) >= 0 && comm.(p).(q) > 0. then
+              c := !c +. (comm.(p).(q) *. Hierarchy.edge_cost hy l leaf_of_part.(q))
+          done;
+          if !c < !best_cost then begin
+            best_cost := !c;
+            best := l
+          end
+        end
+      done;
+      leaf_of_part.(p) <- !best;
+      used.(!best) <- true)
+    order;
+  (* Pairwise-swap local search on leaf labels. *)
+  let part_cost p l =
+    let c = ref 0. in
+    for q = 0 to k - 1 do
+      if q <> p && comm.(p).(q) > 0. then
+        c := !c +. (comm.(p).(q) *. Hierarchy.edge_cost hy l leaf_of_part.(q))
+    done;
+    !c
+  in
+  let improved = ref true in
+  let guard = ref 0 in
+  while !improved && !guard < 50 do
+    improved := false;
+    incr guard;
+    for p = 0 to k - 1 do
+      for q = p + 1 to k - 1 do
+        let lp = leaf_of_part.(p) and lq = leaf_of_part.(q) in
+        let before = part_cost p lp +. part_cost q lq in
+        (* Evaluate the swap; the p-q term appears in both sums before and
+           after with the same lca, so the comparison is exact. *)
+        leaf_of_part.(p) <- lq;
+        leaf_of_part.(q) <- lp;
+        let after = part_cost p lq +. part_cost q lp in
+        if after < before -. 1e-9 then improved := true
+        else begin
+          leaf_of_part.(p) <- lp;
+          leaf_of_part.(q) <- lq
+        end
+      done
+    done
+  done;
+  Array.map (fun p -> leaf_of_part.(p)) parts

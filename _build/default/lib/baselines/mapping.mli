@@ -1,0 +1,18 @@
+(** Part-to-leaf mapping: the second half of the "partition then map"
+    heuristic (Walshaw–Cross style).
+
+    Given a flat k-way partition, choosing which hierarchy leaf hosts which
+    part is a quadratic assignment problem over the contracted part graph.
+    Two strategies are provided: the identity (hierarchy-blind, what plain
+    k-BGP gives you) and a greedy construction followed by pairwise-swap
+    local search on leaf labels. *)
+
+(** [identity parts] maps part [i] to leaf [i] (requires [k <= num_leaves];
+    parts array is used as the assignment directly). *)
+val identity : int array -> int array
+
+(** [optimize inst ~parts ~k] returns the assignment [vertex -> leaf] using a
+    greedy seeding (heaviest-communicating parts placed on nearby leaves)
+    improved by swap local search until a fixed point.  Requires
+    [k <= num_leaves]. *)
+val optimize : Hgp_core.Instance.t -> parts:int array -> k:int -> int array

@@ -1,0 +1,169 @@
+module Graph = Hgp_graph.Graph
+module Prng = Hgp_util.Prng
+
+type result = {
+  parts : int array;
+  cut : float;
+  levels : int;
+}
+
+(* One coarsening step: heavy-edge matching.  Returns the coarse graph, the
+   coarse demands, and the fine->coarse vertex map. *)
+let coarsen rng g demands =
+  let n = Graph.n g in
+  let matched = Array.make n (-1) in
+  let order = Prng.permutation rng n in
+  Array.iter
+    (fun v ->
+      if matched.(v) = -1 then begin
+        (* Heaviest unmatched neighbor. *)
+        let best = ref (-1) and best_w = ref 0. in
+        Graph.iter_neighbors
+          (fun u w ->
+            if matched.(u) = -1 && u <> v && w > !best_w then begin
+              best := u;
+              best_w := w
+            end)
+          g v;
+        if !best >= 0 then begin
+          matched.(v) <- !best;
+          matched.(!best) <- v
+        end
+        else matched.(v) <- v
+      end)
+    order;
+  let coarse_id = Array.make n (-1) in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    if coarse_id.(v) = -1 then begin
+      coarse_id.(v) <- !next;
+      if matched.(v) <> v && matched.(v) >= 0 then coarse_id.(matched.(v)) <- !next;
+      incr next
+    end
+  done;
+  let nc = !next in
+  let coarse_demands = Array.make nc 0. in
+  Array.iteri (fun v d -> coarse_demands.(coarse_id.(v)) <- coarse_demands.(coarse_id.(v)) +. d) demands;
+  let coarse_graph = Graph.contract g coarse_id ~n_parts:nc in
+  (coarse_graph, coarse_demands, coarse_id)
+
+(* Initial partition on the coarsest graph: chunk a BFS ordering into k
+   contiguous groups of roughly equal demand.  BFS contiguity gives locality
+   (low cut); equal chunking guarantees every part is used and balanced. *)
+let initial_partition rng g demands k _capacity =
+  let n = Graph.n g in
+  let src = Prng.int rng (max 1 n) in
+  let bfs = Hgp_graph.Traversal.bfs_order g src in
+  let order =
+    if Array.length bfs = n then bfs
+    else begin
+      let seen = Array.make n false in
+      Array.iter (fun v -> seen.(v) <- true) bfs;
+      let rest = List.filter (fun v -> not seen.(v)) (List.init n (fun i -> i)) in
+      Array.append bfs (Array.of_list rest)
+    end
+  in
+  let total = Array.fold_left ( +. ) 0. demands in
+  let parts = Array.make n 0 in
+  let current = ref 0 in
+  let acc = ref 0. in
+  let assigned = ref 0. in
+  Array.iter
+    (fun v ->
+      let remaining_parts = k - !current in
+      let ideal = (total -. !assigned +. !acc) /. float_of_int remaining_parts in
+      if !acc >= ideal -. 1e-12 && !acc > 0. && !current < k - 1 then begin
+        incr current;
+        acc := 0.
+      end;
+      parts.(v) <- !current;
+      acc := !acc +. demands.(v);
+      assigned := !assigned +. demands.(v))
+    order;
+  parts
+
+let flat_cut g parts = Hgp_graph.Cuts.kway_cut g parts
+
+let flat_refine rng g ~demands ~k ~capacity parts ~max_passes =
+  let n = Graph.n g in
+  let parts = Array.copy parts in
+  let loads = Array.make k 0. in
+  Array.iteri (fun v p -> loads.(p) <- loads.(p) +. demands.(v)) parts;
+  let improved = ref true in
+  let passes = ref 0 in
+  while !improved && !passes < max_passes do
+    improved := false;
+    incr passes;
+    let order = Prng.permutation rng n in
+    Array.iter
+      (fun v ->
+        let from = parts.(v) in
+        (* Connectivity to each part. *)
+        let conn = Hashtbl.create 8 in
+        Graph.iter_neighbors
+          (fun u w ->
+            let p = parts.(u) in
+            let prev = try Hashtbl.find conn p with Not_found -> 0. in
+            Hashtbl.replace conn p (prev +. w))
+          g v;
+        let here = try Hashtbl.find conn from with Not_found -> 0. in
+        let d = demands.(v) in
+        let best_p = ref from and best_gain = ref 1e-12 in
+        Hashtbl.iter
+          (fun p there ->
+            if p <> from then begin
+              let gain = there -. here in
+              let fits = loads.(p) +. d <= capacity +. 1e-9 in
+              (* Allow the move when the target fits, or when it strictly
+                 improves balance of an overloaded source. *)
+              let balance_ok = fits || loads.(p) +. d < loads.(from) in
+              if gain > !best_gain && balance_ok then begin
+                best_gain := gain;
+                best_p := p
+              end
+            end)
+          conn;
+        if !best_p <> from then begin
+          loads.(from) <- loads.(from) -. d;
+          loads.(!best_p) <- loads.(!best_p) +. d;
+          parts.(v) <- !best_p;
+          improved := true
+        end)
+      order
+  done;
+  (parts, flat_cut g parts)
+
+let partition rng g ~demands ~k ~capacity =
+  if k < 1 then invalid_arg "Multilevel.partition: k must be >= 1";
+  if Array.length demands <> Graph.n g then invalid_arg "Multilevel.partition: demands length";
+  if k = 1 then { parts = Array.make (Graph.n g) 0; cut = 0.; levels = 0 }
+  else begin
+    (* Coarsening phase: keep (fine graph, fine demands, fine->coarse map)
+       per level, head = deepest transition. *)
+    let stop_at = max (3 * k) 24 in
+    let rec shrink g demands acc =
+      if Graph.n g <= stop_at || List.length acc > 40 then (g, demands, acc)
+      else begin
+        let cg, cd, cmap = coarsen rng g demands in
+        if Graph.n cg >= Graph.n g then (g, demands, acc)
+        else shrink cg cd ((g, demands, cmap) :: acc)
+      end
+    in
+    let cg, cd, chain = shrink g demands [] in
+    let coarse_parts = initial_partition rng cg cd k capacity in
+    let coarse_parts, _ =
+      flat_refine rng cg ~demands:cd ~k ~capacity coarse_parts ~max_passes:8
+    in
+    (* Uncoarsening: project through each stored level and refine there. *)
+    let parts =
+      List.fold_left
+        (fun parts (fine_g, fine_d, cmap) ->
+          let fine_parts = Array.map (fun c -> parts.(c)) cmap in
+          let refined, _ =
+            flat_refine rng fine_g ~demands:fine_d ~k ~capacity fine_parts ~max_passes:4
+          in
+          refined)
+        coarse_parts chain
+    in
+    { parts; cut = flat_cut g parts; levels = List.length chain }
+  end

@@ -1,0 +1,38 @@
+(** Multilevel flat k-way graph partitioning (the METIS recipe): heavy-edge
+    matching coarsening, greedy initial partitioning on the coarsest graph,
+    then boundary Kernighan–Lin/FM refinement while projecting back up.
+
+    This is the classical k-Balanced Graph Partitioning solver the paper
+    generalizes; it optimizes the {e flat} cut (every crossing edge costs its
+    weight) and is the "hierarchy-blind" baseline of experiment E7. *)
+
+type result = {
+  parts : int array;  (** vertex -> part id in [0..k-1] *)
+  cut : float;  (** flat cut weight *)
+  levels : int;  (** coarsening levels used *)
+}
+
+(** [partition rng g ~demands ~k ~capacity] computes a k-way partition whose
+    part loads aim to stay within [capacity] (best effort; the refinement
+    never makes an over-capacity part worse).  Requires [k >= 1] and
+    [Array.length demands = Graph.n g]. *)
+val partition :
+  Hgp_util.Prng.t ->
+  Hgp_graph.Graph.t ->
+  demands:float array ->
+  k:int ->
+  capacity:float ->
+  result
+
+(** [flat_refine rng g ~demands ~k ~capacity parts ~max_passes] runs only the
+    FM move pass on an existing partition (exposed for reuse and tests);
+    returns the refined copy and its cut. *)
+val flat_refine :
+  Hgp_util.Prng.t ->
+  Hgp_graph.Graph.t ->
+  demands:float array ->
+  k:int ->
+  capacity:float ->
+  int array ->
+  max_passes:int ->
+  int array * float

@@ -1,0 +1,22 @@
+(** Simple placement heuristics: random and greedy.
+
+    Both return a full assignment even on tight instances: if no leaf has
+    room, the least-overloaded leaf is used, so quality comparisons are
+    always possible and the violation is reported separately by
+    {!Hgp_core.Cost.max_violation}. *)
+
+(** Vertex orders for {!greedy}. *)
+type order =
+  | Heavy_first  (** decreasing weighted degree (default) *)
+  | Bfs  (** BFS from the heaviest vertex — follows communication locality *)
+  | Demand_first  (** decreasing demand — packs the big rocks first *)
+
+(** [random rng inst ~slack] shuffles the vertices and assigns each to a
+    uniformly random leaf with room (under [slack *. leaf_capacity]),
+    falling back to the least-loaded leaf. *)
+val random : Hgp_util.Prng.t -> Hgp_core.Instance.t -> slack:float -> int array
+
+(** [greedy inst ?order ~slack] places each vertex on the leaf minimizing the
+    incremental Equation-1 cost against already-placed neighbors, among
+    leaves with room; ties prefer the least-loaded leaf. *)
+val greedy : Hgp_core.Instance.t -> ?order:order -> slack:float -> unit -> int array

@@ -1,0 +1,32 @@
+(** Portfolio solver: run the approximation algorithm and the classical
+    heuristics, refine each with hierarchy-aware local search, and return the
+    best assignment found — the pragmatic "production" entry point that
+    combines the paper's guarantee with heuristic polish.
+
+    Candidates: the HGP solver (Theorem 1 pipeline), greedy placement,
+    multilevel k-BGP with optimized part-to-leaf mapping, and dual recursive
+    bipartitioning.  Every candidate is post-processed by
+    {!Local_search.refine} under the given slack. *)
+
+type entry = {
+  name : string;
+  assignment : int array;
+  cost : float;
+  violation : float;
+}
+
+type result = {
+  best : entry;  (** lowest cost among candidates within the slack *)
+  entries : entry list;  (** every candidate, sorted by cost *)
+}
+
+(** [solve ?solver_options rng inst ~slack ~refine_passes] runs the whole
+    portfolio.  When no candidate respects [slack], the lowest-violation one
+    wins instead. *)
+val solve :
+  ?solver_options:Hgp_core.Solver.options ->
+  Hgp_util.Prng.t ->
+  Hgp_core.Instance.t ->
+  slack:float ->
+  refine_passes:int ->
+  result

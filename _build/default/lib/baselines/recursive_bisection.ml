@@ -1,0 +1,32 @@
+module Graph = Hgp_graph.Graph
+module Hierarchy = Hgp_hierarchy.Hierarchy
+module Instance = Hgp_core.Instance
+
+let assign rng (inst : Instance.t) ~slack =
+  let hy = inst.hierarchy in
+  let h = Hierarchy.height hy in
+  let assignment = Array.make (Instance.n inst) (-1) in
+  (* vertices: original vertex ids currently routed to hierarchy node
+     (level, idx). *)
+  let rec descend level idx vertices =
+    if Array.length vertices > 0 then begin
+      if level = h then Array.iter (fun v -> assignment.(v) <- idx) vertices
+      else begin
+        let deg = Hierarchy.deg hy level in
+        let sub, back = Graph.induced inst.graph vertices in
+        let demands = Array.map (fun v -> inst.demands.(v)) vertices in
+        let capacity = slack *. Hierarchy.capacity hy (level + 1) in
+        let result = Multilevel.partition rng sub ~demands ~k:deg ~capacity in
+        let groups = Array.make deg [] in
+        Array.iteri
+          (fun i p -> groups.(p) <- back.(i) :: groups.(p))
+          result.Multilevel.parts;
+        let first_child, _ = Hierarchy.children_of hy ~level idx in
+        Array.iteri
+          (fun b members -> descend (level + 1) (first_child + b) (Array.of_list members))
+          groups
+      end
+    end
+  in
+  descend 0 0 (Array.init (Instance.n inst) (fun i -> i));
+  assignment

@@ -1,0 +1,11 @@
+(** Dual recursive bipartitioning (Pellegrini / SCOTCH style).
+
+    The hierarchy is descended top-down; at each Level-(j) node its vertex
+    load is split into [DEG(j)] groups with the multilevel partitioner
+    (minimizing the flat cut at that level, target capacity [CP(j+1)]), and
+    each group recurses into one child.  This is the strongest classical
+    heuristic for the mapping problem and the main competitor in
+    experiment E7. *)
+
+(** [assign rng inst ~slack] returns the vertex->leaf assignment. *)
+val assign : Hgp_util.Prng.t -> Hgp_core.Instance.t -> slack:float -> int array

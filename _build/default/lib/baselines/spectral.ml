@@ -1,0 +1,58 @@
+module Graph = Hgp_graph.Graph
+
+(* Power iteration on M = (c I - L) where c bounds the spectral radius of the
+   Laplacian L; the dominant eigenvector of M restricted to the complement of
+   the constant vector is the Fiedler vector. *)
+let fiedler_vector g ~iterations =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Spectral.fiedler_vector: need >= 2 vertices";
+  let wdeg = Array.init n (fun v -> Graph.weighted_degree g v) in
+  let c = 2. *. Array.fold_left Float.max 1e-9 wdeg in
+  let x = Array.init n (fun i -> sin (float_of_int (i + 1))) in
+  let deflate y =
+    let mean = Array.fold_left ( +. ) 0. y /. float_of_int n in
+    Array.iteri (fun i v -> y.(i) <- v -. mean) y
+  in
+  let normalize y =
+    let norm = sqrt (Array.fold_left (fun acc v -> acc +. (v *. v)) 0. y) in
+    if norm > 1e-30 then Array.iteri (fun i v -> y.(i) <- v /. norm) y
+  in
+  deflate x;
+  normalize x;
+  let y = Array.make n 0. in
+  for _ = 1 to iterations do
+    (* y = (cI - L) x = c x - D x + W x *)
+    for v = 0 to n - 1 do
+      y.(v) <- (c -. wdeg.(v)) *. x.(v)
+    done;
+    Graph.iter_edges
+      (fun u v w ->
+        y.(u) <- y.(u) +. (w *. x.(v));
+        y.(v) <- y.(v) +. (w *. x.(u)))
+      g;
+    deflate y;
+    normalize y;
+    Array.blit y 0 x 0 n
+  done;
+  Array.copy x
+
+let bisect g ~demands =
+  let n = Graph.n g in
+  if Array.length demands <> n then invalid_arg "Spectral.bisect: demands length";
+  let f = fiedler_vector g ~iterations:(max 50 (8 * n)) in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare f.(a) f.(b)) order;
+  let total = Array.fold_left ( +. ) 0. demands in
+  let side = Array.make n false in
+  let acc = ref 0. in
+  Array.iter
+    (fun v ->
+      if !acc +. demands.(v) <= total /. 2. +. 1e-9 then begin
+        side.(v) <- true;
+        acc := !acc +. demands.(v)
+      end)
+    order;
+  (* Guarantee both sides non-empty. *)
+  if Array.for_all (fun s -> s) side then side.(order.(n - 1)) <- false;
+  if Array.for_all (fun s -> not s) side then side.(order.(0)) <- true;
+  side

@@ -1,0 +1,13 @@
+(** Spectral bisection via the Fiedler vector (power iteration on the shifted
+    Laplacian, with deflation of the constant eigenvector).  A classical
+    high-quality bisection primitive; used standalone in tests and as an
+    alternative initial bisection. *)
+
+(** [fiedler_vector g ~iterations] approximates the eigenvector of the second
+    smallest Laplacian eigenvalue.  Requires [Graph.n g >= 2]. *)
+val fiedler_vector : Hgp_graph.Graph.t -> iterations:int -> float array
+
+(** [bisect g ~demands] splits the vertices at the demand-weighted median of
+    the Fiedler vector; returns the side array (true/false) with sides
+    balanced by demand. *)
+val bisect : Hgp_graph.Graph.t -> demands:float array -> bool array

@@ -1,0 +1,1 @@
+lib/core/collections.ml: Array Hashtbl Hgp_tree Levels List

@@ -1,0 +1,1 @@
+lib/core/collections.mli: Hgp_tree

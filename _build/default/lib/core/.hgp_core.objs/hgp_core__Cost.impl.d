@@ -1,0 +1,1 @@
+lib/core/cost.ml: Array Float Hgp_graph Hgp_hierarchy Instance

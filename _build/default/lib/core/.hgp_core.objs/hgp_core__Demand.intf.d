@@ -1,0 +1,1 @@
+lib/core/demand.mli: Hgp_hierarchy

@@ -1,0 +1,1 @@
+lib/core/dynamic.ml: Array Float Hashtbl Hgp_graph Hgp_hierarchy Hgp_util Instance List Solver

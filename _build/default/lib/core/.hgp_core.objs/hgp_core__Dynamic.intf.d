@@ -1,0 +1,1 @@
+lib/core/dynamic.mli: Hgp_hierarchy Solver

@@ -1,0 +1,1 @@
+lib/core/feasible.ml: Array Float Hgp_hierarchy Hgp_tree Levels List

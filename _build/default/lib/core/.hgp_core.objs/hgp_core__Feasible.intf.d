@@ -1,0 +1,1 @@
+lib/core/feasible.mli: Hgp_hierarchy Hgp_tree

@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array Float Format Hgp_graph Hgp_hierarchy Hgp_util Printf

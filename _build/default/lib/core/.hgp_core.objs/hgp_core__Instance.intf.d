@@ -1,0 +1,1 @@
+lib/core/instance.mli: Format Hgp_graph Hgp_hierarchy Hgp_util

@@ -1,0 +1,1 @@
+lib/core/instance_io.ml: Array Buffer Fun Hgp_graph Hgp_hierarchy Instance List Printf String

@@ -1,0 +1,1 @@
+lib/core/instance_io.mli: Instance

@@ -1,0 +1,1 @@
+lib/core/levels.ml: Array Hgp_tree Hgp_util List

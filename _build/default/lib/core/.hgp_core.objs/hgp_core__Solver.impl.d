@@ -1,0 +1,1 @@
+lib/core/solver.ml: Array Cost Demand Domain Feasible Float Hgp_graph Hgp_hierarchy Hgp_racke Hgp_tree Hgp_util Instance Logs Tree_dp

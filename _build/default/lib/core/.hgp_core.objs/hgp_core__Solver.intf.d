@@ -1,0 +1,1 @@
+lib/core/solver.mli: Demand Hgp_hierarchy Hgp_racke Hgp_tree Instance

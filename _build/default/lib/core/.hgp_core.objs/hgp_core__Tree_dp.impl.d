@@ -1,0 +1,1 @@
+lib/core/tree_dp.ml: Array Float Hashtbl Hgp_hierarchy Hgp_tree Hgp_util List Signature Stack

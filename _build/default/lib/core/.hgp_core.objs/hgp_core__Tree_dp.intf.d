@@ -1,0 +1,1 @@
+lib/core/tree_dp.mli: Hgp_hierarchy Hgp_tree

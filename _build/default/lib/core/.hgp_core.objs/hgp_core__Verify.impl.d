@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Cost Feasible Float Format Hgp_hierarchy Instance

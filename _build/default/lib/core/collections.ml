@@ -1,0 +1,48 @@
+module Tree = Hgp_tree.Tree
+module Laminar = Hgp_tree.Laminar
+
+type t = {
+  family : Laminar.family;
+  h : int;
+}
+
+let of_kappa tree ~kappa ~h = { family = Levels.laminar_family tree ~kappa ~h; h }
+
+let is_valid_relaxed c tree =
+  let universe = Array.copy (Tree.leaves tree) in
+  Array.sort compare universe;
+  Array.length c.family = c.h + 1 && Laminar.is_laminar c.family ~universe
+
+let demand_ok c ~demand_units ~cp_units =
+  let ok = ref true in
+  for j = 0 to c.h do
+    Array.iter
+      (fun set ->
+        let d = Array.fold_left (fun acc l -> acc + demand_units.(l)) 0 set in
+        if d > cp_units.(j) then ok := false)
+      c.family.(j)
+  done;
+  !ok
+
+let refinement_widths c =
+  let counts = Laminar.refinement_counts c.family in
+  Array.map
+    (fun per_set -> List.fold_left max 0 per_set)
+    counts
+
+let definition3_cost c tree ~cm =
+  let total = ref 0. in
+  for j = 1 to c.h do
+    let diff = (cm.(j - 1) -. cm.(j)) /. 2. in
+    if diff <> 0. then
+      Array.iter
+        (fun set ->
+          let members = Hashtbl.create (Array.length set) in
+          Array.iter (fun l -> Hashtbl.replace members l ()) set;
+          let w =
+            Hgp_tree.Treecut.min_cut_weight tree ~in_set:(fun l -> Hashtbl.mem members l)
+          in
+          total := !total +. (w *. diff))
+        c.family.(j)
+  done;
+  !total

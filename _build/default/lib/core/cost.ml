@@ -1,0 +1,72 @@
+module Graph = Hgp_graph.Graph
+module Hierarchy = Hgp_hierarchy.Hierarchy
+
+let assignment_cost (inst : Instance.t) p =
+  let h = inst.hierarchy in
+  Graph.fold_edges
+    (fun acc u v w -> acc +. (w *. Hierarchy.edge_cost h p.(u) p.(v)))
+    0. inst.graph
+
+let mirror_cost (inst : Instance.t) p =
+  let hy = inst.hierarchy in
+  let h = Hierarchy.height hy in
+  let total = ref 0. in
+  for j = 1 to h do
+    let diff = (Hierarchy.cm hy (j - 1) -. Hierarchy.cm hy j) /. 2. in
+    if diff <> 0. then begin
+      (* Boundary weight of every Level-(j) group: an edge contributes to the
+         groups of both endpoints when they differ. *)
+      let boundary = Array.make (Hierarchy.nodes_at_level hy j) 0. in
+      Graph.iter_edges
+        (fun u v w ->
+          let au = Hierarchy.ancestor hy ~level:j p.(u)
+          and av = Hierarchy.ancestor hy ~level:j p.(v) in
+          if au <> av then begin
+            boundary.(au) <- boundary.(au) +. w;
+            boundary.(av) <- boundary.(av) +. w
+          end)
+        inst.graph;
+      Array.iter (fun b -> total := !total +. (b *. diff)) boundary
+    end
+  done;
+  (* A non-normalized hierarchy charges cm(h) on every edge (Lemma 1). *)
+  let base = Hierarchy.cm hy h in
+  if base <> 0. then total := !total +. (base *. Graph.total_weight inst.graph);
+  !total
+
+let leaf_loads (inst : Instance.t) p =
+  let k = Hierarchy.num_leaves inst.hierarchy in
+  let loads = Array.make k 0. in
+  Array.iteri
+    (fun v leaf ->
+      if leaf < 0 || leaf >= k then invalid_arg "Cost.leaf_loads: leaf out of range";
+      loads.(leaf) <- loads.(leaf) +. inst.demands.(v))
+    p;
+  loads
+
+let level_violation (inst : Instance.t) p j =
+  let hy = inst.hierarchy in
+  let loads = Array.make (Hierarchy.nodes_at_level hy j) 0. in
+  Array.iteri
+    (fun v leaf ->
+      let a = Hierarchy.ancestor hy ~level:j leaf in
+      loads.(a) <- loads.(a) +. inst.demands.(v))
+    p;
+  let cap = Hierarchy.capacity hy j in
+  Array.fold_left (fun acc l -> Float.max acc (l /. cap)) 0. loads
+
+let max_violation (inst : Instance.t) p =
+  let h = Hierarchy.height inst.hierarchy in
+  let worst = ref 0. in
+  for j = 1 to h do
+    worst := Float.max !worst (level_violation inst p j)
+  done;
+  !worst
+
+let is_valid (inst : Instance.t) p ~slack =
+  Array.length p = Instance.n inst
+  && Array.for_all (fun leaf -> leaf >= 0 && leaf < Hierarchy.num_leaves inst.hierarchy) p
+  &&
+  let loads = leaf_loads inst p in
+  let cap = Hierarchy.leaf_capacity inst.hierarchy in
+  Array.for_all (fun l -> l <= (slack *. cap) +. 1e-9) loads

@@ -1,0 +1,41 @@
+type mode = Floor | Ceil
+
+type t = {
+  units : int array;
+  unit_size : float;
+  resolution : int;
+  mode : mode;
+}
+
+let quantize ~demands ~leaf_capacity ~resolution ~mode =
+  if resolution < 1 then invalid_arg "Demand.quantize: resolution must be >= 1";
+  if not (leaf_capacity > 0.) then invalid_arg "Demand.quantize: leaf_capacity";
+  let unit_size = leaf_capacity /. float_of_int resolution in
+  let units =
+    Array.map
+      (fun d ->
+        if not (d > 0.) || d > leaf_capacity +. 1e-9 then
+          invalid_arg "Demand.quantize: demand out of range";
+        let scaled = d /. unit_size in
+        let u =
+          match mode with
+          | Floor -> int_of_float (floor (scaled +. 1e-9))
+          | Ceil -> int_of_float (ceil (scaled -. 1e-9))
+        in
+        (* Ceil may overshoot to resolution + 1 on d = leaf_capacity + fp
+           noise; clamp into the representable range. *)
+        max 0 (min u resolution))
+      demands
+  in
+  { units; unit_size; resolution; mode }
+
+let resolution_for_eps ~n ~eps =
+  if not (eps > 0.) then invalid_arg "Demand.resolution_for_eps: eps must be positive";
+  max 1 (int_of_float (ceil (float_of_int n /. eps)))
+
+let capacity_units t ~hierarchy =
+  let h = Hgp_hierarchy.Hierarchy.height hierarchy in
+  Array.init (h + 1) (fun j ->
+      t.resolution * Hgp_hierarchy.Hierarchy.leaves_under hierarchy j)
+
+let rounding_error_bound t ~n_jobs = float_of_int n_jobs *. t.unit_size

@@ -1,0 +1,39 @@
+(** Demand quantization (the rounding step of Theorem 4).
+
+    The dynamic program needs integer demands.  The paper scales every demand
+    by [n / eps] and floors, giving total units [D = O(n^2 / eps)] — correct
+    but enormous; we expose the resolution directly: [resolution] units per
+    leaf capacity (choosing [resolution = n / eps] recovers the paper).
+    Flooring under-counts each job by less than one unit, so a leaf that
+    receives at most [n] jobs is over-packed by at most [n / resolution]
+    leaf-capacities — the [(1 + eps)] factor of Theorem 2. *)
+
+type mode =
+  | Floor  (** paper's choice: optimal cost preserved, capacity inflated *)
+  | Ceil  (** conservative: capacities never violated by rounding, optimum may
+              be missed when the packing is tight *)
+
+type t = {
+  units : int array;  (** quantized demand per vertex/leaf *)
+  unit_size : float;  (** demand represented by one unit *)
+  resolution : int;  (** units per leaf capacity *)
+  mode : mode;
+}
+
+(** [quantize ~demands ~leaf_capacity ~resolution ~mode] converts float
+    demands to units.  Requires [resolution >= 1] and all demands in
+    [(0, leaf_capacity]].  With [Floor] a demand may round to [0] units. *)
+val quantize :
+  demands:float array -> leaf_capacity:float -> resolution:int -> mode:mode -> t
+
+(** [resolution_for_eps ~n ~eps] is the paper's resolution
+    [ceil (n / eps)]. *)
+val resolution_for_eps : n:int -> eps:float -> int
+
+(** [capacity_units t ~hierarchy] is the per-level capacity vector in units:
+    element [j] is [CP(j)] for [j = 0..h]. *)
+val capacity_units : t -> hierarchy:Hgp_hierarchy.Hierarchy.t -> int array
+
+(** [rounding_error_bound t ~n_jobs] bounds the absolute demand error of any
+    set of at most [n_jobs] jobs, in original demand units. *)
+val rounding_error_bound : t -> n_jobs:int -> float

@@ -1,0 +1,236 @@
+module Hierarchy = Hgp_hierarchy.Hierarchy
+module Graph = Hgp_graph.Graph
+
+type config = {
+  slack : float;
+  resolve_period : int;
+  solver_options : Solver.options;
+}
+
+let default_config _hierarchy =
+  { slack = 1.25; resolve_period = 0; solver_options = Solver.default_options }
+
+type stats = {
+  events : int;
+  auto_resolves : int;
+  migrations : int;
+}
+
+type task = {
+  mutable alive : bool;
+  demand : float;
+  mutable leaf : int;
+  mutable edges : (int * float) list; (* neighbor id, weight *)
+}
+
+type t = {
+  hierarchy : Hierarchy.t;
+  config : config;
+  mutable tasks : task array;
+  mutable n_tasks : int; (* ids handed out so far *)
+  loads : float array; (* per leaf *)
+  mutable events : int;
+  mutable auto_resolves : int;
+  mutable migrations : int;
+}
+
+let create hierarchy config =
+  if not (config.slack >= 1.0) then invalid_arg "Dynamic.create: slack must be >= 1";
+  {
+    hierarchy;
+    config;
+    tasks = Array.make 16 { alive = false; demand = 0.; leaf = -1; edges = [] };
+    n_tasks = 0;
+    loads = Array.make (Hierarchy.num_leaves hierarchy) 0.;
+    events = 0;
+    auto_resolves = 0;
+    migrations = 0;
+  }
+
+let n_alive t =
+  let c = ref 0 in
+  for i = 0 to t.n_tasks - 1 do
+    if t.tasks.(i).alive then incr c
+  done;
+  !c
+
+let get_task t id =
+  if id < 0 || id >= t.n_tasks || not t.tasks.(id).alive then
+    invalid_arg "Dynamic: unknown or removed task id";
+  t.tasks.(id)
+
+let leaf_of t id = (get_task t id).leaf
+
+let current_cost t =
+  let acc = ref 0. in
+  for v = 0 to t.n_tasks - 1 do
+    let tv = t.tasks.(v) in
+    if tv.alive then
+      List.iter
+        (fun (u, w) ->
+          (* Count each live edge once (from the lower endpoint). *)
+          if u < v && t.tasks.(u).alive then
+            acc := !acc +. (w *. Hierarchy.edge_cost t.hierarchy tv.leaf t.tasks.(u).leaf))
+        tv.edges
+  done;
+  !acc
+
+let max_violation t =
+  let hy = t.hierarchy in
+  let h = Hierarchy.height hy in
+  let worst = ref 0. in
+  for j = 1 to h do
+    let loads = Array.make (Hierarchy.nodes_at_level hy j) 0. in
+    for v = 0 to t.n_tasks - 1 do
+      let tv = t.tasks.(v) in
+      if tv.alive then begin
+        let a = Hierarchy.ancestor hy ~level:j tv.leaf in
+        loads.(a) <- loads.(a) +. tv.demand
+      end
+    done;
+    let cap = Hierarchy.capacity hy j in
+    Array.iter (fun l -> worst := Float.max !worst (l /. cap)) loads
+  done;
+  !worst
+
+(* Greedy placement of one task against current neighbors. *)
+let place_greedy t demand edges =
+  let hy = t.hierarchy in
+  let k = Hierarchy.num_leaves hy in
+  let cap = t.config.slack *. Hierarchy.leaf_capacity hy in
+  let best_leaf = ref (-1) and best = ref infinity in
+  for l = 0 to k - 1 do
+    if t.loads.(l) +. demand <= cap +. 1e-9 then begin
+      let c =
+        List.fold_left
+          (fun acc (u, w) ->
+            acc +. (w *. Hierarchy.edge_cost hy l t.tasks.(u).leaf))
+          0. edges
+      in
+      if
+        c < !best -. 1e-12
+        || (c < !best +. 1e-12 && (!best_leaf < 0 || t.loads.(l) < t.loads.(!best_leaf)))
+      then begin
+        best := c;
+        best_leaf := l
+      end
+    end
+  done;
+  if !best_leaf >= 0 then !best_leaf
+  else begin
+    (* No leaf has room under slack: use the least-loaded one. *)
+    let least = ref 0 in
+    for l = 1 to k - 1 do
+      if t.loads.(l) < t.loads.(!least) then least := l
+    done;
+    !least
+  end
+
+let rebalance t =
+  let alive = ref [] in
+  for v = t.n_tasks - 1 downto 0 do
+    if t.tasks.(v).alive then alive := v :: !alive
+  done;
+  let ids = Array.of_list !alive in
+  let n = Array.length ids in
+  if n < 2 then 0
+  else begin
+    let index = Hashtbl.create (2 * n) in
+    Array.iteri (fun i id -> Hashtbl.add index id i) ids;
+    let b = Graph.Builder.create n in
+    Array.iteri
+      (fun i id ->
+        List.iter
+          (fun (u, w) ->
+            match Hashtbl.find_opt index u with
+            | Some j when j > i && t.tasks.(u).alive -> Graph.Builder.add_edge b i j w
+            | _ -> ())
+          t.tasks.(id).edges)
+      ids;
+    let g = Graph.Builder.build b in
+    let rng = Hgp_util.Prng.create t.config.solver_options.Solver.seed in
+    let g = Hgp_graph.Traversal.ensure_connected g rng in
+    let demands = Array.map (fun id -> t.tasks.(id).demand) ids in
+    let inst = Instance.create g ~demands t.hierarchy in
+    let sol = Solver.solve ~options:t.config.solver_options inst in
+    (* Guarded application: the solver is an approximation, so keep the
+       incumbent placement when it is already cheaper. *)
+    (* Evaluate the candidate on the real task edges (the instance graph may
+       contain connectivity patch edges that are not real communication). *)
+    let candidate_leaf id = sol.Solver.assignment.(Hashtbl.find index id) in
+    let candidate_cost = ref 0. in
+    Array.iter
+      (fun id ->
+        List.iter
+          (fun (u, w) ->
+            if u < id && t.tasks.(u).alive then
+              candidate_cost :=
+                !candidate_cost
+                +. (w *. Hierarchy.edge_cost t.hierarchy (candidate_leaf id) (candidate_leaf u)))
+          t.tasks.(id).edges)
+      ids;
+    let candidate_cost = !candidate_cost in
+    let incumbent_cost = current_cost t in
+    if candidate_cost > incumbent_cost +. 1e-9 then 0
+    else begin
+      let moved = ref 0 in
+      Array.fill t.loads 0 (Array.length t.loads) 0.;
+      Array.iteri
+        (fun i id ->
+          let task = t.tasks.(id) in
+          let leaf = sol.Solver.assignment.(i) in
+          if leaf <> task.leaf then incr moved;
+          task.leaf <- leaf;
+          t.loads.(leaf) <- t.loads.(leaf) +. task.demand)
+        ids;
+      t.migrations <- t.migrations + !moved;
+      !moved
+    end
+  end
+
+let bump_event t =
+  t.events <- t.events + 1;
+  if t.config.resolve_period > 0 && t.events mod t.config.resolve_period = 0 then begin
+    t.auto_resolves <- t.auto_resolves + 1;
+    ignore (rebalance t)
+  end
+
+let add_task t ~demand ~edges =
+  let hy = t.hierarchy in
+  if not (demand > 0.) || demand > Hierarchy.leaf_capacity hy +. 1e-9 then
+    invalid_arg "Dynamic.add_task: demand out of range";
+  List.iter (fun (u, _) -> ignore (get_task t u)) edges;
+  List.iter
+    (fun (_, w) -> if not (w >= 0.) then invalid_arg "Dynamic.add_task: negative weight")
+    edges;
+  let id = t.n_tasks in
+  if id = Array.length t.tasks then begin
+    let bigger =
+      Array.make (2 * id) { alive = false; demand = 0.; leaf = -1; edges = [] }
+    in
+    Array.blit t.tasks 0 bigger 0 id;
+    t.tasks <- bigger
+  end;
+  let leaf = place_greedy t demand edges in
+  let task = { alive = true; demand; leaf; edges } in
+  t.tasks.(id) <- task;
+  t.n_tasks <- id + 1;
+  t.loads.(leaf) <- t.loads.(leaf) +. demand;
+  (* Record the reverse links so departures and later placements see them. *)
+  List.iter (fun (u, w) -> t.tasks.(u).edges <- (id, w) :: t.tasks.(u).edges) edges;
+  bump_event t;
+  id
+
+let remove_task t id =
+  let task = get_task t id in
+  task.alive <- false;
+  t.loads.(task.leaf) <- t.loads.(task.leaf) -. task.demand;
+  (* Unlink from neighbors. *)
+  List.iter
+    (fun (u, _) ->
+      if u < t.n_tasks && t.tasks.(u).alive then
+        t.tasks.(u).edges <- List.filter (fun (x, _) -> x <> id) t.tasks.(u).edges)
+    task.edges;
+  bump_event t
+
+let stats t = { events = t.events; auto_resolves = t.auto_resolves; migrations = t.migrations }

@@ -1,0 +1,67 @@
+(** Online HGP: maintain a placement while tasks arrive and depart.
+
+    The motivating system (a stream-processing warehouse) adds and removes
+    query operators continuously.  This manager keeps an incremental
+    assignment: arrivals are placed greedily (cheapest feasible leaf against
+    current neighbors), departures free capacity, and a full re-solve
+    ({!rebalance}) can be triggered manually or every [resolve_period]
+    events — the classic cost/migration trade-off, measured in experiment
+    E14.
+
+    Task ids are dense integers handed out by {!add_task} and remain valid
+    until removed. *)
+
+type config = {
+  slack : float;  (** per-leaf capacity slack for greedy placement *)
+  resolve_period : int;
+      (** full re-solve every this many events ([0] disables auto-resolve) *)
+  solver_options : Solver.options;
+}
+
+(** [default_config hierarchy] uses slack 1.25, no auto-resolve, and the
+    solver defaults. *)
+val default_config : Hgp_hierarchy.Hierarchy.t -> config
+
+type stats = {
+  events : int;  (** arrivals + departures processed *)
+  auto_resolves : int;
+  migrations : int;  (** tasks whose leaf changed during rebalances *)
+}
+
+type t
+
+(** [create hierarchy config] starts with no tasks. *)
+val create : Hgp_hierarchy.Hierarchy.t -> config -> t
+
+(** [add_task t ~demand ~edges] places a new task greedily and returns its
+    id.  [edges] lists [(existing_task, weight)] communication links; links
+    to removed ids are rejected.  Demand must be in [(0, leaf_capacity]].
+    May trigger an auto-resolve. *)
+val add_task : t -> demand:float -> edges:(int * float) list -> int
+
+(** [remove_task t id] departs a task.
+    @raise Invalid_argument if [id] is unknown or already removed. *)
+val remove_task : t -> int -> unit
+
+(** [n_alive t] is the number of live tasks. *)
+val n_alive : t -> int
+
+(** [leaf_of t id] is the current placement of a live task. *)
+val leaf_of : t -> int -> int
+
+(** [current_cost t] is the Equation-1 cost over live tasks. *)
+val current_cost : t -> float
+
+(** [max_violation t] is the worst per-level load factor of the current
+    placement (1.0 = within capacity). *)
+val max_violation : t -> float
+
+(** [rebalance t] runs the full HGP solver on the live tasks and applies the
+    result {e if it is cheaper than the incumbent placement} (the solver is
+    an approximation, so a good incremental placement may already win);
+    returns the number of migrated tasks ([0] when the incumbent is kept or
+    fewer than 2 tasks are live). *)
+val rebalance : t -> int
+
+(** [stats t] returns event counters. *)
+val stats : t -> stats

@@ -1,0 +1,103 @@
+module Tree = Hgp_tree.Tree
+module Hierarchy = Hgp_hierarchy.Hierarchy
+
+type report = {
+  assignment : int array;
+  level_violation_units : float array;
+  max_violation_units : float;
+}
+
+let theoretical_violation_bound ~h ~eps = (1. +. eps) *. (1. +. float_of_int h)
+
+let pack t ~kappa ~demand_units ~hierarchy ~resolution =
+  let h = Hierarchy.height hierarchy in
+  let n = Tree.n_nodes t in
+  let per_level = Array.init (h + 1) (fun j -> Levels.components t ~kappa ~level:j) in
+  (* Leaf lists and unit demands per component, per level. *)
+  let comp_leaves =
+    Array.init (h + 1) (fun j ->
+        let comp, n_comps = per_level.(j) in
+        let buckets = Array.make n_comps [] in
+        Array.iter (fun l -> buckets.(comp.(l)) <- l :: buckets.(comp.(l))) (Tree.leaves t);
+        buckets)
+  in
+  let comp_demand =
+    Array.init (h + 1) (fun j ->
+        Array.map
+          (fun leaves -> List.fold_left (fun acc l -> acc + demand_units.(l)) 0 leaves)
+          comp_leaves.(j))
+  in
+  (* children_of.(j).(c): Level-(j+1) components (with leaves) inside
+     Level-(j) component c. *)
+  let children_of =
+    Array.init h (fun j ->
+        let comp_j, n_j = per_level.(j) in
+        let comp_j1, n_j1 = per_level.(j + 1) in
+        let parent = Array.make n_j1 (-1) in
+        Array.iteri (fun v c1 -> parent.(c1) <- comp_j.(v)) comp_j1;
+        let kids = Array.make n_j [] in
+        for c1 = n_j1 - 1 downto 0 do
+          if comp_leaves.(j + 1).(c1) <> [] then kids.(parent.(c1)) <- c1 :: kids.(parent.(c1))
+        done;
+        kids)
+  in
+  let assignment = Array.make n (-1) in
+  let rec place j h_idx comp_ids =
+    if j = h then
+      List.iter
+        (fun c -> List.iter (fun l -> assignment.(l) <- h_idx) comp_leaves.(h).(c))
+        comp_ids
+    else begin
+      let items = List.concat_map (fun c -> children_of.(j).(c)) comp_ids in
+      let items =
+        List.sort
+          (fun a b -> compare comp_demand.(j + 1).(b) comp_demand.(j + 1).(a))
+          items
+      in
+      let deg = Hierarchy.deg hierarchy j in
+      let bins = Array.make deg [] in
+      let loads = Array.make deg 0 in
+      List.iter
+        (fun c ->
+          (* least-loaded bin *)
+          let best = ref 0 in
+          for b = 1 to deg - 1 do
+            if loads.(b) < loads.(!best) then best := b
+          done;
+          bins.(!best) <- c :: bins.(!best);
+          loads.(!best) <- loads.(!best) + comp_demand.(j + 1).(c))
+        items;
+      let first_child, _ = Hierarchy.children_of hierarchy ~level:j h_idx in
+      for b = 0 to deg - 1 do
+        place (j + 1) (first_child + b) bins.(b)
+      done
+    end
+  in
+  (* Level-0: the whole tree is one component; feed every leafful one anyway
+     for robustness. *)
+  let _, n0 = per_level.(0) in
+  let roots = List.filter (fun c -> comp_leaves.(0).(c) <> []) (List.init n0 (fun i -> i)) in
+  place 0 0 roots;
+  (* Violation accounting from the final assignment, in units. *)
+  let level_violation_units = Array.make (h + 1) 0. in
+  let total_units = Array.fold_left ( + ) 0 demand_units in
+  level_violation_units.(0) <-
+    float_of_int total_units /. float_of_int (resolution * Hierarchy.leaves_under hierarchy 0);
+  for j = 1 to h do
+    let loads = Array.make (Hierarchy.nodes_at_level hierarchy j) 0 in
+    Array.iter
+      (fun l ->
+        if assignment.(l) >= 0 then begin
+          let a = Hierarchy.ancestor hierarchy ~level:j assignment.(l) in
+          loads.(a) <- loads.(a) + demand_units.(l)
+        end)
+      (Tree.leaves t);
+    let cap = resolution * Hierarchy.leaves_under hierarchy j in
+    Array.iter
+      (fun load ->
+        level_violation_units.(j) <-
+          Float.max level_violation_units.(j) (float_of_int load /. float_of_int cap))
+      loads
+  done;
+  let max_violation_units = Array.fold_left Float.max 0. level_violation_units in
+  { assignment; level_violation_units; max_violation_units }

@@ -1,0 +1,38 @@
+(** Relaxed-to-feasible conversion (Theorem 5).
+
+    The relaxed solution may split a Level-(j) set into arbitrarily many
+    Level-(j+1) sets; a real hierarchy node has only [DEG(j)] children.  The
+    conversion packs, top-down, the Level-(j+1) components of each hierarchy
+    node's load into its [DEG(j)] children using longest-processing-time
+    first-fit (sort by demand descending, place into the least-loaded bin).
+    Since every component obeys [CP(j+1)] and the total obeys the parent's
+    (possibly already inflated) budget, the load of a child at level [j]
+    exceeds [CP(j)] by at most an additive [CP(j)] per level — the
+    [(1 + j)] violation factor of the theorem.  The cost never increases:
+    components mapped into one child only move their separation level deeper
+    (and [cm] is non-increasing). *)
+
+type report = {
+  assignment : int array;
+      (** tree node -> hierarchy leaf; [-1] for internal tree nodes *)
+  level_violation_units : float array;
+      (** index [j in 1..h]: max over Level-(j) hierarchy nodes of
+          [load_units / CP_units(j)] (entry [0] is total/CP(0)) *)
+  max_violation_units : float;
+}
+
+(** [pack t ~kappa ~demand_units ~hierarchy ~resolution] assigns every leaf
+    of [t] to a leaf of the hierarchy.  The labeling must satisfy the relaxed
+    capacities (as produced by {!Tree_dp.solve}); the packing itself never
+    fails, it only reports violations. *)
+val pack :
+  Hgp_tree.Tree.t ->
+  kappa:int array ->
+  demand_units:int array ->
+  hierarchy:Hgp_hierarchy.Hierarchy.t ->
+  resolution:int ->
+  report
+
+(** [theoretical_violation_bound ~h ~eps] is [(1. +. eps) *. (1. +. h)] —
+    the guarantee of Theorem 2 that tests assert against. *)
+val theoretical_violation_bound : h:int -> eps:float -> float

@@ -1,0 +1,73 @@
+module Hierarchy = Hgp_hierarchy.Hierarchy
+module Topology = Hgp_hierarchy.Topology
+module Io = Hgp_graph.Io
+
+let to_string (inst : Instance.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "%hgp-instance 1\n";
+  Buffer.add_string buf
+    (Printf.sprintf "hierarchy %s capacity %.17g\n"
+       (Topology.to_spec inst.hierarchy)
+       (Hierarchy.leaf_capacity inst.hierarchy));
+  Buffer.add_string buf "demands";
+  Array.iter (fun d -> Buffer.add_string buf (Printf.sprintf " %.17g" d)) inst.demands;
+  Buffer.add_string buf "\ngraph\n";
+  Buffer.add_string buf (Io.to_string inst.graph);
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec parse lines hierarchy demands =
+    match lines with
+    | [] -> failwith "Instance_io.of_string: missing graph section"
+    | line :: rest -> (
+      let line_t = String.trim line in
+      if line_t = "" || line_t.[0] = '#' || line_t = "%hgp-instance 1" then
+        parse rest hierarchy demands
+      else
+        match String.index_opt line_t ' ' with
+        | _ when line_t = "graph" -> (hierarchy, demands, rest)
+        | Some _ when String.length line_t > 10 && String.sub line_t 0 10 = "hierarchy " -> (
+          let spec = String.sub line_t 10 (String.length line_t - 10) in
+          match String.split_on_char ' ' spec with
+          | [ topo; "capacity"; cap ] ->
+            let base = Topology.parse topo in
+            let h =
+              Hierarchy.create ~degs:(Hierarchy.degs base)
+                ~cm:(Array.init (Hierarchy.height base + 1) (Hierarchy.cm base))
+                ~leaf_capacity:(float_of_string cap)
+            in
+            parse rest (Some h) demands
+          | [ topo ] -> parse rest (Some (Topology.parse topo)) demands
+          | _ -> failwith "Instance_io.of_string: malformed hierarchy line")
+        | Some _ when String.length line_t > 8 && String.sub line_t 0 8 = "demands " ->
+          let ds =
+            String.sub line_t 8 (String.length line_t - 8)
+            |> String.split_on_char ' '
+            |> List.filter (fun x -> x <> "")
+            |> List.map float_of_string
+            |> Array.of_list
+          in
+          parse rest hierarchy (Some ds)
+        | _ -> failwith (Printf.sprintf "Instance_io.of_string: unexpected line %S" line_t))
+  in
+  let hierarchy, demands, graph_lines = parse lines None None in
+  let graph = Io.of_string (String.concat "\n" graph_lines) in
+  match (hierarchy, demands) with
+  | Some h, Some d -> Instance.create graph ~demands:d h
+  | None, _ -> failwith "Instance_io.of_string: missing hierarchy line"
+  | _, None -> failwith "Instance_io.of_string: missing demands line"
+
+let save inst path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string inst))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))

@@ -1,0 +1,24 @@
+(** Serialization of full HGP instances (graph + demands + hierarchy).
+
+    Text format, line oriented:
+    {v
+    %hgp-instance 1
+    hierarchy 2x4x2@100,30,8,0 capacity 1
+    demands 0.5 0.25 ...
+    graph
+    <METIS graph text>
+    v}
+    Comment lines starting with ['#'] are ignored before the [graph]
+    section. *)
+
+(** [to_string inst] renders the instance. *)
+val to_string : Instance.t -> string
+
+(** [of_string s] parses an instance.
+    @raise Failure on malformed input. *)
+val of_string : string -> Instance.t
+
+(** [save inst path] / [load path]: file variants. *)
+val save : Instance.t -> string -> unit
+
+val load : string -> Instance.t

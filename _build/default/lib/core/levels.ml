@@ -1,0 +1,40 @@
+module Tree = Hgp_tree.Tree
+module Dsu = Hgp_util.Dsu
+
+let components t ~kappa ~level =
+  let n = Tree.n_nodes t in
+  let dsu = Dsu.create n in
+  for v = 0 to n - 1 do
+    if v <> Tree.root t && kappa.(v) >= level then ignore (Dsu.union dsu v (Tree.parent t v))
+  done;
+  let comp = Array.make n (-1) in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    let r = Dsu.find dsu v in
+    if comp.(r) = -1 then begin
+      comp.(r) <- !next;
+      incr next
+    end;
+    comp.(v) <- comp.(r)
+  done;
+  (comp, !next)
+
+let laminar_family t ~kappa ~h =
+  Array.init (h + 1) (fun j ->
+      let comp, n_comps = components t ~kappa ~level:j in
+      let buckets = Array.make n_comps [] in
+      Array.iter (fun l -> buckets.(comp.(l)) <- l :: buckets.(comp.(l))) (Tree.leaves t);
+      Array.of_list
+        (List.filter_map
+           (fun members ->
+             if members = [] then None else Some (Array.of_list (List.rev members)))
+           (Array.to_list buckets)))
+
+let component_tree t ~kappa ~h =
+  let per_level = Array.init (h + 1) (fun j -> components t ~kappa ~level:j) in
+  Array.init h (fun j ->
+      let comp_j, _ = per_level.(j) in
+      let comp_j1, n_j1 = per_level.(j + 1) in
+      let parent = Array.make n_j1 (-1) in
+      Array.iteri (fun v cj1 -> parent.(cj1) <- comp_j.(v)) comp_j1;
+      parent)

@@ -1,0 +1,48 @@
+(** Signature vectors for the RHGPT dynamic program (Definition 8).
+
+    A signature [(D^(1), ..., D^(h))] records, for a tree node [v], the
+    integer demand of the Level-(j) active set crossing [v] at every level.
+    Corollary 1 forces monotonicity [D^(j) >= D^(j+1)] and the capacity
+    invariant [D^(j) <= CP(j)]; both are maintained by construction here.
+
+    Signatures are encoded as single non-negative integers (mixed radix over
+    per-level capacities) so they can key hash tables.  An optional geometric
+    bucketing compresses large values to powers of [(1 + delta)] — the
+    Hochbaum–Shmoys state-reduction idea the paper discusses; it trades a
+    bounded capacity violation for a smaller state space (ablation E10). *)
+
+type t = {
+  h : int;  (** number of tracked levels (1..h) *)
+  caps : int array;  (** [caps.(j-1)] = CP(j) in units, for j = 1..h *)
+  strides : int array;
+  bucket : int -> int;  (** value compression (identity when unbucketed) *)
+}
+
+(** [create ~cp_units ?bucketing ()] builds the space.  [cp_units] has length
+    [h+1] with [cp_units.(0) = CP(0)] (unused here beyond validation) and must
+    be non-increasing.  [bucketing] is the geometric ratio [delta > 0.]. *)
+val create : cp_units:int array -> ?bucketing:float -> unit -> t
+
+(** [encode s sg] packs a signature array (length [h]) into an int key.
+    Values are bucketed first. *)
+val encode : t -> int array -> int
+
+(** [decode s key] unpacks a key into a fresh signature array. *)
+val decode : t -> int -> int array
+
+(** [zero s] is the all-zeros signature key (internal node with no leaves
+    absorbed yet). *)
+val zero : t -> int
+
+(** [of_leaf s units] is the key of the leaf signature [(u, u, ..., u)], or
+    [None] when [units] exceeds the leaf-level capacity. *)
+val of_leaf : t -> int -> int option
+
+(** [space_size s] is the product of [(caps.(j) + 1)] — the dense upper bound
+    on distinct keys (the DP stores only reachable ones). *)
+val space_size : t -> int
+
+(** [count_valid s] counts monotone in-capacity signatures — the true state
+    bound quoted when reporting DP statistics.  Exponential-care-free: runs in
+    [O(h * max_cap^2)] by DP. *)
+val count_valid : t -> int

@@ -1,0 +1,221 @@
+module Graph = Hgp_graph.Graph
+module Hierarchy = Hgp_hierarchy.Hierarchy
+module Tree = Hgp_tree.Tree
+module Decomposition = Hgp_racke.Decomposition
+module Ensemble = Hgp_racke.Ensemble
+module Prng = Hgp_util.Prng
+
+let log_src = Logs.Src.create "hgp.solver" ~doc:"HGP end-to-end solver"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type options = {
+  ensemble_size : int;
+  eps : float;
+  resolution : int option;
+  rounding : Demand.mode;
+  bucketing : float option;
+  beam_width : int option;
+  strategy : Ensemble.strategy;
+  parallel : bool;
+  seed : int;
+}
+
+let default_max_resolution = 24
+
+let default_options =
+  {
+    ensemble_size = 4;
+    eps = 0.25;
+    resolution = None;
+    rounding = Demand.Floor;
+    bucketing = None;
+    beam_width = Some 512;
+    strategy = Ensemble.Mixed;
+    parallel = false;
+    seed = 42;
+  }
+
+type solution = {
+  assignment : int array;
+  cost : float;
+  max_violation : float;
+  relaxed_tree_cost : float;
+  tree_index : int;
+  dp_states : int;
+}
+
+(* Default resolution: the paper's n/eps capped for tractability, but never
+   so coarse that the mean demand rounds to zero units (which would make the
+   quantized instance degenerate). *)
+let resolution_for ~n ~total_demand ~leaf_capacity options =
+  match options.resolution with
+  | Some r -> r
+  | None ->
+    let paper = Demand.resolution_for_eps ~n ~eps:options.eps in
+    let mean_d = Float.max 1e-12 (total_demand /. float_of_int n) in
+    (* Target >= 4 units for the mean job so floor rounding stays within
+       ~25% per job. *)
+    let needed = int_of_float (ceil (4. *. leaf_capacity /. mean_d)) in
+    min paper (min 4096 (max default_max_resolution needed))
+
+let resolution_of (inst : Instance.t) options =
+  resolution_for ~n:(Instance.n inst) ~total_demand:(Instance.total_demand inst)
+    ~leaf_capacity:(Hierarchy.leaf_capacity inst.hierarchy)
+    options
+
+let quantize_instance (inst : Instance.t) options =
+  let resolution = resolution_of inst options in
+  let q =
+    Demand.quantize ~demands:inst.demands
+      ~leaf_capacity:(Hierarchy.leaf_capacity inst.hierarchy)
+      ~resolution ~mode:options.rounding
+  in
+  (q, resolution)
+
+(* Solve the DP + conversion on one decomposition tree; returns the graph
+   assignment and statistics. *)
+let run_tree (inst : Instance.t) d ~quantized ~resolution ~options =
+  let t = Decomposition.tree d in
+  let n_nodes = Tree.n_nodes t in
+  let demand_units = Array.make n_nodes 0 in
+  Array.iter
+    (fun l -> demand_units.(l) <- quantized.Demand.units.(Decomposition.vertex_of_leaf d l))
+    (Tree.leaves t);
+  let cfg =
+    Tree_dp.config_of_hierarchy inst.hierarchy ~resolution ?bucketing:options.bucketing
+      ?beam_width:options.beam_width ()
+  in
+  match Tree_dp.solve t ~demand_units cfg with
+  | None -> None
+  | Some r ->
+    let report =
+      Feasible.pack t ~kappa:r.kappa ~demand_units ~hierarchy:inst.hierarchy ~resolution
+    in
+    let assignment = Array.make (Instance.n inst) (-1) in
+    Array.iter
+      (fun l -> assignment.(Decomposition.vertex_of_leaf d l) <- report.Feasible.assignment.(l))
+      (Tree.leaves t);
+    Some (assignment, r.cost, r.states_explored)
+
+let finish inst assignment relaxed_tree_cost tree_index dp_states =
+  {
+    assignment;
+    cost = Cost.assignment_cost inst assignment;
+    max_violation = Cost.max_violation inst assignment;
+    relaxed_tree_cost;
+    tree_index;
+    dp_states;
+  }
+
+let solve_on_decomposition inst d ~options =
+  let quantized, resolution = quantize_instance inst options in
+  match run_tree inst d ~quantized ~resolution ~options with
+  | Some (assignment, relaxed, states) -> finish inst assignment relaxed 0 states
+  | None -> failwith "Solver.solve_on_decomposition: quantized instance is infeasible"
+
+let solve ?(options = default_options) inst =
+  let quantized, resolution = quantize_instance inst options in
+  let rng = Prng.create options.seed in
+  let ensemble =
+    Ensemble.sample ~strategy:options.strategy rng inst.graph ~size:options.ensemble_size
+  in
+  let n_trees = Ensemble.size ensemble in
+  (* Per-tree solves are independent (all shared state is immutable), so they
+     can run on separate domains when requested. *)
+  let solve_one i =
+    run_tree inst (Ensemble.get ensemble i) ~quantized ~resolution ~options
+  in
+  let results =
+    if options.parallel && n_trees > 1 then begin
+      let budget = max 1 (Domain.recommended_domain_count () - 1) in
+      let results = Array.make n_trees None in
+      let i = ref 0 in
+      while !i < n_trees do
+        let batch = min budget (n_trees - !i) in
+        let domains =
+          Array.init batch (fun b ->
+              let idx = !i + b in
+              Domain.spawn (fun () -> solve_one idx))
+        in
+        Array.iteri (fun b d -> results.(!i + b) <- Domain.join d) domains;
+        i := !i + batch
+      done;
+      results
+    end
+    else Array.init n_trees solve_one
+  in
+  let best = ref None in
+  let total_states = ref 0 in
+  Array.iteri
+    (fun i result ->
+      match result with
+      | None -> Log.debug (fun m -> m "tree %d: infeasible after quantization" i)
+      | Some (assignment, relaxed, states) ->
+        total_states := !total_states + states;
+        let cost = Cost.assignment_cost inst assignment in
+        Log.debug (fun m ->
+            m "tree %d: relaxed=%.6g cost=%.6g states=%d" i relaxed cost states);
+        (match !best with
+        | Some (_, c, _, _) when c <= cost -> ()
+        | _ -> best := Some (assignment, cost, relaxed, i)))
+    results;
+  match !best with
+  | Some (assignment, _, relaxed, i) ->
+    Log.info (fun m ->
+        m "solved n=%d k=%d resolution=%d: winning tree %d, %d DP states"
+          (Instance.n inst)
+          (Hierarchy.num_leaves inst.hierarchy)
+          resolution i !total_states);
+    finish inst assignment relaxed i !total_states
+  | None -> failwith "Solver.solve: quantized instance is infeasible on every tree"
+
+let solve_tree tree ~demands hierarchy ~options =
+  let n = Tree.n_nodes tree in
+  if Array.length demands <> n then invalid_arg "Solver.solve_tree: demands length";
+  let lifted, job_leaf = Tree.lift_internal_jobs tree in
+  let resolution =
+    resolution_for ~n ~total_demand:(Array.fold_left ( +. ) 0. demands)
+      ~leaf_capacity:(Hierarchy.leaf_capacity hierarchy)
+      options
+  in
+  let q =
+    Demand.quantize ~demands ~leaf_capacity:(Hierarchy.leaf_capacity hierarchy) ~resolution
+      ~mode:options.rounding
+  in
+  let demand_units = Array.make (Tree.n_nodes lifted) 0 in
+  Array.iteri (fun v l -> demand_units.(l) <- q.Demand.units.(v)) job_leaf;
+  let cfg =
+    Tree_dp.config_of_hierarchy hierarchy ~resolution ?bucketing:options.bucketing
+      ?beam_width:options.beam_width ()
+  in
+  match Tree_dp.solve lifted ~demand_units cfg with
+  | None -> failwith "Solver.solve_tree: quantized instance is infeasible"
+  | Some r ->
+    let report =
+      Feasible.pack lifted ~kappa:r.kappa ~demand_units ~hierarchy ~resolution
+    in
+    let assignment = Array.map (fun l -> report.Feasible.assignment.(l)) job_leaf in
+    (* Equation-1 cost with the tree's own edges as communication demands. *)
+    let cost = ref 0. in
+    for v = 0 to n - 1 do
+      if v <> Tree.root tree then begin
+        let w = Tree.edge_weight tree v in
+        let c = Hierarchy.edge_cost hierarchy assignment.(v) assignment.(Tree.parent tree v) in
+        if c <> 0. then cost := !cost +. (w *. c)
+      end
+    done;
+    (* True-demand violation factor. *)
+    let worst = ref 0. in
+    let h = Hierarchy.height hierarchy in
+    for j = 1 to h do
+      let loads = Array.make (Hierarchy.nodes_at_level hierarchy j) 0. in
+      Array.iteri
+        (fun v leaf ->
+          let a = Hierarchy.ancestor hierarchy ~level:j leaf in
+          loads.(a) <- loads.(a) +. demands.(v))
+        assignment;
+      let cap = Hierarchy.capacity hierarchy j in
+      Array.iter (fun l -> worst := Float.max !worst (l /. cap)) loads
+    done;
+    (assignment, !cost, r.cost, !worst)

@@ -1,0 +1,67 @@
+(** End-to-end HGP solvers (Theorem 1 pipeline and the HGPT special case).
+
+    For a general graph: sample an ensemble of decomposition trees (Theorem
+    6/7 substrate), solve the relaxed problem optimally on each tree
+    (Theorems 2–4), convert each relaxed solution to a feasible hierarchy
+    assignment (Theorem 5) and keep the assignment whose {e true graph cost}
+    (Equation 1) is smallest.  Picking by true cost instead of by tree cost
+    is a strict improvement over the paper's statement and keeps the same
+    guarantee. *)
+
+type options = {
+  ensemble_size : int;  (** number of decomposition trees sampled *)
+  eps : float;  (** rounding accuracy; drives resolution unless set *)
+  resolution : int option;
+      (** demand units per leaf capacity; default caps the paper's
+          [n / eps] at {!default_max_resolution} to keep the DP practical
+          (the cap is a documented substitution) *)
+  rounding : Demand.mode;
+  bucketing : float option;
+  beam_width : int option;
+      (** DP state budget per table (see {!Tree_dp.config}); [Some 512] by
+          default — exact on small frontiers, graceful on large ones *)
+  strategy : Hgp_racke.Ensemble.strategy;
+      (** decomposition-tree shapes; [Mixed] (default) round-robins
+          low-diameter / BFS-bisection / Gomory–Hu shapes for diversity *)
+  parallel : bool;
+      (** solve ensemble trees on separate OCaml 5 domains (per-tree work is
+          independent and shares only immutable data); off by default *)
+  seed : int;
+}
+
+val default_options : options
+
+(** The resolution cap applied when [resolution = None]. *)
+val default_max_resolution : int
+
+type solution = {
+  assignment : int array;  (** vertex -> hierarchy leaf *)
+  cost : float;  (** Equation-1 cost of [assignment] on the graph *)
+  max_violation : float;  (** true-demand violation factor (1.0 = feasible) *)
+  relaxed_tree_cost : float;  (** DP optimum on the winning tree *)
+  tree_index : int;  (** which ensemble member won *)
+  dp_states : int;  (** total DP table entries over all trees *)
+}
+
+(** [solve ?options inst] runs the full pipeline.  The instance's graph must
+    be connected (preprocess with {!Hgp_graph.Traversal.ensure_connected}).
+    @raise Failure if the quantized instance is infeasible. *)
+val solve : ?options:options -> Instance.t -> solution
+
+(** [solve_on_decomposition inst d ~options] solves on one given tree;
+    exposed for ensemble ablations. *)
+val solve_on_decomposition :
+  Instance.t -> Hgp_racke.Decomposition.t -> options:options -> solution
+
+(** [solve_tree tree ~demands hierarchy ~options] solves the HGPT problem
+    where the communication graph is itself the tree [tree] and {e every
+    node} is a job with the given demand (the paper's dummy-leaf reduction is
+    applied internally).  Returns the assignment indexed by original tree
+    node, its Equation-1 cost (edges of [tree] as the communication edges),
+    the relaxed DP lower bound, and the violation factor. *)
+val solve_tree :
+  Hgp_tree.Tree.t ->
+  demands:float array ->
+  Hgp_hierarchy.Hierarchy.t ->
+  options:options ->
+  int array * float * float * float

@@ -1,0 +1,299 @@
+module Tree = Hgp_tree.Tree
+module Hierarchy = Hgp_hierarchy.Hierarchy
+
+type config = {
+  cm : float array;
+  cp_units : int array;
+  bucketing : float option;
+  prune : bool;
+  beam_width : int option;
+}
+
+let config_of_hierarchy hy ~resolution ?bucketing ?(prune = true) ?beam_width () =
+  let h = Hierarchy.height hy in
+  {
+    cm = Array.init (h + 1) (Hierarchy.cm hy);
+    cp_units = Array.init (h + 1) (fun j -> resolution * Hierarchy.leaves_under hy j);
+    bucketing;
+    prune;
+    beam_width;
+  }
+
+type result = {
+  cost : float;
+  kappa : int array;
+  root_signature : int array;
+  states_explored : int;
+}
+
+(* w *. c with the convention inf *. 0. = 0. (uncut infinite edges are free). *)
+let pay w c = if c = 0. then 0. else w *. c
+
+let validate_config cfg =
+  let h = Array.length cfg.cm - 1 in
+  if Array.length cfg.cp_units <> h + 1 then
+    invalid_arg "Tree_dp: cm / cp_units length mismatch";
+  for j = 0 to h - 1 do
+    if cfg.cm.(j) < cfg.cm.(j + 1) then invalid_arg "Tree_dp: cm must be non-increasing"
+  done;
+  h
+
+(* Pareto-prune a state table: drop any signature that is pointwise >= some
+   other signature of lower-or-equal cost.  Sound: capacities are upper
+   bounds, so a smaller active-set vector admits every completion of a larger
+   one at the same future cost; the optimal final cost is preserved because
+   states are scanned in increasing cost order and the cheapest is always
+   kept. *)
+let pareto_prune space h tbl =
+  if Hashtbl.length tbl <= 1 then tbl
+  else begin
+    let entries =
+      Hashtbl.fold (fun k c acc -> (c, k, Signature.decode space k) :: acc) tbl []
+    in
+    let entries = List.sort (fun (c1, k1, _) (c2, k2, _) -> compare (c1, k1) (c2, k2)) entries in
+    let kept = ref [] in
+    let out = Hashtbl.create 16 in
+    List.iter
+      (fun (c, k, sg) ->
+        let dominated =
+          List.exists
+            (fun sg' ->
+              let ok = ref true in
+              for j = 0 to h - 1 do
+                if sg'.(j) > sg.(j) then ok := false
+              done;
+              !ok)
+            !kept
+        in
+        if not dominated then begin
+          kept := sg :: !kept;
+          Hashtbl.replace out k c
+        end)
+      entries;
+    out
+  end
+
+(* Beam truncation: when a table outgrows the budget, keep the lowest-cost
+   states.  The DP stays complete (kappa = 0 merges are always feasible from
+   any kept state) but may lose optimality; with [None] the DP is exact. *)
+let beam_truncate beam tbl =
+  match beam with
+  | None -> tbl
+  | Some width ->
+    if Hashtbl.length tbl <= width then tbl
+    else begin
+      let entries = Hashtbl.fold (fun k c l -> (c, k) :: l) tbl [] in
+      let entries = List.sort compare entries in
+      let out = Hashtbl.create width in
+      List.iteri (fun i (c, k) -> if i < width then Hashtbl.replace out k c) entries;
+      out
+    end
+
+let solve t ~demand_units cfg =
+  let h = validate_config cfg in
+  let n = Tree.n_nodes t in
+  if Array.length demand_units <> n then invalid_arg "Tree_dp.solve: demand_units length";
+  Array.iteri
+    (fun v d ->
+      if d < 0 then invalid_arg "Tree_dp.solve: negative demand";
+      if d > 0 && not (Tree.is_leaf t v) then
+        invalid_arg "Tree_dp.solve: internal node carries demand")
+    demand_units;
+  let total = Array.fold_left ( + ) 0 demand_units in
+  if total > cfg.cp_units.(0) then None
+  else begin
+    let space = Signature.create ~cp_units:cfg.cp_units ?bucketing:cfg.bucketing () in
+    let caps = Array.sub cfg.cp_units 1 h in
+    let strides = space.Signature.strides in
+    let states = ref 0 in
+    (* tables.(v): final signature table of node v (key -> cost). *)
+    let tables : (int, float) Hashtbl.t array = Array.make n (Hashtbl.create 0) in
+    (* backs.(v).(i): for child index i of v, key in the accumulator after
+       absorbing children 0..i -> (previous key, child key, kappa). *)
+    let backs : (int, int * int * int) Hashtbl.t array array =
+      Array.make n [||]
+    in
+    let infeasible_leaf = ref false in
+    Array.iter
+      (fun v ->
+        if Tree.is_leaf t v then begin
+          let tbl = Hashtbl.create 1 in
+          (match Signature.of_leaf space demand_units.(v) with
+          | Some key ->
+            Hashtbl.replace tbl key 0.;
+            incr states
+          | None -> infeasible_leaf := true);
+          tables.(v) <- tbl
+        end
+        else begin
+          let cs = Tree.children t v in
+          let nc = Array.length cs in
+          backs.(v) <- Array.init nc (fun _ -> Hashtbl.create 16);
+          let acc = ref (Hashtbl.create 16) in
+          Hashtbl.replace !acc 0 0.;
+          Array.iteri
+            (fun i c ->
+              let w = Tree.edge_weight t c in
+              let nacc = Hashtbl.create (Hashtbl.length !acc) in
+              let back = backs.(v).(i) in
+              let consider key cost prev_key child_key j2 =
+                match Hashtbl.find_opt nacc key with
+                | Some old when old <= cost -> ()
+                | _ ->
+                  if not (Hashtbl.mem nacc key) then incr states;
+                  Hashtbl.replace nacc key cost;
+                  Hashtbl.replace back key (prev_key, child_key, j2)
+              in
+              (* Decode each table once. *)
+              let decode_all tbl =
+                Hashtbl.fold (fun k c l -> (k, c, Signature.decode space k) :: l) tbl []
+              in
+              let acc_entries = decode_all !acc in
+              let child_entries = decode_all tables.(c) in
+              let a = Array.make h 0 in
+              List.iter
+                (fun (ka, costa, a_orig) ->
+                  List.iter
+                    (fun (kc, costc, cvec) ->
+                      Array.blit a_orig 0 a 0 h;
+                      (* j2 = 0: child closes entirely; accumulator unchanged. *)
+                      consider ka (costa +. costc +. pay w cfg.cm.(0)) ka kc 0;
+                      (* Incrementally merge level j2 = 1..h. *)
+                      let key = ref ka in
+                      let ok = ref true in
+                      let j2 = ref 1 in
+                      while !ok && !j2 <= h do
+                        let idx = !j2 - 1 in
+                        let merged = a.(idx) + cvec.(idx) in
+                        if merged > caps.(idx) then ok := false
+                        else begin
+                          (* bucketed delta keeps the key consistent with
+                             re-encoding the bucketed vector *)
+                          let bucketed = space.Signature.bucket merged in
+                          let prev_b = space.Signature.bucket a.(idx) in
+                          key := !key + ((bucketed - prev_b) * strides.(idx));
+                          a.(idx) <- merged;
+                          consider !key
+                            (costa +. costc +. pay w cfg.cm.(!j2))
+                            ka kc !j2;
+                          incr j2
+                        end
+                      done)
+                    child_entries)
+                acc_entries;
+              (* Very large raw tables are pre-truncated so the Pareto pass
+                 stays near-linear. *)
+              let pre =
+                match cfg.beam_width with
+                | Some width when Hashtbl.length nacc > 8 * width ->
+                  beam_truncate (Some (8 * width)) nacc
+                | _ -> nacc
+              in
+              let pruned = if cfg.prune then pareto_prune space h pre else pre in
+              acc := beam_truncate cfg.beam_width pruned)
+            cs;
+          tables.(v) <- !acc
+        end)
+      (Tree.post_order t);
+    if !infeasible_leaf then None
+    else begin
+      let r = Tree.root t in
+      let best = ref None in
+      Hashtbl.iter
+        (fun key cost ->
+          match !best with
+          | Some (_, c) when c <= cost -> ()
+          | _ -> best := Some (key, cost))
+        tables.(r);
+      match !best with
+      | None -> None
+      | Some (root_key, cost) ->
+        (* Reconstruct kappa by walking the back tables. *)
+        let kappa = Array.make n 0 in
+        let stack = Stack.create () in
+        Stack.push (r, root_key) stack;
+        while not (Stack.is_empty stack) do
+          let v, key = Stack.pop stack in
+          let cs = Tree.children t v in
+          let k = ref key in
+          for i = Array.length cs - 1 downto 0 do
+            let prev_key, child_key, j2 = Hashtbl.find backs.(v).(i) !k in
+            kappa.(cs.(i)) <- j2;
+            Stack.push (cs.(i), child_key) stack;
+            k := prev_key
+          done
+        done;
+        Some
+          {
+            cost;
+            kappa;
+            root_signature = Signature.decode space root_key;
+            states_explored = !states;
+          }
+    end
+  end
+
+let kappa_cost t ~kappa ~cm =
+  let acc = ref 0. in
+  for v = 0 to Tree.n_nodes t - 1 do
+    if v <> Tree.root t then acc := !acc +. pay (Tree.edge_weight t v) cm.(kappa.(v))
+  done;
+  !acc
+
+let check_kappa t ~demand_units ~kappa ~cp_units =
+  let n = Tree.n_nodes t in
+  let h = Array.length cp_units - 1 in
+  let worst = ref 0. in
+  for j = 1 to h do
+    let dsu = Hgp_util.Dsu.create n in
+    for v = 0 to n - 1 do
+      if v <> Tree.root t && kappa.(v) >= j then
+        ignore (Hgp_util.Dsu.union dsu v (Tree.parent t v))
+    done;
+    let demand = Array.make n 0 in
+    Array.iter
+      (fun l ->
+        let r = Hgp_util.Dsu.find dsu l in
+        demand.(r) <- demand.(r) + demand_units.(l))
+      (Tree.leaves t);
+    Array.iter
+      (fun d ->
+        if d > 0 then
+          worst := Float.max !worst (float_of_int d /. float_of_int cp_units.(j)))
+      demand
+  done;
+  !worst
+
+let brute_force t ~demand_units cfg =
+  let h = validate_config cfg in
+  let n = Tree.n_nodes t in
+  let root = Tree.root t in
+  let edges = List.filter (fun v -> v <> root) (List.init n (fun i -> i)) in
+  let m = List.length edges in
+  if float_of_int (h + 1) ** float_of_int m > 2e7 then
+    invalid_arg "Tree_dp.brute_force: too large";
+  let edge_arr = Array.of_list edges in
+  let kappa = Array.make n 0 in
+  let best = ref None in
+  let total = Array.fold_left ( + ) 0 demand_units in
+  if total > cfg.cp_units.(0) then None
+  else begin
+    let rec go i =
+      if i = m then begin
+        let violation = check_kappa t ~demand_units ~kappa ~cp_units:cfg.cp_units in
+        if violation <= 1. +. 1e-12 then begin
+          let cost = kappa_cost t ~kappa ~cm:cfg.cm in
+          match !best with
+          | Some c when c <= cost -> ()
+          | _ -> best := Some cost
+        end
+      end
+      else
+        for j = 0 to h do
+          kappa.(edge_arr.(i)) <- j;
+          go (i + 1)
+        done
+    in
+    go 0;
+    !best
+  end

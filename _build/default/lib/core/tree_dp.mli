@@ -1,0 +1,86 @@
+(** The RHGPT dynamic program (Theorems 2–4 of the paper).
+
+    {2 Formulation}
+
+    An RHGPT solution on tree [T] is equivalently an {e edge labeling}
+    [kappa : E(T) -> {0..h}]: the two sides of edge [e] share the same
+    Level-(j) set exactly for levels [j <= kappa e].  For every level [j],
+    the connected components of [{e | kappa e >= j}] are the Level-(j) sets
+    and must respect [CP(j)].  The cost is
+    [sum_e w(e) * cm(kappa e)] ([cm h = 0] when normalized, so uncut edges
+    are free).  This is exactly the structure of "nice solutions"
+    (Theorem 3): any relaxed set disconnected in [T] can be split at equal
+    cost, so optimal solutions are component-shaped.
+
+    The DP walks [T] bottom-up, folding children one at a time (which
+    subsumes the paper's binarization).  A state is the signature
+    [(D^(1), ..., D^(h))] of the active components through the current node
+    (Definition 8); absorbing a child [c] through an edge labeled [j2] adds
+    [w(e) * cm(j2)] and merges the child's levels [<= j2], closing the
+    deeper ones — the paper's [merge] with [(j1, j2)]-consistency
+    (Definition 9, Claim 1).  Tables are sparse (reachable signatures only).
+
+    The returned cost is optimal for the relaxation, hence a lower bound on
+    the optimal HGPT assignment cost whenever every tree node carries a job
+    (use {!Hgp_tree.Tree.lift_internal_jobs} first for such instances). *)
+
+type config = {
+  cm : float array;  (** length [h+1], non-increasing *)
+  cp_units : int array;  (** length [h+1], integer capacities per level *)
+  bucketing : float option;  (** geometric state compression (E10) *)
+  prune : bool;
+      (** Pareto dominance pruning: drop states whose signature is pointwise
+          >= another state of lower-or-equal cost.  Sound (capacities are
+          upper bounds and future cost is signature-independent) and
+          preserves the optimal cost; typically shrinks tables by orders of
+          magnitude.  Default on. *)
+  beam_width : int option;
+      (** Optional cap on the number of states kept per table.  [None]
+          (default) keeps the DP exact.  With [Some w], tables exceeding [w]
+          states after pruning keep only their [w] cheapest — the DP always
+          completes (kappa = 0 merges remain feasible from any kept state)
+          but optimality may be lost on instances whose Pareto frontier
+          exceeds the beam; the end-to-end solver enables this to keep
+          heterogeneous-demand instances tractable. *)
+}
+
+(** [config_of_hierarchy hy ~resolution ?bucketing ?prune ?beam_width ()]
+    derives [cm] and unit capacities from a hierarchy. *)
+val config_of_hierarchy :
+  Hgp_hierarchy.Hierarchy.t ->
+  resolution:int ->
+  ?bucketing:float ->
+  ?prune:bool ->
+  ?beam_width:int ->
+  unit ->
+  config
+
+type result = {
+  cost : float;  (** optimal relaxed cost *)
+  kappa : int array;
+      (** [kappa.(v)] for non-root [v] is the label of the edge above [v];
+          [kappa.(root)] is [0] by convention (the root component closes at
+          Level-0). *)
+  root_signature : int array;
+  states_explored : int;  (** total table entries created, a work measure *)
+}
+
+(** [solve t ~demand_units config] runs the DP.  [demand_units.(v)] must be
+    [0] for internal nodes.  Returns [None] when the instance is infeasible:
+    a single job exceeds a leaf capacity, or the total demand exceeds
+    [CP(0)]. *)
+val solve : Hgp_tree.Tree.t -> demand_units:int array -> config -> result option
+
+(** [brute_force t ~demand_units config] enumerates all [(h+1)^(n-1)] edge
+    labelings — ground truth for testing, trees with at most ~12 edges. *)
+val brute_force : Hgp_tree.Tree.t -> demand_units:int array -> config -> float option
+
+(** [kappa_cost t ~kappa ~cm] re-evaluates [sum_e w(e) * cm(kappa e)]
+    (NaN-safe: infinite weights with zero multipliers count as zero). *)
+val kappa_cost : Hgp_tree.Tree.t -> kappa:int array -> cm:float array -> float
+
+(** [check_kappa t ~demand_units ~kappa ~cp_units] verifies that every
+    Level-(j) component of the labeling fits in [CP(j)]; returns the worst
+    ratio [demand / capacity] over levels [1..h]. *)
+val check_kappa :
+  Hgp_tree.Tree.t -> demand_units:int array -> kappa:int array -> cp_units:int array -> float

@@ -1,0 +1,79 @@
+module Hierarchy = Hgp_hierarchy.Hierarchy
+
+type report = {
+  n : int;
+  assignment_complete : bool;
+  cost_eq1 : float;
+  cost_eq3 : float;
+  lemma2_gap : float;
+  leaf_loads : float array;
+  level_violation : float array;
+  max_violation : float;
+  theorem_bound : float;
+  within_theorem_bound : bool;
+}
+
+let certify (inst : Instance.t) p ~eps =
+  let hy = inst.hierarchy in
+  let h = Hierarchy.height hy in
+  let k = Hierarchy.num_leaves hy in
+  let n = Instance.n inst in
+  let assignment_complete =
+    Array.length p = n && Array.for_all (fun l -> l >= 0 && l < k) p
+  in
+  let cost_eq1, cost_eq3, lemma2_gap =
+    if assignment_complete then begin
+      let a = Cost.assignment_cost inst p in
+      let m = Cost.mirror_cost inst p in
+      (a, m, Float.abs (a -. m) /. (1. +. Float.abs a))
+    end
+    else (nan, nan, nan)
+  in
+  let leaf_loads = Array.make k 0. in
+  let count = min n (Array.length p) in
+  for v = 0 to count - 1 do
+    if p.(v) >= 0 && p.(v) < k then leaf_loads.(p.(v)) <- leaf_loads.(p.(v)) +. inst.demands.(v)
+  done;
+  let level_violation = Array.make (h + 1) 0. in
+  level_violation.(0) <- Instance.total_demand inst /. Hierarchy.capacity hy 0;
+  for j = 1 to h do
+    let loads = Array.make (Hierarchy.nodes_at_level hy j) 0. in
+    for l = 0 to k - 1 do
+      let a = Hierarchy.ancestor hy ~level:j l in
+      loads.(a) <- loads.(a) +. leaf_loads.(l)
+    done;
+    let cap = Hierarchy.capacity hy j in
+    Array.iter
+      (fun load -> level_violation.(j) <- Float.max level_violation.(j) (load /. cap))
+      loads
+  done;
+  let max_violation = ref 0. in
+  for j = 1 to h do
+    max_violation := Float.max !max_violation level_violation.(j)
+  done;
+  let theorem_bound = Feasible.theoretical_violation_bound ~h ~eps in
+  {
+    n;
+    assignment_complete;
+    cost_eq1;
+    cost_eq3;
+    lemma2_gap;
+    leaf_loads;
+    level_violation;
+    max_violation = !max_violation;
+    theorem_bound;
+    within_theorem_bound = !max_violation <= theorem_bound +. 1e-9;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf "certificate (n = %d)@." r.n;
+  Format.fprintf ppf "  assignment complete : %b@." r.assignment_complete;
+  Format.fprintf ppf "  cost (Eq. 1)        : %.6g@." r.cost_eq1;
+  Format.fprintf ppf "  cost (Eq. 3)        : %.6g  (Lemma 2 gap %.1e)@." r.cost_eq3
+    r.lemma2_gap;
+  Format.fprintf ppf "  per-level violation :";
+  Array.iteri (fun j v -> Format.fprintf ppf " L%d=%.3f" j v) r.level_violation;
+  Format.fprintf ppf "@.";
+  Format.fprintf ppf "  max violation       : %.3f (Theorem 1 bound %.2f — %s)@."
+    r.max_violation r.theorem_bound
+    (if r.within_theorem_bound then "WITHIN" else "EXCEEDED")

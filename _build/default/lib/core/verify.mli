@@ -1,0 +1,28 @@
+(** Solution certificates: everything worth checking about an assignment,
+    computed independently of how it was produced.
+
+    Used by the CLI's [validate] command and by integration tests; checking a
+    solution is much cheaper than finding one, so downstream users can always
+    re-certify. *)
+
+type report = {
+  n : int;
+  assignment_complete : bool;  (** every vertex mapped to a real leaf *)
+  cost_eq1 : float;  (** Equation-1 assignment cost *)
+  cost_eq3 : float;  (** Equation-3 mirror cost *)
+  lemma2_gap : float;  (** |eq1 - eq3| / (1 + eq1); ~0 by Lemma 2 *)
+  leaf_loads : float array;
+  level_violation : float array;
+      (** index [j] for [j = 1..h]: max load/CP(j); index [0] = total/CP(0) *)
+  max_violation : float;
+  theorem_bound : float;  (** (1+eps)(1+h) *)
+  within_theorem_bound : bool;
+}
+
+(** [certify inst p ~eps] computes the full report.  Never raises on a
+    malformed assignment — [assignment_complete] is simply [false] and
+    out-of-range entries are ignored in the load accounting. *)
+val certify : Instance.t -> int array -> eps:float -> report
+
+(** [pp ppf report] renders a human-readable multi-line certificate. *)
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/flow/gomory_hu.ml: Array Float Hgp_graph List Maxflow

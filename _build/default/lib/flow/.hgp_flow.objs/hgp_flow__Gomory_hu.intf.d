@@ -1,0 +1,1 @@
+lib/flow/gomory_hu.mli: Hgp_graph

@@ -1,0 +1,1 @@
+lib/flow/mincut.ml: Array Hgp_graph List

@@ -1,0 +1,1 @@
+lib/flow/mincut.mli: Hgp_graph

@@ -1,0 +1,81 @@
+module Graph = Hgp_graph.Graph
+
+type t = {
+  parent : int array;
+  flow : float array;
+}
+
+(* Gusfield's algorithm: process vertices 1..n-1; run max-flow against the
+   current parent; vertices on the source side whose parent is the sink are
+   re-parented to the source. *)
+let build g =
+  let n = Graph.n g in
+  if n < 1 then invalid_arg "Gomory_hu.build: empty graph";
+  let parent = Array.make n 0 in
+  parent.(0) <- -1;
+  let flow = Array.make n 0. in
+  let network = Maxflow.of_graph g in
+  for s = 1 to n - 1 do
+    let t = parent.(s) in
+    Maxflow.reset network;
+    let f = Maxflow.max_flow network ~src:s ~dst:t in
+    flow.(s) <- f;
+    let side = Maxflow.min_cut_side network ~src:s in
+    for v = s + 1 to n - 1 do
+      if side.(v) && parent.(v) = t then parent.(v) <- s
+    done;
+    (* Standard Gusfield fix-up: if the sink's parent ended on the source
+       side, swap roles. *)
+    if t <> 0 && parent.(t) >= 0 && side.(parent.(t)) then begin
+      parent.(s) <- parent.(t);
+      parent.(t) <- s;
+      flow.(s) <- flow.(t);
+      flow.(t) <- f
+    end
+  done;
+  { parent; flow }
+
+let min_cut_between t u v =
+  if u = v then invalid_arg "Gomory_hu.min_cut_between: u = v";
+  let n = Array.length t.parent in
+  (* Walk both vertices to the root, tracking the minimum edge seen; use
+     depths to synchronize. *)
+  let depth = Array.make n (-1) in
+  let rec depth_of x = if x < 0 then -1
+    else if depth.(x) >= 0 then depth.(x)
+    else begin
+      let d = 1 + depth_of t.parent.(x) in
+      depth.(x) <- d;
+      d
+    end
+  in
+  let rec lift x steps best =
+    if steps = 0 then (x, best)
+    else lift t.parent.(x) (steps - 1) (Float.min best t.flow.(x))
+  in
+  let du = depth_of u and dv = depth_of v in
+  let u', best_u = if du > dv then lift u (du - dv) infinity else (u, infinity) in
+  let v', best_v = if dv > du then lift v (dv - du) infinity else (v, infinity) in
+  let rec meet x y best =
+    if x = y then best
+    else
+      meet t.parent.(x) t.parent.(y)
+        (Float.min best (Float.min t.flow.(x) t.flow.(y)))
+  in
+  meet u' v' (Float.min best_u best_v)
+
+let to_graph t =
+  let n = Array.length t.parent in
+  let b = Graph.Builder.create n in
+  for v = 1 to n - 1 do
+    Graph.Builder.add_edge b v t.parent.(v) t.flow.(v)
+  done;
+  Graph.Builder.build b
+
+let check t g ~pairs =
+  List.fold_left
+    (fun worst (u, v) ->
+      let claimed = min_cut_between t u v in
+      let actual = Maxflow.min_cut_value g ~src:u ~dst:v in
+      Float.max worst (Float.abs (claimed -. actual)))
+    0. pairs

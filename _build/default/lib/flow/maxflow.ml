@@ -1,0 +1,144 @@
+type t = {
+  n : int;
+  mutable heads : int array; (* arc -> head vertex *)
+  mutable caps : float array; (* arc -> residual capacity *)
+  mutable orig : float array; (* arc -> original capacity *)
+  mutable first : int array; (* vertex -> first arc id, -1 if none *)
+  mutable next : int array; (* arc -> next arc of same tail *)
+  mutable n_arcs : int;
+  level : int array;
+  cursor : int array;
+}
+
+let create n =
+  {
+    n;
+    heads = Array.make 16 0;
+    caps = Array.make 16 0.;
+    orig = Array.make 16 0.;
+    first = Array.make n (-1);
+    next = Array.make 16 (-1);
+    n_arcs = 0;
+    level = Array.make n (-1);
+    cursor = Array.make n (-1);
+  }
+
+let ensure_capacity t =
+  let cap = Array.length t.heads in
+  if t.n_arcs + 2 > cap then begin
+    let ncap = 2 * cap in
+    let grow_int a = Array.append a (Array.make (ncap - cap) (-1)) in
+    let grow_float a = Array.append a (Array.make (ncap - cap) 0.) in
+    t.heads <- Array.append t.heads (Array.make (ncap - cap) 0);
+    t.caps <- grow_float t.caps;
+    t.orig <- grow_float t.orig;
+    t.next <- grow_int t.next
+  end
+
+let push_arc t u v cap =
+  ensure_capacity t;
+  let id = t.n_arcs in
+  t.heads.(id) <- v;
+  t.caps.(id) <- cap;
+  t.orig.(id) <- cap;
+  t.next.(id) <- t.first.(u);
+  t.first.(u) <- id;
+  t.n_arcs <- id + 1
+
+let add_arc t u v cap =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then invalid_arg "Maxflow.add_arc: vertex";
+  if not (cap >= 0.) then invalid_arg "Maxflow.add_arc: negative capacity";
+  (* Arcs are created in pairs; arc i's reverse is i lxor 1. *)
+  push_arc t u v cap;
+  push_arc t v u 0.
+
+let add_undirected t u v cap =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then invalid_arg "Maxflow.add_undirected";
+  if not (cap >= 0.) then invalid_arg "Maxflow.add_undirected: negative capacity";
+  push_arc t u v cap;
+  push_arc t v u cap
+
+let of_graph g =
+  let t = create (Hgp_graph.Graph.n g) in
+  Hgp_graph.Graph.iter_edges (fun u v w -> add_undirected t u v w) g;
+  t
+
+let eps = 1e-12
+
+let bfs t ~src ~dst =
+  Array.fill t.level 0 t.n (-1);
+  let q = Queue.create () in
+  t.level.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let arc = ref t.first.(u) in
+    while !arc >= 0 do
+      let v = t.heads.(!arc) in
+      if t.caps.(!arc) > eps && t.level.(v) < 0 then begin
+        t.level.(v) <- t.level.(u) + 1;
+        Queue.add v q
+      end;
+      arc := t.next.(!arc)
+    done
+  done;
+  t.level.(dst) >= 0
+
+let rec dfs t ~dst u pushed =
+  if u = dst then pushed
+  else begin
+    let result = ref 0. in
+    while !result = 0. && t.cursor.(u) >= 0 do
+      let arc = t.cursor.(u) in
+      let v = t.heads.(arc) in
+      if t.caps.(arc) > eps && t.level.(v) = t.level.(u) + 1 then begin
+        let got = dfs t ~dst v (min pushed t.caps.(arc)) in
+        if got > eps then begin
+          t.caps.(arc) <- t.caps.(arc) -. got;
+          t.caps.(arc lxor 1) <- t.caps.(arc lxor 1) +. got;
+          result := got
+        end
+        else t.cursor.(u) <- t.next.(arc)
+      end
+      else t.cursor.(u) <- t.next.(arc)
+    done;
+    !result
+  end
+
+let max_flow t ~src ~dst =
+  if src = dst then invalid_arg "Maxflow.max_flow: src = dst";
+  let flow = ref 0. in
+  while bfs t ~src ~dst do
+    Array.blit t.first 0 t.cursor 0 t.n;
+    let pushed = ref (dfs t ~dst src infinity) in
+    while !pushed > eps do
+      flow := !flow +. !pushed;
+      pushed := dfs t ~dst src infinity
+    done
+  done;
+  !flow
+
+let min_cut_side t ~src =
+  let side = Array.make t.n false in
+  let q = Queue.create () in
+  side.(src) <- true;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let arc = ref t.first.(u) in
+    while !arc >= 0 do
+      let v = t.heads.(!arc) in
+      if t.caps.(!arc) > eps && not side.(v) then begin
+        side.(v) <- true;
+        Queue.add v q
+      end;
+      arc := t.next.(!arc)
+    done
+  done;
+  side
+
+let reset t = Array.blit t.orig 0 t.caps 0 t.n_arcs
+
+let min_cut_value g ~src ~dst =
+  let t = of_graph g in
+  max_flow t ~src ~dst

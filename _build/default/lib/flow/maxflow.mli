@@ -1,0 +1,37 @@
+(** Maximum s–t flow (Dinic's algorithm) on directed capacitated networks.
+
+    A network is built imperatively; undirected graph edges can be imported
+    with {!of_graph}, which models each undirected edge as a pair of opposed
+    arcs sharing residual capacity (the standard undirected-flow reduction). *)
+
+type t
+
+(** [create n] is an empty network on vertices [0..n-1]. *)
+val create : int -> t
+
+(** [add_arc t u v cap] adds a directed arc of capacity [cap >= 0.] (and its
+    zero-capacity reverse arc). *)
+val add_arc : t -> int -> int -> float -> unit
+
+(** [add_undirected t u v cap] adds arcs in both directions with capacity
+    [cap] each, modelling an undirected edge. *)
+val add_undirected : t -> int -> int -> float -> unit
+
+(** [of_graph g] imports all edges of [g] as undirected capacities. *)
+val of_graph : Hgp_graph.Graph.t -> t
+
+(** [max_flow t ~src ~dst] computes the maximum flow value.  The network keeps
+    the residual state; call {!reset} to reuse it.  Requires [src <> dst]. *)
+val max_flow : t -> src:int -> dst:int -> float
+
+(** [min_cut_side t ~src] returns, after a {!max_flow} run, the set of
+    vertices reachable from [src] in the residual network — the source side of
+    a minimum cut — as a boolean membership array. *)
+val min_cut_side : t -> src:int -> bool array
+
+(** [reset t] restores all residual capacities to their original values. *)
+val reset : t -> unit
+
+(** [min_cut_value g ~src ~dst] is a convenience wrapper: the weight of the
+    minimum cut separating [src] from [dst] in the undirected graph [g]. *)
+val min_cut_value : Hgp_graph.Graph.t -> src:int -> dst:int -> float

@@ -1,0 +1,77 @@
+module Graph = Hgp_graph.Graph
+
+let stoer_wagner g =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Mincut.stoer_wagner: need at least two vertices";
+  (* Dense adjacency matrix of the (progressively merged) graph. *)
+  let w = Array.make_matrix n n 0. in
+  Graph.iter_edges
+    (fun u v wt ->
+      w.(u).(v) <- w.(u).(v) +. wt;
+      w.(v).(u) <- w.(v).(u) +. wt)
+    g;
+  (* members.(i): original vertices currently merged into super-vertex i. *)
+  let members = Array.init n (fun i -> [ i ]) in
+  let active = Array.make n true in
+  let best_value = ref infinity in
+  let best_side = ref [] in
+  let n_active = ref n in
+  while !n_active > 1 do
+    (* Minimum cut phase: maximum adjacency ordering. *)
+    let in_a = Array.make n false in
+    let key = Array.make n 0. in
+    let prev = ref (-1) in
+    let last = ref (-1) in
+    for _ = 1 to !n_active do
+      (* Select the active vertex not in A with maximum key. *)
+      let sel = ref (-1) in
+      for v = 0 to n - 1 do
+        if active.(v) && not in_a.(v) && (!sel = -1 || key.(v) > key.(!sel)) then sel := v
+      done;
+      let s = !sel in
+      in_a.(s) <- true;
+      prev := !last;
+      last := s;
+      for v = 0 to n - 1 do
+        if active.(v) && not in_a.(v) then key.(v) <- key.(v) +. w.(s).(v)
+      done
+    done;
+    let s = !last and t = !prev in
+    (* Cut-of-the-phase: [s] alone versus the rest. *)
+    let phase_value = key.(s) in
+    if phase_value < !best_value then begin
+      best_value := phase_value;
+      best_side := members.(s)
+    end;
+    (* Merge s into t. *)
+    for v = 0 to n - 1 do
+      if active.(v) && v <> s && v <> t then begin
+        w.(t).(v) <- w.(t).(v) +. w.(s).(v);
+        w.(v).(t) <- w.(v).(t) +. w.(v).(s)
+      end
+    done;
+    members.(t) <- members.(s) @ members.(t);
+    active.(s) <- false;
+    decr n_active
+  done;
+  let side = Array.make n false in
+  List.iter (fun v -> side.(v) <- true) !best_side;
+  (!best_value, side)
+
+let brute_force g =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Mincut.brute_force: need at least two vertices";
+  if n > 20 then invalid_arg "Mincut.brute_force: too large";
+  let best_value = ref infinity in
+  let best_mask = ref 1 in
+  (* Fix vertex 0 on the false side; enumerate the rest. *)
+  for mask = 1 to (1 lsl (n - 1)) - 1 do
+    let in_set v = v > 0 && (mask lsr (v - 1)) land 1 = 1 in
+    let value = Hgp_graph.Cuts.cut_weight g in_set in
+    if value < !best_value then begin
+      best_value := value;
+      best_mask := mask
+    end
+  done;
+  let side = Array.init n (fun v -> v > 0 && (!best_mask lsr (v - 1)) land 1 = 1) in
+  (!best_value, side)

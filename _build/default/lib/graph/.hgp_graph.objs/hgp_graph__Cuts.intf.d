@@ -1,0 +1,1 @@
+lib/graph/cuts.mli: Graph

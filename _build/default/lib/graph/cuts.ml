@@ -1,0 +1,36 @@
+let cut_weight g in_set =
+  Graph.fold_edges
+    (fun acc u v w -> if in_set u <> in_set v then acc +. w else acc)
+    0. g
+
+let cut_weight_of_set g set =
+  let members = Array.make (Graph.n g) false in
+  Array.iter (fun v -> members.(v) <- true) set;
+  cut_weight g (fun v -> members.(v))
+
+let kway_cut g parts =
+  Graph.fold_edges
+    (fun acc u v w -> if parts.(u) <> parts.(v) then acc +. w else acc)
+    0. g
+
+let boundary g parts =
+  List.rev
+    (Graph.fold_edges
+       (fun acc u v w -> if parts.(u) <> parts.(v) then (u, v, w) :: acc else acc)
+       [] g)
+
+let part_loads parts ~n_parts ~demand =
+  let loads = Array.make n_parts 0. in
+  Array.iteri
+    (fun v p ->
+      if p < 0 || p >= n_parts then invalid_arg "Cuts.part_loads: part id out of range";
+      loads.(p) <- loads.(p) +. demand v)
+    parts;
+  loads
+
+let imbalance parts ~n_parts ~demand =
+  let loads = part_loads parts ~n_parts ~demand in
+  let total = Array.fold_left ( +. ) 0. loads in
+  if not (total > 0.) then invalid_arg "Cuts.imbalance: zero total demand";
+  let max_load = Array.fold_left max 0. loads in
+  max_load /. (total /. float_of_int n_parts)

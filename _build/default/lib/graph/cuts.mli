@@ -1,0 +1,22 @@
+(** Cut-weight evaluation helpers. *)
+
+(** [cut_weight g in_set] is the total weight of edges with exactly one
+    endpoint [v] such that [in_set v] holds. *)
+val cut_weight : Graph.t -> (int -> bool) -> float
+
+(** [cut_weight_of_set g set] is {!cut_weight} for an explicit vertex set. *)
+val cut_weight_of_set : Graph.t -> int array -> float
+
+(** [kway_cut g parts] is the total weight of edges whose endpoints lie in
+    different parts, where [parts.(v)] is the part id of [v]. *)
+val kway_cut : Graph.t -> int array -> float
+
+(** [boundary g parts] lists edges crossing between parts as [(u, v, w)]. *)
+val boundary : Graph.t -> int array -> (int * int * float) list
+
+(** [part_loads parts ~n_parts ~demand] sums [demand v] over each part. *)
+val part_loads : int array -> n_parts:int -> demand:(int -> float) -> float array
+
+(** [imbalance parts ~n_parts ~demand] is [max_load /. (total /. n_parts)];
+    [1.0] means perfectly balanced.  Requires positive total demand. *)
+val imbalance : int array -> n_parts:int -> demand:(int -> float) -> float

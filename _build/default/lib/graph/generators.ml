@@ -1,0 +1,254 @@
+module Prng = Hgp_util.Prng
+
+let path n =
+  Graph.of_edges n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1, 1.0)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Generators.cycle: n must be >= 3";
+  Graph.of_edges n ((n - 1, 0, 1.0) :: List.init (n - 1) (fun i -> (i, i + 1, 1.0)))
+
+let complete n =
+  let b = Graph.Builder.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      Graph.Builder.add_edge b u v 1.0
+    done
+  done;
+  Graph.Builder.build b
+
+let star n =
+  Graph.of_edges n (List.init (max 0 (n - 1)) (fun i -> (0, i + 1, 1.0)))
+
+let grid2d ~rows ~cols =
+  let id r c = (r * cols) + c in
+  let b = Graph.Builder.create (rows * cols) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then Graph.Builder.add_edge b (id r c) (id r (c + 1)) 1.0;
+      if r + 1 < rows then Graph.Builder.add_edge b (id r c) (id (r + 1) c) 1.0
+    done
+  done;
+  Graph.Builder.build b
+
+let torus2d ~rows ~cols =
+  if rows < 3 || cols < 3 then invalid_arg "Generators.torus2d: dims must be >= 3";
+  let id r c = (r * cols) + c in
+  let b = Graph.Builder.create (rows * cols) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      Graph.Builder.add_edge b (id r c) (id r ((c + 1) mod cols)) 1.0;
+      Graph.Builder.add_edge b (id r c) (id ((r + 1) mod rows) c) 1.0
+    done
+  done;
+  Graph.Builder.build b
+
+let binary_tree depth =
+  if depth < 0 then invalid_arg "Generators.binary_tree: negative depth";
+  let n = (1 lsl (depth + 1)) - 1 in
+  let b = Graph.Builder.create n in
+  for v = 1 to n - 1 do
+    Graph.Builder.add_edge b v ((v - 1) / 2) 1.0
+  done;
+  Graph.Builder.build b
+
+let caterpillar ~spine ~legs =
+  if spine < 1 || legs < 0 then invalid_arg "Generators.caterpillar";
+  let n = spine * (1 + legs) in
+  let b = Graph.Builder.create n in
+  for s = 0 to spine - 2 do
+    Graph.Builder.add_edge b s (s + 1) 1.0
+  done;
+  for s = 0 to spine - 1 do
+    for l = 0 to legs - 1 do
+      Graph.Builder.add_edge b s (spine + (s * legs) + l) 1.0
+    done
+  done;
+  Graph.Builder.build b
+
+let gnp rng n p =
+  if p < 0. || p > 1. then invalid_arg "Generators.gnp: p out of range";
+  let b = Graph.Builder.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Prng.float rng 1.0 < p then Graph.Builder.add_edge b u v 1.0
+    done
+  done;
+  Graph.Builder.build b
+
+let gnp_connected rng n p = Traversal.ensure_connected (gnp rng n p) rng
+
+let chung_lu rng ~n ~exponent ~avg_degree =
+  if not (exponent > 2.) then invalid_arg "Generators.chung_lu: exponent must exceed 2";
+  let gamma = 1.0 /. (exponent -. 1.0) in
+  let w = Array.init n (fun i -> (float_of_int (i + 1)) ** (-.gamma)) in
+  let sum_w = Array.fold_left ( +. ) 0. w in
+  (* In the Chung–Lu model E[deg u] ~ w_u, so the expected average degree is
+     (sum w) / n; scale the weights to hit the request. *)
+  let scale = avg_degree *. float_of_int n /. sum_w in
+  let w = Array.map (fun x -> x *. scale) w in
+  let sw = Array.fold_left ( +. ) 0. w in
+  let b = Graph.Builder.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      (* Chung–Lu probability w_u w_v / sum_w, clamped. *)
+      let p = min 1.0 (w.(u) *. w.(v) /. sw) in
+      if Prng.float rng 1.0 < p then Graph.Builder.add_edge b u v 1.0
+    done
+  done;
+  Graph.Builder.build b
+
+let random_regular rng ~n ~degree =
+  if degree >= n || degree < 0 then invalid_arg "Generators.random_regular: degree";
+  if (n * degree) mod 2 <> 0 then invalid_arg "Generators.random_regular: n*degree odd";
+  let max_attempts = 200 in
+  let attempt () =
+    let stubs = Array.make (n * degree) 0 in
+    for i = 0 to (n * degree) - 1 do
+      stubs.(i) <- i / degree
+    done;
+    Prng.shuffle rng stubs;
+    let seen = Hashtbl.create (n * degree) in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < n * degree do
+      let u = stubs.(!i) and v = stubs.(!i + 1) in
+      if u = v || Hashtbl.mem seen (min u v, max u v) then ok := false
+      else Hashtbl.add seen (min u v, max u v) ();
+      i := !i + 2
+    done;
+    if !ok then Some (Hashtbl.fold (fun (u, v) () acc -> (u, v, 1.0) :: acc) seen [])
+    else None
+  in
+  let rec go k =
+    if k = 0 then
+      (* Fall back to a near-regular graph: keep the valid prefix of a final
+         attempt, which is simple though possibly missing a few edges. *)
+      let stubs = Array.make (n * degree) 0 in
+      let () =
+        for i = 0 to (n * degree) - 1 do
+          stubs.(i) <- i / degree
+        done
+      in
+      let () = Prng.shuffle rng stubs in
+      let seen = Hashtbl.create (n * degree) in
+      let i = ref 0 in
+      let () =
+        while !i < n * degree do
+          let u = stubs.(!i) and v = stubs.(!i + 1) in
+          if u <> v && not (Hashtbl.mem seen (min u v, max u v)) then
+            Hashtbl.add seen (min u v, max u v) ();
+          i := !i + 2
+        done
+      in
+      Graph.of_edges n (Hashtbl.fold (fun (u, v) () acc -> (u, v, 1.0) :: acc) seen [])
+    else begin
+      match attempt () with
+      | Some edges -> Graph.of_edges n edges
+      | None -> go (k - 1)
+    end
+  in
+  go max_attempts
+
+let random_tree rng n =
+  if n <= 0 then invalid_arg "Generators.random_tree: n must be positive";
+  if n = 1 then Graph.of_edges 1 []
+  else if n = 2 then Graph.of_edges 2 [ (0, 1, 1.0) ]
+  else begin
+    (* Decode a random Prüfer sequence. *)
+    let prufer = Array.init (n - 2) (fun _ -> Prng.int rng n) in
+    let deg = Array.make n 1 in
+    Array.iter (fun v -> deg.(v) <- deg.(v) + 1) prufer;
+    let heap = Hgp_util.Pqueue.create () in
+    for v = 0 to n - 1 do
+      if deg.(v) = 1 then Hgp_util.Pqueue.push heap ~prio:(float_of_int v) v
+    done;
+    let edges = ref [] in
+    Array.iter
+      (fun v ->
+        let _, leaf = Hgp_util.Pqueue.pop_min heap in
+        edges := (leaf, v, 1.0) :: !edges;
+        deg.(v) <- deg.(v) - 1;
+        if deg.(v) = 1 then Hgp_util.Pqueue.push heap ~prio:(float_of_int v) v)
+      prufer;
+    let _, a = Hgp_util.Pqueue.pop_min heap in
+    let _, b = Hgp_util.Pqueue.pop_min heap in
+    edges := (a, b, 1.0) :: !edges;
+    Graph.of_edges n !edges
+  end
+
+let randomize_weights rng ?(lo = 1.0) ?(hi = 10.0) g =
+  if not (hi > lo) then invalid_arg "Generators.randomize_weights: hi <= lo";
+  let b = Graph.Builder.create (Graph.n g) in
+  Graph.iter_edges
+    (fun u v _ -> Graph.Builder.add_edge b u v (lo +. Prng.float rng (hi -. lo)))
+    g;
+  Graph.Builder.build b
+
+let hypercube dims =
+  if dims < 0 || dims > 20 then invalid_arg "Generators.hypercube: dims out of range";
+  let n = 1 lsl dims in
+  let b = Graph.Builder.create n in
+  for v = 0 to n - 1 do
+    for bit = 0 to dims - 1 do
+      let u = v lxor (1 lsl bit) in
+      if u > v then Graph.Builder.add_edge b v u 1.0
+    done
+  done;
+  Graph.Builder.build b
+
+let barbell ~clique ~bridge =
+  if clique < 2 || bridge < 0 then invalid_arg "Generators.barbell";
+  let n = (2 * clique) + bridge in
+  let b = Graph.Builder.create n in
+  for u = 0 to clique - 1 do
+    for v = u + 1 to clique - 1 do
+      Graph.Builder.add_edge b u v 1.0;
+      Graph.Builder.add_edge b (clique + bridge + u) (clique + bridge + v) 1.0
+    done
+  done;
+  (* Path of [bridge] vertices joining the two cliques. *)
+  let left_anchor = clique - 1 in
+  let right_anchor = clique + bridge in
+  if bridge = 0 then Graph.Builder.add_edge b left_anchor right_anchor 1.0
+  else begin
+    Graph.Builder.add_edge b left_anchor clique 1.0;
+    for i = 0 to bridge - 2 do
+      Graph.Builder.add_edge b (clique + i) (clique + i + 1) 1.0
+    done;
+    Graph.Builder.add_edge b (clique + bridge - 1) right_anchor 1.0
+  end;
+  Graph.Builder.build b
+
+let watts_strogatz rng ~n ~k ~beta =
+  if n < 4 || k < 2 || k mod 2 <> 0 || k >= n then invalid_arg "Generators.watts_strogatz";
+  if not (beta >= 0. && beta <= 1.) then invalid_arg "Generators.watts_strogatz: beta";
+  (* Ring lattice with k/2 neighbors each side, then rewire each edge's far
+     endpoint with probability beta. *)
+  let b = Graph.Builder.create n in
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    for d = 1 to k / 2 do
+      edges := (v, (v + d) mod n) :: !edges
+    done
+  done;
+  let exists = Hashtbl.create (2 * n) in
+  let add u v = Hashtbl.replace exists (min u v, max u v) () in
+  let mem u v = Hashtbl.mem exists (min u v, max u v) in
+  List.iter
+    (fun (u, v) ->
+      if Prng.float rng 1.0 < beta then begin
+        (* Rewire: pick a fresh endpoint avoiding self loops and duplicates. *)
+        let rec pick tries =
+          if tries = 0 then v
+          else begin
+            let w = Prng.int rng n in
+            if w <> u && not (mem u w) then w else pick (tries - 1)
+          end
+        in
+        let w = pick 16 in
+        if not (mem u w) && u <> w then add u w else if not (mem u v) then add u v
+      end
+      else if not (mem u v) then add u v)
+    !edges;
+  Hashtbl.iter (fun (u, v) () -> Graph.Builder.add_edge b u v 1.0) exists;
+  Graph.Builder.build b

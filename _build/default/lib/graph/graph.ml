@@ -1,0 +1,161 @@
+type t = {
+  n : int;
+  xadj : int array;
+  adjncy : int array;
+  adjw : float array;
+  edge_list : (int * int * float) array;
+  total_w : float;
+}
+
+module Builder = struct
+  type graph = t
+
+  type t = {
+    bn : int;
+    weights : (int, float) Hashtbl.t; (* key = min*n + max *)
+    mutable closed : bool;
+  }
+
+  let create n =
+    if n < 0 then invalid_arg "Graph.Builder.create: negative n";
+    { bn = n; weights = Hashtbl.create (4 * max 1 n); closed = false }
+
+  let key b u v = if u < v then (u * b.bn) + v else (v * b.bn) + u
+
+  let add_edge b u v w =
+    if b.closed then invalid_arg "Graph.Builder: reused after build";
+    if u < 0 || u >= b.bn || v < 0 || v >= b.bn then
+      invalid_arg "Graph.Builder.add_edge: vertex out of range";
+    if not (w >= 0.) then invalid_arg "Graph.Builder.add_edge: negative weight";
+    if u <> v then begin
+      let k = key b u v in
+      let prev = try Hashtbl.find b.weights k with Not_found -> 0. in
+      Hashtbl.replace b.weights k (prev +. w)
+    end
+
+  let build b =
+    b.closed <- true;
+    let n = b.bn in
+    let m = Hashtbl.length b.weights in
+    let edge_list = Array.make m (0, 0, 0.) in
+    let idx = ref 0 in
+    Hashtbl.iter
+      (fun k w ->
+        let u = k / n and v = k mod n in
+        edge_list.(!idx) <- (u, v, w);
+        incr idx)
+      b.weights;
+    Array.sort compare edge_list;
+    let deg = Array.make n 0 in
+    Array.iter
+      (fun (u, v, _) ->
+        deg.(u) <- deg.(u) + 1;
+        deg.(v) <- deg.(v) + 1)
+      edge_list;
+    let xadj = Array.make (n + 1) 0 in
+    for i = 0 to n - 1 do
+      xadj.(i + 1) <- xadj.(i) + deg.(i)
+    done;
+    let adjncy = Array.make (2 * m) 0 in
+    let adjw = Array.make (2 * m) 0. in
+    let fill = Array.copy xadj in
+    let total_w = ref 0. in
+    Array.iter
+      (fun (u, v, w) ->
+        adjncy.(fill.(u)) <- v;
+        adjw.(fill.(u)) <- w;
+        fill.(u) <- fill.(u) + 1;
+        adjncy.(fill.(v)) <- u;
+        adjw.(fill.(v)) <- w;
+        fill.(v) <- fill.(v) + 1;
+        total_w := !total_w +. w)
+      edge_list;
+    { n; xadj; adjncy; adjw; edge_list; total_w = !total_w }
+end
+
+let n g = g.n
+let m g = Array.length g.edge_list
+
+let of_edges nv edges =
+  let b = Builder.create nv in
+  List.iter (fun (u, v, w) -> Builder.add_edge b u v w) edges;
+  Builder.build b
+
+let edges g = Array.copy g.edge_list
+
+let iter_edges f g = Array.iter (fun (u, v, w) -> f u v w) g.edge_list
+
+let fold_edges f init g =
+  Array.fold_left (fun acc (u, v, w) -> f acc u v w) init g.edge_list
+
+let iter_neighbors f g u =
+  for i = g.xadj.(u) to g.xadj.(u + 1) - 1 do
+    f g.adjncy.(i) g.adjw.(i)
+  done
+
+let fold_neighbors f init g u =
+  let acc = ref init in
+  for i = g.xadj.(u) to g.xadj.(u + 1) - 1 do
+    acc := f !acc g.adjncy.(i) g.adjw.(i)
+  done;
+  !acc
+
+let degree g u = g.xadj.(u + 1) - g.xadj.(u)
+
+let weighted_degree g u =
+  let acc = ref 0. in
+  for i = g.xadj.(u) to g.xadj.(u + 1) - 1 do
+    acc := !acc +. g.adjw.(i)
+  done;
+  !acc
+
+let total_weight g = g.total_w
+
+let edge_weight g u v =
+  let w = ref 0. in
+  for i = g.xadj.(u) to g.xadj.(u + 1) - 1 do
+    if g.adjncy.(i) = v then w := g.adjw.(i)
+  done;
+  !w
+
+let has_edge g u v =
+  let found = ref false in
+  for i = g.xadj.(u) to g.xadj.(u + 1) - 1 do
+    if g.adjncy.(i) = v then found := true
+  done;
+  !found
+
+let induced g vs =
+  let nv = Array.length vs in
+  let index = Hashtbl.create (2 * nv) in
+  Array.iteri
+    (fun i v ->
+      if Hashtbl.mem index v then invalid_arg "Graph.induced: duplicate vertex";
+      Hashtbl.add index v i)
+    vs;
+  let b = Builder.create nv in
+  Array.iteri
+    (fun i v ->
+      iter_neighbors
+        (fun u w ->
+          match Hashtbl.find_opt index u with
+          | Some j when j > i -> Builder.add_edge b i j w
+          | Some _ | None -> ())
+        g v)
+    vs;
+  (Builder.build b, Array.copy vs)
+
+let contract g partition ~n_parts =
+  if Array.length partition <> g.n then invalid_arg "Graph.contract: partition length";
+  let b = Builder.create n_parts in
+  iter_edges
+    (fun u v w ->
+      let pu = partition.(u) and pv = partition.(v) in
+      if pu < 0 || pu >= n_parts || pv < 0 || pv >= n_parts then
+        invalid_arg "Graph.contract: part id out of range";
+      if pu <> pv then Builder.add_edge b pu pv w)
+    g;
+  Builder.build b
+
+let pp ppf g =
+  Format.fprintf ppf "graph(n=%d, m=%d, W=%g)" g.n (m g) g.total_w

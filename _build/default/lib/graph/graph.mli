@@ -1,0 +1,76 @@
+(** Undirected weighted graphs in compressed-sparse-row form.
+
+    Vertices are [0..n-1].  Parallel edges added through a {!Builder} are
+    merged by summing weights; self-loops are ignored (they can never be cut).
+    The structure is immutable after {!Builder.build}. *)
+
+type t
+
+module Builder : sig
+  type graph = t
+  type t
+
+  (** [create n] starts a builder for a graph on [n] vertices. *)
+  val create : int -> t
+
+  (** [add_edge b u v w] records undirected edge [{u,v}] of weight [w].
+      Repeated insertions accumulate weight.  Self-loops are ignored.
+      Requires [w >= 0.] and valid vertex ids. *)
+  val add_edge : t -> int -> int -> float -> unit
+
+  (** [build b] finalizes the CSR structure.  The builder may not be reused. *)
+  val build : t -> graph
+end
+
+(** [n g] is the number of vertices. *)
+val n : t -> int
+
+(** [m g] is the number of distinct undirected edges. *)
+val m : t -> int
+
+(** [of_edges n edges] builds a graph from an edge list [(u, v, w)]. *)
+val of_edges : int -> (int * int * float) list -> t
+
+(** [edges g] lists all edges as [(u, v, w)] with [u < v]. *)
+val edges : t -> (int * int * float) array
+
+(** [iter_edges f g] calls [f u v w] once per undirected edge, [u < v]. *)
+val iter_edges : (int -> int -> float -> unit) -> t -> unit
+
+(** [fold_edges f init g] folds over undirected edges. *)
+val fold_edges : ('a -> int -> int -> float -> 'a) -> 'a -> t -> 'a
+
+(** [iter_neighbors f g u] calls [f v w] for every neighbor [v] of [u]. *)
+val iter_neighbors : (int -> float -> unit) -> t -> int -> unit
+
+(** [fold_neighbors f init g u] folds over the neighbors of [u]. *)
+val fold_neighbors : ('a -> int -> float -> 'a) -> 'a -> t -> int -> 'a
+
+(** [degree g u] is the number of neighbors of [u]. *)
+val degree : t -> int -> int
+
+(** [weighted_degree g u] is the sum of weights of edges incident to [u]. *)
+val weighted_degree : t -> int -> float
+
+(** [total_weight g] is the sum of all edge weights. *)
+val total_weight : t -> float
+
+(** [edge_weight g u v] is the weight of edge [{u,v}], or [0.] if absent. *)
+val edge_weight : t -> int -> int -> float
+
+(** [has_edge g u v] tests adjacency. *)
+val has_edge : t -> int -> int -> bool
+
+(** [induced g vs] is the subgraph induced by the vertex set [vs] (given as an
+    array of distinct vertex ids), together with the map from new vertex ids
+    [0..|vs|-1] back to the originals (which is [vs] itself).  Edges with both
+    endpoints in [vs] are kept. *)
+val induced : t -> int array -> t * int array
+
+(** [contract g partition ~n_parts] merges each part into a super-vertex,
+    summing weights of parallel edges and dropping intra-part edges.
+    [partition.(v)] is the part of [v], in [0..n_parts-1]. *)
+val contract : t -> int array -> n_parts:int -> t
+
+(** [pp] prints a short description ["graph(n=…, m=…, W=…)"]. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,105 @@
+let to_string g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d 001\n" (Graph.n g) (Graph.m g));
+  for u = 0 to Graph.n g - 1 do
+    let first = ref true in
+    Graph.iter_neighbors
+      (fun v w ->
+        if not !first then Buffer.add_char buf ' ';
+        first := false;
+        Buffer.add_string buf (Printf.sprintf "%d %.17g" (v + 1) w))
+      g u;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let tokens_of_line line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.filter (fun l ->
+           let l = String.trim l in
+           l <> "" && l.[0] <> '%')
+  in
+  match lines with
+  | [] -> failwith "Io.of_string: empty input"
+  | header :: rest ->
+    let n, m, weighted =
+      match tokens_of_line header with
+      | [ n; m ] -> (int_of_string n, int_of_string m, false)
+      | [ n; m; fmt ] -> (int_of_string n, int_of_string m, fmt = "1" || fmt = "001")
+      | _ -> failwith "Io.of_string: malformed header"
+    in
+    if List.length rest <> n then
+      failwith
+        (Printf.sprintf "Io.of_string: expected %d vertex lines, got %d" n
+           (List.length rest));
+    let b = Graph.Builder.create n in
+    List.iteri
+      (fun u line ->
+        let toks = tokens_of_line line in
+        let rec consume = function
+          | [] -> ()
+          | v :: w :: tl when weighted ->
+            let v = int_of_string v - 1 in
+            if v > u then Graph.Builder.add_edge b u v (float_of_string w);
+            consume tl
+          | v :: tl ->
+            let v = int_of_string v - 1 in
+            if v > u then Graph.Builder.add_edge b u v 1.0;
+            consume tl
+        in
+        consume toks)
+      rest;
+    let g = Graph.Builder.build b in
+    if Graph.m g <> m then
+      failwith
+        (Printf.sprintf "Io.of_string: header claims %d edges, parsed %d" m (Graph.m g));
+    g
+
+let save g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))
+
+let to_edge_list_string g =
+  let buf = Buffer.create 4096 in
+  Graph.iter_edges
+    (fun u v w -> Buffer.add_string buf (Printf.sprintf "%d %d %.17g\n" u v w))
+    g;
+  Buffer.contents buf
+
+let of_edge_list_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.filter (fun l ->
+           let l = String.trim l in
+           l <> "" && l.[0] <> '%')
+  in
+  let parsed =
+    List.map
+      (fun line ->
+        match tokens_of_line line with
+        | [ u; v ] -> (int_of_string u, int_of_string v, 1.0)
+        | [ u; v; w ] -> (int_of_string u, int_of_string v, float_of_string w)
+        | _ -> failwith "Io.of_edge_list_string: malformed line")
+      lines
+  in
+  let n =
+    List.fold_left (fun acc (u, v, _) -> max acc (max u v + 1)) 0 parsed
+  in
+  Graph.of_edges n parsed

@@ -1,0 +1,25 @@
+(** Graph serialization in the METIS graph-file format.
+
+    Format: a header line [n m fmt] where [fmt = 001] marks edge weights,
+    followed by one line per vertex listing [neighbor weight] pairs
+    (vertices are 1-based in the file).  Comment lines start with ['%']. *)
+
+(** [to_string g] renders [g] in METIS format with edge weights. *)
+val to_string : Graph.t -> string
+
+(** [of_string s] parses a METIS-format graph (with or without edge weights).
+    @raise Failure on malformed input or header/content mismatch. *)
+val of_string : string -> Graph.t
+
+(** [save g path] writes [to_string g] to [path]. *)
+val save : Graph.t -> string -> unit
+
+(** [load path] reads a graph from [path]. *)
+val load : string -> Graph.t
+
+(** [to_edge_list_string g] renders one ["u v w"] line per edge (0-based). *)
+val to_edge_list_string : Graph.t -> string
+
+(** [of_edge_list_string s] parses the edge-list format; the vertex count is
+    one plus the largest mentioned id. *)
+val of_edge_list_string : string -> Graph.t

@@ -1,0 +1,1 @@
+lib/hierarchy/hierarchy.ml: Array Format Printf String

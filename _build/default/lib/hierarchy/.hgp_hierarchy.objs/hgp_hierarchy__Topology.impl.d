@@ -1,0 +1,1 @@
+lib/hierarchy/topology.ml: Array Buffer Format Hierarchy List Printf String

@@ -1,0 +1,136 @@
+type t = {
+  degs : int array;
+  cm : float array;
+  leaf_capacity : float;
+  leaves_under : int array; (* leaves_under.(j): leaves below a Level-(j) node *)
+}
+
+let create ~degs ~cm ~leaf_capacity =
+  let h = Array.length degs in
+  if Array.length cm <> h + 1 then invalid_arg "Hierarchy.create: cm must have length h+1";
+  Array.iter (fun d -> if d < 1 then invalid_arg "Hierarchy.create: degree must be >= 1") degs;
+  for j = 0 to h - 1 do
+    if cm.(j) < cm.(j + 1) then invalid_arg "Hierarchy.create: cm must be non-increasing"
+  done;
+  Array.iter (fun c -> if not (c >= 0.) then invalid_arg "Hierarchy.create: cm must be >= 0") cm;
+  if not (leaf_capacity > 0.) then invalid_arg "Hierarchy.create: leaf_capacity must be positive";
+  let leaves_under = Array.make (h + 1) 1 in
+  for j = h - 1 downto 0 do
+    leaves_under.(j) <- leaves_under.(j + 1) * degs.(j)
+  done;
+  { degs = Array.copy degs; cm = Array.copy cm; leaf_capacity; leaves_under }
+
+let height t = Array.length t.degs
+
+let deg t j =
+  if j < 0 || j >= height t then invalid_arg "Hierarchy.deg: level out of range";
+  t.degs.(j)
+
+let degs t = Array.copy t.degs
+
+let num_leaves t = t.leaves_under.(0)
+
+let leaves_under t j =
+  if j < 0 || j > height t then invalid_arg "Hierarchy.leaves_under: level out of range";
+  t.leaves_under.(j)
+
+let nodes_at_level t j = num_leaves t / leaves_under t j
+
+let leaf_capacity t = t.leaf_capacity
+
+let capacity t j = float_of_int (leaves_under t j) *. t.leaf_capacity
+
+let cm t j =
+  if j < 0 || j > height t then invalid_arg "Hierarchy.cm: level out of range";
+  t.cm.(j)
+
+let ancestor t ~level leaf =
+  if leaf < 0 || leaf >= num_leaves t then invalid_arg "Hierarchy.ancestor: leaf out of range";
+  leaf / leaves_under t level
+
+let lca_level t a b =
+  if a < 0 || a >= num_leaves t || b < 0 || b >= num_leaves t then
+    invalid_arg "Hierarchy.lca_level: leaf out of range";
+  let h = height t in
+  if a = b then h
+  else begin
+    (* Deepest level at which the ancestors coincide. *)
+    let rec go j =
+      if j < 0 then 0
+      else if a / t.leaves_under.(j) = b / t.leaves_under.(j) then j
+      else go (j - 1)
+    in
+    go (h - 1)
+  end
+
+let edge_cost t a b = t.cm.(lca_level t a b)
+
+let is_normalized t = t.cm.(height t) = 0.
+
+let normalize t =
+  let offset = t.cm.(height t) in
+  if offset = 0. then (t, 0.)
+  else begin
+    let cm' = Array.map (fun c -> c -. offset) t.cm in
+    ({ t with cm = cm' }, offset)
+  end
+
+let children_of t ~level idx =
+  if level < 0 || level >= height t then invalid_arg "Hierarchy.children_of: level";
+  if idx < 0 || idx >= nodes_at_level t level then invalid_arg "Hierarchy.children_of: idx";
+  let d = t.degs.(level) in
+  (idx * d, (idx * d) + d - 1)
+
+let leaves_of t ~level idx =
+  if level < 0 || level > height t then invalid_arg "Hierarchy.leaves_of: level";
+  if idx < 0 || idx >= nodes_at_level t level then invalid_arg "Hierarchy.leaves_of: idx";
+  let span = leaves_under t level in
+  (idx * span, (idx * span) + span - 1)
+
+let pp ppf t =
+  let degs_s =
+    String.concat "x" (Array.to_list (Array.map string_of_int t.degs))
+  in
+  let cm_s =
+    String.concat "," (Array.to_list (Array.map (Printf.sprintf "%g") t.cm))
+  in
+  Format.fprintf ppf "H(h=%d, degs=%s, k=%d, cm=[%s], cap=%g)" (height t)
+    (if degs_s = "" then "-" else degs_s)
+    (num_leaves t) cm_s t.leaf_capacity
+
+module Presets = struct
+  let flat ~k =
+    create ~degs:[| k |] ~cm:[| 1.0; 0.0 |] ~leaf_capacity:1.0
+
+  let dual_socket =
+    (* cross-socket memory bus / shared L3 / shared L2 between hyperthreads *)
+    create ~degs:[| 2; 4; 2 |] ~cm:[| 100.0; 30.0; 8.0; 0.0 |] ~leaf_capacity:1.0
+
+  let quad_socket =
+    (* The 64-core server of the paper's introduction; cm(h)=1 models the
+       residual cost of same-core communication (not normalized). *)
+    create ~degs:[| 4; 8; 2 |] ~cm:[| 120.0; 40.0; 10.0; 1.0 |] ~leaf_capacity:1.0
+
+  let cluster =
+    create ~degs:[| 2; 4; 8 |] ~cm:[| 1000.0; 100.0; 10.0; 0.0 |] ~leaf_capacity:1.0
+
+  let datacenter =
+    create ~degs:[| 2; 4; 4; 4 |]
+      ~cm:[| 5000.0; 1000.0; 100.0; 10.0; 0.0 |]
+      ~leaf_capacity:1.0
+
+  let uniform ~branching ~height =
+    if height < 0 then invalid_arg "Presets.uniform: negative height";
+    let degs = Array.make height branching in
+    let cm = Array.init (height + 1) (fun j -> float_of_int ((1 lsl (height - j)) - 1)) in
+    create ~degs ~cm ~leaf_capacity:1.0
+
+  let all =
+    [
+      ("flat16", flat ~k:16);
+      ("dual_socket", dual_socket);
+      ("quad_socket", quad_socket);
+      ("cluster", cluster);
+      ("datacenter", datacenter);
+    ]
+end

@@ -1,0 +1,109 @@
+(** The hierarchy tree [H] of the HGP problem.
+
+    [H] is regular at every level: a Level-(j) node has exactly [deg j]
+    children (the root is Level-0, leaves are Level-[h]).  Each level carries
+    a cost multiplier [cm j] with [cm 0 >= cm 1 >= ... >= cm h]; cutting a
+    task-graph edge whose endpoints land on leaves with lowest common ancestor
+    at Level-(j) costs [w * cm j].  Each leaf has the same capacity.
+
+    Leaves are numbered [0..k-1] left to right, so the Level-(j) ancestor of a
+    leaf is [leaf / leaves_under j] — all tree navigation is arithmetic. *)
+
+type t
+
+(** [create ~degs ~cm ~leaf_capacity] builds a hierarchy of height
+    [Array.length degs]; [degs.(j)] is the fan-out of Level-(j) nodes and [cm]
+    must have length [height + 1] and be non-increasing with
+    [cm.(j) >= 0].  [degs = [||]] gives the trivial single-leaf hierarchy.
+    Requires every [degs.(j) >= 1] and [leaf_capacity > 0.]. *)
+val create : degs:int array -> cm:float array -> leaf_capacity:float -> t
+
+(** [height t] is [h]; leaves live at Level-[h]. *)
+val height : t -> int
+
+(** [deg t j] is the fan-out of Level-(j) nodes, [0 <= j < height t]. *)
+val deg : t -> int -> int
+
+(** [degs t] is a copy of the fan-out vector. *)
+val degs : t -> int array
+
+(** [num_leaves t] is [k], the number of leaves. *)
+val num_leaves : t -> int
+
+(** [nodes_at_level t j] is the number of Level-(j) nodes. *)
+val nodes_at_level : t -> int -> int
+
+(** [leaves_under t j] is the number of leaves in the subtree of a Level-(j)
+    node. *)
+val leaves_under : t -> int -> int
+
+(** [leaf_capacity t] is the capacity of one leaf. *)
+val leaf_capacity : t -> float
+
+(** [capacity t j] is [CP(j)]: total leaf capacity under a Level-(j) node. *)
+val capacity : t -> int -> float
+
+(** [cm t j] is the Level-(j) cost multiplier, [0 <= j <= height t]. *)
+val cm : t -> int -> float
+
+(** [ancestor t ~level leaf] is the index (within its level) of the Level-
+    [level] ancestor of [leaf]. *)
+val ancestor : t -> level:int -> int -> int
+
+(** [lca_level t a b] is the level of the lowest common ancestor of leaves
+    [a] and [b] ([height t] when [a = b]). *)
+val lca_level : t -> int -> int -> int
+
+(** [edge_cost t a b] is [cm (lca_level t a b)] — the per-unit-weight cost of
+    placing communicating tasks on leaves [a] and [b]. *)
+val edge_cost : t -> int -> int -> float
+
+(** [is_normalized t] tests [cm h = 0]. *)
+val is_normalized : t -> bool
+
+(** [normalize t] implements Lemma 1: returns [(t', offset)] where [t'] has
+    [cm' j = cm j - cm h] and any solution's cost satisfies
+    [cost t p = cost t' p +. offset *. total_edge_weight]. *)
+val normalize : t -> t * float
+
+(** [children_of t ~level idx] is the index range [(first, last)] of the
+    children (at [level + 1]) of node [idx] at [level]. *)
+val children_of : t -> level:int -> int -> int * int
+
+(** [leaves_of t ~level idx] is the inclusive leaf range [(first, last)] under
+    node [idx] at [level]. *)
+val leaves_of : t -> level:int -> int -> int * int
+
+(** [pp] prints a one-line description. *)
+val pp : Format.formatter -> t -> unit
+
+(** Hardware-inspired presets.  Cost multipliers are derived from typical
+    communication latencies (arbitrary units); some presets are deliberately
+    not normalized to exercise Lemma 1. *)
+module Presets : sig
+  (** [flat ~k] encodes classic k-balanced graph partitioning: height 1,
+      [cm = [|1; 0|]]. *)
+  val flat : k:int -> t
+
+  (** [dual_socket] is 2 sockets x 4 cores x 2 hyperthreads (16 leaves),
+      height 3. *)
+  val dual_socket : t
+
+  (** [quad_socket] is 4 sockets x 8 cores x 2 hyperthreads (64 leaves), the
+      server of the paper's introduction; [cm h = 1] (not normalized). *)
+  val quad_socket : t
+
+  (** [cluster] is 2 racks x 4 servers x 8 cores (64 leaves), height 3, with
+      steep network-versus-memory multipliers. *)
+  val cluster : t
+
+  (** [datacenter] is height 4: 2 pods x 4 racks x 4 servers x 4 cores. *)
+  val datacenter : t
+
+  (** [uniform ~branching ~height] has fan-out [branching] everywhere and
+      geometrically decaying multipliers [cm j = 2^(h-j) - 1]. *)
+  val uniform : branching:int -> height:int -> t
+
+  (** [all] is every named preset with its label. *)
+  val all : (string * t) list
+end

@@ -1,0 +1,69 @@
+let parse_result s =
+  match String.split_on_char '@' s with
+  | [ preset ] -> (
+    match List.assoc_opt preset Hierarchy.Presets.all with
+    | Some h -> Ok h
+    | None ->
+      Error
+        (Printf.sprintf "unknown hierarchy preset %S (know: %s)" preset
+           (String.concat ", " (List.map fst Hierarchy.Presets.all))))
+  | [ degs_s; cms_s ] -> (
+    try
+      let degs =
+        if degs_s = "" then [||]
+        else String.split_on_char 'x' degs_s |> List.map int_of_string |> Array.of_list
+      in
+      let cm =
+        String.split_on_char ',' cms_s |> List.map float_of_string |> Array.of_list
+      in
+      Ok (Hierarchy.create ~degs ~cm ~leaf_capacity:1.0)
+    with
+    | Invalid_argument m -> Error m
+    | Failure _ -> Error (Printf.sprintf "malformed hierarchy spec %S" s))
+  | _ -> Error "expected PRESET or DEGSxDEGS@CM,CM,..."
+
+let parse s =
+  match parse_result s with
+  | Ok h -> h
+  | Error m -> invalid_arg ("Topology.parse: " ^ m)
+
+let to_spec h =
+  let degs =
+    Hierarchy.degs h |> Array.map string_of_int |> Array.to_list |> String.concat "x"
+  in
+  let cms =
+    List.init
+      (Hierarchy.height h + 1)
+      (fun j -> Printf.sprintf "%g" (Hierarchy.cm h j))
+    |> String.concat ","
+  in
+  degs ^ "@" ^ cms
+
+let of_latencies ~degs ~latencies ~leaf_capacity =
+  Hierarchy.create ~degs ~cm:latencies ~leaf_capacity
+
+let level_name j h =
+  (* Conventional names for common heights; generic otherwise. *)
+  let names =
+    match h with
+    | 1 -> [| "root"; "core" |]
+    | 2 -> [| "machine"; "socket"; "core" |]
+    | 3 -> [| "machine"; "socket"; "core"; "hyperthread" |]
+    | 4 -> [| "pod"; "rack"; "server"; "socket"; "core" |]
+    | _ -> [||]
+  in
+  if j < Array.length names then names.(j) else Printf.sprintf "level-%d" j
+
+let describe h =
+  let buf = Buffer.create 256 in
+  let height = Hierarchy.height h in
+  Buffer.add_string buf (Format.asprintf "%a\n" Hierarchy.pp h);
+  for j = 0 to height do
+    Buffer.add_string buf
+      (Printf.sprintf "  level %d (%s): %d node(s), capacity %g, cm %g%s\n" j
+         (level_name j height)
+         (Hierarchy.nodes_at_level h j)
+         (Hierarchy.capacity h j) (Hierarchy.cm h j)
+         (if j < height then Printf.sprintf ", fan-out %d" (Hierarchy.deg h j) else ""))
+  done;
+  Buffer.contents buf

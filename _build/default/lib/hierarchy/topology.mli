@@ -1,0 +1,31 @@
+(** Parsing, rendering and derivation of hierarchy topologies.
+
+    The textual format is ["DEGSxDEGS@CM,CM,..."], e.g. ["2x4x2@100,30,8,0"]
+    for a dual-socket server, or a preset name from
+    {!Hierarchy.Presets.all}.  This module also derives cost multipliers from
+    physical latency tables (the way a practitioner would calibrate [cm] from
+    measured core-to-core latencies). *)
+
+(** [parse s] accepts a preset name or an explicit spec.
+    @raise Invalid_argument on malformed input. *)
+val parse : string -> Hierarchy.t
+
+(** [parse_result s] is [parse] with an error message instead of an
+    exception. *)
+val parse_result : string -> (Hierarchy.t, string) result
+
+(** [to_spec h] renders a hierarchy back to the ["degs@cms"] format
+    (round-trips through {!parse}). *)
+val to_spec : Hierarchy.t -> string
+
+(** [of_latencies ~degs ~latencies ~leaf_capacity] builds a hierarchy whose
+    cost multipliers are communication latencies per level: [latencies.(j)]
+    is the cost of a message between tasks whose lowest common ancestor is at
+    Level-(j) (e.g. nanoseconds).  Same length/monotonicity rules as
+    {!Hierarchy.create}'s [cm]. *)
+val of_latencies :
+  degs:int array -> latencies:float array -> leaf_capacity:float -> Hierarchy.t
+
+(** [describe h] is a human-readable multi-line description: one line per
+    level with node counts, capacities, and multipliers. *)
+val describe : Hierarchy.t -> string

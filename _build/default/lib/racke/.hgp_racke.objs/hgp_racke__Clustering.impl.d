@@ -1,0 +1,1 @@
+lib/racke/clustering.ml: Array Float Hashtbl Hgp_graph Hgp_util List

@@ -1,0 +1,1 @@
+lib/racke/clustering.mli: Hgp_graph Hgp_util

@@ -1,0 +1,1 @@
+lib/racke/decomposition.ml: Array Clustering Hashtbl Hgp_flow Hgp_graph Hgp_tree Hgp_util List Printf

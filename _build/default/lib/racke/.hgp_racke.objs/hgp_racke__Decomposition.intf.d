@@ -1,0 +1,1 @@
+lib/racke/decomposition.mli: Clustering Hgp_graph Hgp_tree Hgp_util

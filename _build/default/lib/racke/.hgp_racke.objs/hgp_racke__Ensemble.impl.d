@@ -1,0 +1,1 @@
+lib/racke/ensemble.ml: Array Decomposition Hgp_util

@@ -1,0 +1,1 @@
+lib/racke/ensemble.mli: Decomposition Hgp_graph Hgp_util

@@ -1,0 +1,134 @@
+module Prng = Hgp_util.Prng
+module Pqueue = Hgp_util.Pqueue
+module Graph = Hgp_graph.Graph
+
+type cluster = Leaf of int | Node of cluster list
+
+let inverse_weight_length w = if w <= 0. then infinity else 1. /. w
+let unit_length _ = 1.
+
+let partition rng g ~vertices ~radius ~edge_length =
+  if not (radius > 0.) then invalid_arg "Clustering.partition: radius must be positive";
+  let nv = Array.length vertices in
+  if nv = 0 then []
+  else begin
+    let sub, back = Graph.induced g vertices in
+    (* MPX: vertex u joins the center c minimizing dist(c,u) - shift(c);
+       realised as multi-source Dijkstra with negative start keys. *)
+    let beta = Float.max 1e-9 (log (float_of_int (max 2 nv)) /. radius) in
+    let shift = Array.init nv (fun _ -> Prng.exponential rng ~rate:beta) in
+    let max_shift = Array.fold_left max 0. shift in
+    let dist = Array.make nv infinity in
+    let owner = Array.make nv (-1) in
+    let heap = Pqueue.Indexed.create nv in
+    for v = 0 to nv - 1 do
+      (* Offset keys by max_shift to keep them nonnegative. *)
+      dist.(v) <- max_shift -. shift.(v);
+      owner.(v) <- v;
+      Pqueue.Indexed.insert heap v dist.(v)
+    done;
+    while not (Pqueue.Indexed.is_empty heap) do
+      let u, du = Pqueue.Indexed.pop_min heap in
+      if du <= dist.(u) then
+        Graph.iter_neighbors
+          (fun v w ->
+            let len = edge_length w in
+            let alt = du +. len in
+            if alt < dist.(v) then begin
+              dist.(v) <- alt;
+              owner.(v) <- owner.(u);
+              Pqueue.Indexed.insert_or_decrease heap v alt
+            end)
+          sub u
+    done;
+    let buckets = Hashtbl.create 16 in
+    for v = nv - 1 downto 0 do
+      let c = owner.(v) in
+      let existing = try Hashtbl.find buckets c with Not_found -> [] in
+      Hashtbl.replace buckets c (back.(v) :: existing)
+    done;
+    Hashtbl.fold (fun _ members acc -> Array.of_list members :: acc) buckets []
+    |> List.sort compare
+  end
+
+let approx_weighted_diameter g ~edge_length vertices =
+  (* Two BFS-style Dijkstra sweeps from an arbitrary vertex. *)
+  let sub, _back = Graph.induced g vertices in
+  let nv = Array.length vertices in
+  if nv <= 1 then 0.
+  else begin
+    let far dists =
+      let best = ref 0 and bd = ref 0. in
+      Array.iteri
+        (fun i d -> if d < infinity && d > !bd then begin
+             bd := d;
+             best := i
+           end)
+        dists;
+      (!best, !bd)
+    in
+    let d0 = Hgp_graph.Traversal.dijkstra sub 0 ~edge_length in
+    let v1, _ = far d0 in
+    let d1 = Hgp_graph.Traversal.dijkstra sub v1 ~edge_length in
+    let _, diam = far d1 in
+    Float.max diam 1e-9
+  end
+
+let hierarchical rng g ~edge_length =
+  let n = Graph.n g in
+  if n = 0 then invalid_arg "Clustering.hierarchical: empty graph";
+  let all = Array.init n (fun i -> i) in
+  let diam = approx_weighted_diameter g ~edge_length all in
+  let rec build vertices radius =
+    if Array.length vertices = 1 then Leaf vertices.(0)
+    else begin
+      let parts = partition rng g ~vertices ~radius ~edge_length in
+      match parts with
+      | [ single ] when Array.length single = Array.length vertices ->
+        (* Did not split: shrink the radius and retry at this level so that
+           unary chains are collapsed. *)
+        build vertices (radius /. 2.)
+      | parts ->
+        Node (List.map (fun p -> build p (radius /. 2.)) parts)
+    end
+  in
+  match build all (Float.max (diam /. 2.) 1e-9) with
+  | Leaf v -> Node [ Leaf v ]
+  | Node _ as c -> c
+
+let bfs_bisection rng g ~edge_length =
+  let n = Graph.n g in
+  if n = 0 then invalid_arg "Clustering.bfs_bisection: empty graph";
+  let rec build vertices =
+    let nv = Array.length vertices in
+    if nv = 1 then Leaf vertices.(0)
+    else begin
+      let sub, back = Graph.induced g vertices in
+      (* Grow a Dijkstra ordering from a vertex far from a random start; the
+         first half of the ordering is one side. *)
+      let start = Prng.int rng nv in
+      let d0 = Hgp_graph.Traversal.dijkstra sub start ~edge_length in
+      let far = ref start in
+      Array.iteri (fun v d -> if d < infinity && d > d0.(!far) then far := v) d0;
+      let d1 = Hgp_graph.Traversal.dijkstra sub !far ~edge_length in
+      let order = Array.init nv (fun i -> i) in
+      Array.sort (fun a b -> compare (d1.(a), a) (d1.(b), b)) order;
+      let half = nv / 2 in
+      let left = Array.map (fun i -> back.(order.(i))) (Array.init half (fun i -> i)) in
+      let right =
+        Array.map (fun i -> back.(order.(half + i))) (Array.init (nv - half) (fun i -> i))
+      in
+      Node [ build left; build right ]
+    end
+  in
+  match build (Array.init n (fun i -> i)) with
+  | Leaf v -> Node [ Leaf v ]
+  | Node _ as c -> c
+
+let rec cluster_vertices = function
+  | Leaf v -> [| v |]
+  | Node children -> Array.concat (List.map cluster_vertices children)
+
+let rec depth = function
+  | Leaf _ -> 0
+  | Node children -> 1 + List.fold_left (fun acc c -> max acc (depth c)) 0 children

@@ -1,0 +1,47 @@
+type t = { trees : Decomposition.t array }
+
+type strategy = Pure of Decomposition.strategy | Mixed
+
+let mixed_cycle =
+  [| Decomposition.Low_diameter; Decomposition.Bfs_bisection; Decomposition.Gomory_hu |]
+
+let sample ?(strategy = Pure Decomposition.Low_diameter) rng g ~size =
+  if size < 1 then invalid_arg "Ensemble.sample: size must be >= 1";
+  let shape_of i =
+    match strategy with
+    | Pure s -> s
+    | Mixed -> mixed_cycle.(i mod Array.length mixed_cycle)
+  in
+  let trees =
+    Array.init size (fun i ->
+        let rng' = Hgp_util.Prng.split rng in
+        Decomposition.build ~strategy:(shape_of i) rng' g)
+  in
+  { trees }
+
+let size e = Array.length e.trees
+let get e i = e.trees.(i)
+let to_list e = Array.to_list e.trees
+
+let best_of e f =
+  let best = ref None in
+  Array.iteri
+    (fun i d ->
+      let result, score = f d in
+      match !best with
+      | Some (_, _, s) when s <= score -> ()
+      | _ -> best := Some (i, result, score))
+    e.trees;
+  match !best with
+  | Some x -> x
+  | None -> invalid_arg "Ensemble.best_of: empty ensemble"
+
+let average_distortion e rng ~trials =
+  let means =
+    Array.map
+      (fun d ->
+        let ratios = Decomposition.distortion_sample d rng ~trials in
+        if Array.length ratios = 0 then 1.0 else Hgp_util.Stats.mean ratios)
+      e.trees
+  in
+  Hgp_util.Stats.mean means

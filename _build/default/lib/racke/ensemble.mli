@@ -1,0 +1,40 @@
+(** Distributions of decomposition trees (Theorems 6–7).
+
+    Räcke's theorem provides a convex combination of decomposition trees; the
+    HGP algorithm (Theorem 7) solves the problem on each tree and keeps the
+    solution whose *graph* cost is smallest.  This module samples and manages
+    such an ensemble. *)
+
+type t
+
+(** Ensemble composition. *)
+type strategy =
+  | Pure of Decomposition.strategy  (** every tree from one shape strategy *)
+  | Mixed
+      (** round-robin over all shape strategies — diversity usually helps
+          the best-of selection of Theorem 7 *)
+
+(** [sample ?strategy rng g ~size] draws [size] independent decomposition
+    trees of the connected graph [g] (default
+    [Pure Decomposition.Low_diameter]).  Requires [size >= 1]. *)
+val sample :
+  ?strategy:strategy -> Hgp_util.Prng.t -> Hgp_graph.Graph.t -> size:int -> t
+
+(** [size e] is the number of trees. *)
+val size : t -> int
+
+(** [get e i] is the [i]-th decomposition. *)
+val get : t -> int -> Decomposition.t
+
+(** [to_list e] lists all decompositions. *)
+val to_list : t -> Decomposition.t list
+
+(** [best_of e f] applies [f] to every decomposition and returns
+    [(index, result, score)] minimizing the score computed by [f].
+    [f] returns [(result, score)]. *)
+val best_of : t -> (Decomposition.t -> 'a * float) -> int * 'a * float
+
+(** [average_distortion e rng ~trials] is the mean over trees of the mean
+    sampled cut ratio [w_T / w_G] — the empirical analogue of the [O(log n)]
+    guarantee of Theorem 6. *)
+val average_distortion : t -> Hgp_util.Prng.t -> trials:int -> float

@@ -1,0 +1,1 @@
+lib/sim/des.ml: Array Float Hgp_hierarchy Hgp_util List Queue

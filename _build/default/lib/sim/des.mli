@@ -1,0 +1,67 @@
+(** Discrete-event simulation of a pinned stream-processing system — the
+    motivating scenario of the paper (TidalRace-style task pinning), used to
+    show that the abstract HGP cost tracks real latency and throughput.
+
+    Model:
+    - operators of a dataflow DAG are pinned to hierarchy leaves (cores);
+    - each core executes one tuple at a time, FCFS across its operators;
+    - an operator's service time per tuple is [demand / rate], so a stream
+      at its nominal rate loads the core by exactly its HGP demand;
+    - forwarding a tuple along an edge whose endpoints sit on cores with
+      LCA level [j] costs the {e sending core} an extra
+      [comm_overhead * cm(j) / cm(0)] of CPU time and delays the tuple by a
+      network latency [latency_per_cm * cm(j)] — co-located operators
+      communicate for free, which is precisely the structure the HGP
+      objective optimizes;
+    - sources emit Poisson streams; join/fan-out semantics follow edge rates
+      probabilistically;
+    - sinks record end-to-end tuple latency.
+
+    The simulation is deterministic given the seed. *)
+
+type workload = {
+  n_tasks : int;
+  sources : (int * float) list;  (** (task, emission rate) *)
+  edges : (int * int * float) list;  (** dataflow edges (src, dst, rate) *)
+  rates : float array;  (** nominal processed rate per task *)
+  demands : float array;  (** HGP demand (core fraction) per task *)
+  sinks : int list;
+}
+
+(* An adapter from generated stream DAGs lives in
+   [Hgp_workloads.Stream_dag.to_sim_workload] to keep this library free of a
+   workloads dependency. *)
+
+type config = {
+  duration : float;  (** simulated seconds after warmup *)
+  warmup : float;  (** initial transient discarded from metrics *)
+  load : float;  (** source-rate multiplier (1.0 = nominal) *)
+  comm_overhead : float;  (** CPU seconds per forwarded tuple at cm(0) *)
+  latency_per_cm : float;  (** network seconds per unit of [cm] *)
+  link_occupancy : float;
+      (** exclusive seconds a tuple occupies the shared link of the
+          endpoints' lowest common ancestor, at cm(0), scaled by
+          [cm(lvl)/cm(0)]; [0.] (default) disables link contention *)
+  max_queue : int;  (** per-core queue bound; overflowing tuples drop *)
+  seed : int;
+}
+
+val default_config : config
+
+type metrics = {
+  completed : int;  (** tuples absorbed by sinks during measurement *)
+  dropped : int;  (** tuples lost to full queues *)
+  avg_latency : float;  (** mean end-to-end latency (s); [nan] if none *)
+  p99_latency : float;
+  max_core_utilization : float;  (** busiest core's busy fraction *)
+  throughput : float;  (** completed tuples per simulated second *)
+}
+
+(** [run workload hierarchy ~assignment config] simulates the pinned system.
+    [assignment.(task)] must be a valid hierarchy leaf. *)
+val run :
+  workload ->
+  Hgp_hierarchy.Hierarchy.t ->
+  assignment:int array ->
+  config ->
+  metrics

@@ -1,0 +1,1 @@
+lib/tree/laminar.ml: Array Hashtbl

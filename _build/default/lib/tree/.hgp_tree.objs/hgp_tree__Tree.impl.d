@@ -1,0 +1,1 @@
+lib/tree/tree.ml: Array Format Hashtbl Hgp_graph List Queue Stack

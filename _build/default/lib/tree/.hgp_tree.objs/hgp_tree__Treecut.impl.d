@@ -1,0 +1,1 @@
+lib/tree/treecut.ml: Array Hgp_util List Tree

@@ -1,0 +1,1 @@
+lib/tree/treecut.mli: Tree

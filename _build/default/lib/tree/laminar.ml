@@ -1,0 +1,78 @@
+type family = int array array array
+
+let sorted_copy a =
+  let c = Array.copy a in
+  Array.sort compare c;
+  c
+
+let is_partition sets ~universe =
+  let all = Array.concat (Array.to_list sets) in
+  let all = sorted_copy all in
+  if Array.length all <> Array.length universe then false
+  else begin
+    let distinct = ref true in
+    Array.iteri
+      (fun i x ->
+        if i > 0 && all.(i - 1) = x then distinct := false;
+        if x <> universe.(i) then distinct := false)
+      all;
+    !distinct
+  end
+
+let refines fine coarse =
+  (* Map each element to its coarse set id, then check constancy per fine set. *)
+  let owner = Hashtbl.create 64 in
+  Array.iteri
+    (fun i set -> Array.iter (fun x -> Hashtbl.replace owner x i) set)
+    coarse;
+  Array.for_all
+    (fun set ->
+      Array.length set = 0
+      ||
+      match Hashtbl.find_opt owner set.(0) with
+      | None -> false
+      | Some id ->
+        Array.for_all
+          (fun x -> match Hashtbl.find_opt owner x with Some id' -> id' = id | None -> false)
+          set)
+    fine
+
+let is_laminar fam ~universe =
+  let h = Array.length fam - 1 in
+  h >= 0
+  && Array.length fam.(0) = 1
+  && sorted_copy fam.(0).(0) = universe
+  && (let ok = ref true in
+      for j = 0 to h do
+        if not (is_partition fam.(j) ~universe) then ok := false
+      done;
+      for j = 0 to h - 1 do
+        if not (refines fam.(j + 1) fam.(j)) then ok := false
+      done;
+      !ok)
+
+let refinement_counts fam =
+  let h = Array.length fam - 1 in
+  Array.init h (fun j ->
+      let coarse = fam.(j) and fine = fam.(j + 1) in
+      let owner = Hashtbl.create 64 in
+      Array.iteri
+        (fun i set -> Array.iter (fun x -> Hashtbl.replace owner x i) set)
+        coarse;
+      let counts = Array.make (Array.length coarse) 0 in
+      Array.iter
+        (fun set ->
+          if Array.length set > 0 then begin
+            match Hashtbl.find_opt owner set.(0) with
+            | Some id -> counts.(id) <- counts.(id) + 1
+            | None -> ()
+          end)
+        fine;
+      Array.to_list counts)
+
+let demands fam ~demand =
+  Array.map
+    (fun sets ->
+      Array.to_list
+        (Array.map (fun set -> Array.fold_left (fun acc x -> acc +. demand x) 0. set) sets))
+    fam

@@ -1,0 +1,138 @@
+(* Minimum leaf-separating cut by tree DP.
+
+   For every node v define:
+   - dp_s.(v): min cost within subtree(v) given v's residual component is on
+     the S side (may contain only S leaves);
+   - dp_o.(v): same with v on the other side.
+   A child is either kept (same side) or its edge is cut (opposite side pays
+   the edge).  Leaves are forced to their own side. *)
+
+let solve t ~in_set =
+  let n = Tree.n_nodes t in
+  let dp_s = Array.make n 0. and dp_o = Array.make n 0. in
+  (* choice.(v).(i): for child i of v, whether the child edge is cut when v is
+     on the S side (bit 0) / other side (bit 1). *)
+  let cut_if_s = Array.make n [||] in
+  let cut_if_o = Array.make n [||] in
+  Array.iter
+    (fun v ->
+      if Tree.is_leaf t v then begin
+        if in_set v then begin
+          dp_s.(v) <- 0.;
+          dp_o.(v) <- infinity
+        end
+        else begin
+          dp_s.(v) <- infinity;
+          dp_o.(v) <- 0.
+        end
+      end
+      else begin
+        let cs = Tree.children t v in
+        let k = Array.length cs in
+        cut_if_s.(v) <- Array.make k false;
+        cut_if_o.(v) <- Array.make k false;
+        let s = ref 0. and o = ref 0. in
+        Array.iteri
+          (fun i c ->
+            let w = Tree.edge_weight t c in
+            let keep_s = dp_s.(c) and cut_s = dp_o.(c) +. w in
+            (* Ties prefer keeping the edge: fewer cut edges, hence the
+               smaller mirror region required by the paper's tie-breaking. *)
+            if cut_s < keep_s then begin
+              s := !s +. cut_s;
+              cut_if_s.(v).(i) <- true
+            end
+            else s := !s +. keep_s;
+            let keep_o = dp_o.(c) and cut_o = dp_s.(c) +. w in
+            if cut_o < keep_o then begin
+              o := !o +. cut_o;
+              cut_if_o.(v).(i) <- true
+            end
+            else o := !o +. keep_o)
+          cs;
+        dp_s.(v) <- !s;
+        dp_o.(v) <- !o
+      end)
+    (Tree.post_order t);
+  (dp_s, dp_o, cut_if_s, cut_if_o)
+
+let reconstruct t (dp_s, dp_o, cut_if_s, cut_if_o) =
+  let r = Tree.root t in
+  let cut_edges = ref [] in
+  let side = Array.make (Tree.n_nodes t) false in
+  let rec go v on_s_side =
+    side.(v) <- on_s_side;
+    if not (Tree.is_leaf t v) then begin
+      let cs = Tree.children t v in
+      let cuts = if on_s_side then cut_if_s.(v) else cut_if_o.(v) in
+      Array.iteri
+        (fun i c ->
+          if cuts.(i) then begin
+            cut_edges := c :: !cut_edges;
+            go c (not on_s_side)
+          end
+          else go c on_s_side)
+        cs
+    end
+  in
+  let root_on_s = dp_s.(r) <= dp_o.(r) in
+  go r root_on_s;
+  let value = min dp_s.(r) dp_o.(r) in
+  (value, !cut_edges, side)
+
+let min_cut t ~in_set =
+  let any_in = Array.exists in_set (Tree.leaves t) in
+  let any_out = Array.exists (fun l -> not (in_set l)) (Tree.leaves t) in
+  if not (any_in && any_out) then (0., [])
+  else begin
+    let value, edges, _ = reconstruct t (solve t ~in_set) in
+    (value, edges)
+  end
+
+let min_cut_weight t ~in_set = fst (min_cut t ~in_set)
+
+let mirror_region t ~in_set =
+  let n = Tree.n_nodes t in
+  let any_in = Array.exists in_set (Tree.leaves t) in
+  if not any_in then Array.make n false
+  else if not (Array.exists (fun l -> not (in_set l)) (Tree.leaves t)) then
+    Array.make n true
+  else begin
+    let _, _, side = reconstruct t (solve t ~in_set) in
+    side
+  end
+
+let brute_force_weight t ~in_set =
+  let n = Tree.n_nodes t in
+  let edges =
+    List.filter (fun v -> v <> Tree.root t) (List.init n (fun i -> i))
+  in
+  let m = List.length edges in
+  if m > 20 then invalid_arg "Treecut.brute_force_weight: too large";
+  let edge_arr = Array.of_list edges in
+  let leaves = Tree.leaves t in
+  let best = ref infinity in
+  for mask = 0 to (1 lsl m) - 1 do
+    let dsu = Hgp_util.Dsu.create n in
+    (* Union kept edges. *)
+    Array.iteri
+      (fun i c ->
+        if (mask lsr i) land 1 = 0 then ignore (Hgp_util.Dsu.union dsu c (Tree.parent t c)))
+      edge_arr;
+    let valid = ref true in
+    Array.iter
+      (fun a ->
+        Array.iter
+          (fun b ->
+            if in_set a && not (in_set b) && Hgp_util.Dsu.same dsu a b then valid := false)
+          leaves)
+      leaves;
+    if !valid then begin
+      let cost = ref 0. in
+      Array.iteri
+        (fun i c -> if (mask lsr i) land 1 = 1 then cost := !cost +. Tree.edge_weight t c)
+        edge_arr;
+      if !cost < !best then best := !cost
+    end
+  done;
+  !best

@@ -1,0 +1,21 @@
+(** Minimum cuts separating leaf sets in a tree — the [CUT_T] operator of the
+    paper (Section 3). *)
+
+(** [min_cut t ~in_set] returns [(weight, cut_edges)] where [cut_edges] (each
+    identified by its child endpoint) is a minimum-weight edge set whose
+    removal disconnects every leaf [l] with [in_set l] from every leaf
+    without.  Runs in [O(n)] by dynamic programming.  When one side is empty
+    the cut is empty. *)
+val min_cut : Tree.t -> in_set:(int -> bool) -> float * int list
+
+(** [min_cut_weight t ~in_set] is the weight only. *)
+val min_cut_weight : Tree.t -> in_set:(int -> bool) -> float
+
+(** [mirror_region t ~in_set] returns the membership array of the mirror set
+    [N(S)] (Definition 5): nodes in components of [T \ CUT_T(S)] containing a
+    leaf of [S], for the specific minimum cut computed by {!min_cut}. *)
+val mirror_region : Tree.t -> in_set:(int -> bool) -> bool array
+
+(** [brute_force_weight t ~in_set] enumerates all edge subsets of trees with
+    at most 20 edges, for testing. *)
+val brute_force_weight : Tree.t -> in_set:(int -> bool) -> float

@@ -1,0 +1,1 @@
+lib/util/dsu.ml: Array Hashtbl List

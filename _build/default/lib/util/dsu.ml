@@ -1,0 +1,57 @@
+type t = {
+  parent : int array;
+  rank : int array;
+  sizes : int array;
+  mutable n_sets : int;
+}
+
+let create n =
+  {
+    parent = Array.init n (fun i -> i);
+    rank = Array.make n 0;
+    sizes = Array.make n 1;
+    n_sets = n;
+  }
+
+let size t = Array.length t.parent
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx = ry then false
+  else begin
+    let rx, ry = if t.rank.(rx) < t.rank.(ry) then ry, rx else rx, ry in
+    t.parent.(ry) <- rx;
+    t.sizes.(rx) <- t.sizes.(rx) + t.sizes.(ry);
+    if t.rank.(rx) = t.rank.(ry) then t.rank.(rx) <- t.rank.(rx) + 1;
+    t.n_sets <- t.n_sets - 1;
+    true
+  end
+
+let same t x y = find t x = find t y
+
+let set_size t x = t.sizes.(find t x)
+
+let count_sets t = t.n_sets
+
+let groups t =
+  let n = size t in
+  let buckets = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    let r = find t i in
+    let existing = try Hashtbl.find buckets r with Not_found -> [] in
+    Hashtbl.replace buckets r (i :: existing)
+  done;
+  let reps = Hashtbl.fold (fun r _ acc -> r :: acc) buckets [] in
+  let reps = List.sort compare reps in
+  List.map
+    (fun r -> Array.of_list (List.rev (Hashtbl.find buckets r)))
+    reps

@@ -1,0 +1,32 @@
+(** Disjoint-set union (union–find) with path compression and union by rank.
+
+    Used for connected components, Kruskal-style clustering and laminar-family
+    bookkeeping.  All operations are amortized near-constant time. *)
+
+type t
+
+(** [create n] builds a structure over elements [0..n-1], each a singleton. *)
+val create : int -> t
+
+(** [size t] is the number of elements (not sets). *)
+val size : t -> int
+
+(** [find t x] is the canonical representative of [x]'s set. *)
+val find : t -> int -> int
+
+(** [union t x y] merges the sets of [x] and [y]; returns [true] iff they were
+    previously distinct. *)
+val union : t -> int -> int -> bool
+
+(** [same t x y] tests whether [x] and [y] are in the same set. *)
+val same : t -> int -> int -> bool
+
+(** [set_size t x] is the number of elements in [x]'s set. *)
+val set_size : t -> int -> int
+
+(** [count_sets t] is the current number of disjoint sets. *)
+val count_sets : t -> int
+
+(** [groups t] lists every set as an array of its members, representatives in
+    increasing order. *)
+val groups : t -> int array list

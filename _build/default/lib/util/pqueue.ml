@@ -1,0 +1,139 @@
+type 'a entry = { prio : float; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length h = h.len
+
+let is_empty h = h.len = 0
+
+let grow h =
+  let cap = Array.length h.data in
+  if h.len = cap then begin
+    let ncap = max 8 (2 * cap) in
+    let nd = Array.make ncap h.data.(0) in
+    Array.blit h.data 0 nd 0 h.len;
+    h.data <- nd
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if h.data.(i).prio < h.data.(p).prio then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(p);
+      h.data.(p) <- tmp;
+      sift_up h p
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && h.data.(l).prio < h.data.(!smallest).prio then smallest := l;
+  if r < h.len && h.data.(r).prio < h.data.(!smallest).prio then smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h ~prio value =
+  let e = { prio; value } in
+  if h.len = 0 && Array.length h.data = 0 then h.data <- Array.make 8 e
+  else grow h;
+  h.data.(h.len) <- e;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let peek_min h =
+  if h.len = 0 then raise Not_found;
+  let e = h.data.(0) in
+  (e.prio, e.value)
+
+let pop_min h =
+  if h.len = 0 then raise Not_found;
+  let e = h.data.(0) in
+  h.len <- h.len - 1;
+  if h.len > 0 then begin
+    h.data.(0) <- h.data.(h.len);
+    sift_down h 0
+  end;
+  (e.prio, e.value)
+
+module Indexed = struct
+  type t = {
+    keys : int array; (* heap position -> key *)
+    pos : int array; (* key -> heap position, or -1 *)
+    prios : float array; (* key -> priority *)
+    mutable len : int;
+  }
+
+  let create n =
+    { keys = Array.make n (-1); pos = Array.make n (-1); prios = Array.make n 0.; len = 0 }
+
+  let is_empty h = h.len = 0
+  let length h = h.len
+  let mem h k = h.pos.(k) >= 0
+
+  let priority h k = if mem h k then h.prios.(k) else raise Not_found
+
+  let swap h i j =
+    let ki = h.keys.(i) and kj = h.keys.(j) in
+    h.keys.(i) <- kj;
+    h.keys.(j) <- ki;
+    h.pos.(ki) <- j;
+    h.pos.(kj) <- i
+
+  let rec sift_up h i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if h.prios.(h.keys.(i)) < h.prios.(h.keys.(p)) then begin
+        swap h i p;
+        sift_up h p
+      end
+    end
+
+  let rec sift_down h i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < h.len && h.prios.(h.keys.(l)) < h.prios.(h.keys.(!smallest)) then smallest := l;
+    if r < h.len && h.prios.(h.keys.(r)) < h.prios.(h.keys.(!smallest)) then smallest := r;
+    if !smallest <> i then begin
+      swap h i !smallest;
+      sift_down h !smallest
+    end
+
+  let insert h k prio =
+    if mem h k then invalid_arg "Pqueue.Indexed.insert: key already present";
+    h.keys.(h.len) <- k;
+    h.pos.(k) <- h.len;
+    h.prios.(k) <- prio;
+    h.len <- h.len + 1;
+    sift_up h (h.len - 1)
+
+  let decrease h k prio =
+    if not (mem h k) then invalid_arg "Pqueue.Indexed.decrease: key absent";
+    if prio < h.prios.(k) then begin
+      h.prios.(k) <- prio;
+      sift_up h h.pos.(k)
+    end
+
+  let insert_or_decrease h k prio = if mem h k then decrease h k prio else insert h k prio
+
+  let pop_min h =
+    if h.len = 0 then raise Not_found;
+    let k = h.keys.(0) in
+    let p = h.prios.(k) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      let last = h.keys.(h.len) in
+      h.keys.(0) <- last;
+      h.pos.(last) <- 0;
+      sift_down h 0
+    end;
+    h.pos.(k) <- -1;
+    (k, p)
+end

@@ -1,0 +1,59 @@
+(** Mutable binary min-heap keyed by floats, with optional decrease-key via
+    element handles.
+
+    Two interfaces are provided: a plain polymorphic heap ({!t}) and an
+    indexed heap ({!Indexed.t}) over elements [0..n-1] supporting
+    [decrease_key], as needed by Dijkstra-style algorithms. *)
+
+type 'a t
+
+(** [create ()] is an empty heap. *)
+val create : unit -> 'a t
+
+(** [length h] is the number of stored elements. *)
+val length : 'a t -> int
+
+(** [is_empty h] is [length h = 0]. *)
+val is_empty : 'a t -> bool
+
+(** [push h ~prio x] inserts [x] with priority [prio]. *)
+val push : 'a t -> prio:float -> 'a -> unit
+
+(** [pop_min h] removes and returns the minimum-priority binding.
+    @raise Not_found if the heap is empty. *)
+val pop_min : 'a t -> float * 'a
+
+(** [peek_min h] returns the minimum-priority binding without removing it.
+    @raise Not_found if the heap is empty. *)
+val peek_min : 'a t -> float * 'a
+
+module Indexed : sig
+  type t
+
+  (** [create n] is an empty indexed heap over keys [0..n-1]. *)
+  val create : int -> t
+
+  val is_empty : t -> bool
+  val length : t -> int
+
+  (** [mem h k] tests whether key [k] is currently in the heap. *)
+  val mem : t -> int -> bool
+
+  (** [priority h k] is the current priority of [k].
+      @raise Not_found if [k] is absent. *)
+  val priority : t -> int -> float
+
+  (** [insert h k prio] inserts key [k].  Requires [k] absent. *)
+  val insert : t -> int -> float -> unit
+
+  (** [decrease h k prio] lowers [k]'s priority to [prio] (no-op when [prio]
+      is not lower).  Requires [k] present. *)
+  val decrease : t -> int -> float -> unit
+
+  (** [insert_or_decrease h k prio] inserts [k] or lowers its priority. *)
+  val insert_or_decrease : t -> int -> float -> unit
+
+  (** [pop_min h] removes and returns the minimum binding as [(key, prio)].
+      @raise Not_found if the heap is empty. *)
+  val pop_min : t -> int * float
+end

@@ -1,0 +1,55 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty input")
+
+let mean xs =
+  check_nonempty "Stats.mean" xs;
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let stddev xs =
+  check_nonempty "Stats.stddev" xs;
+  let n = Array.length xs in
+  if n = 1 then 0.
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let min_max xs =
+  check_nonempty "Stats.min_max" xs;
+  Array.fold_left
+    (fun (lo, hi) x -> (min lo x, max hi x))
+    (xs.(0), xs.(0))
+    xs
+
+let quantile xs q =
+  check_nonempty "Stats.quantile" xs;
+  if q < 0. || q > 1. then invalid_arg "Stats.quantile: q out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) in
+  let hi = int_of_float (ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = pos -. float_of_int lo in
+    ((1. -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+  end
+
+let median xs = quantile xs 0.5
+
+let geometric_mean xs =
+  check_nonempty "Stats.geometric_mean" xs;
+  let sum_log =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0. then invalid_arg "Stats.geometric_mean: non-positive element";
+        acc +. log x)
+      0. xs
+  in
+  exp (sum_log /. float_of_int (Array.length xs))
+
+let summary xs =
+  let lo, hi = min_max xs in
+  Printf.sprintf "%.4g +- %.2g [%.4g, %.4g]" (mean xs) (stddev xs) lo hi

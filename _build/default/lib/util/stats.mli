@@ -1,0 +1,24 @@
+(** Small descriptive-statistics helpers used by the experiment harness. *)
+
+(** [mean xs] is the arithmetic mean.  Requires [xs] non-empty. *)
+val mean : float array -> float
+
+(** [stddev xs] is the sample standard deviation (n-1 denominator; [0.] for a
+    single observation). *)
+val stddev : float array -> float
+
+(** [min_max xs] is [(min, max)].  Requires [xs] non-empty. *)
+val min_max : float array -> float * float
+
+(** [quantile xs q] is the [q]-quantile using linear interpolation,
+    [0. <= q <= 1.].  Requires [xs] non-empty. *)
+val quantile : float array -> float -> float
+
+(** [median xs] is [quantile xs 0.5]. *)
+val median : float array -> float
+
+(** [geometric_mean xs] requires every element positive. *)
+val geometric_mean : float array -> float
+
+(** [summary xs] renders ["mean +- sd [min, max]"]. *)
+val summary : float array -> string

@@ -1,0 +1,45 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let render ~header ?aligns rows =
+  let ncols = List.length header in
+  let aligns =
+    match aligns with
+    | Some a ->
+      if List.length a <> ncols then invalid_arg "Tablefmt.render: aligns length mismatch";
+      Array.of_list a
+    | None -> Array.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let normalize row =
+    let len = List.length row in
+    if len > ncols then invalid_arg "Tablefmt.render: row longer than header";
+    row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let all = header :: rows in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row -> List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let render_row row =
+    String.concat "  " (List.mapi (fun i cell -> pad aligns.(i) widths.(i) cell) row)
+  in
+  let sep =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" (render_row header :: sep :: List.map render_row rows)
+
+let print ~title ~header ?aligns rows =
+  Printf.printf "\n== %s ==\n%s\n" title (render ~header ?aligns rows)
+
+let fmt_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else if Float.abs x >= 1e6 || (Float.abs x < 1e-3 && x <> 0.) then Printf.sprintf "%.3e" x
+  else Printf.sprintf "%.4g" x

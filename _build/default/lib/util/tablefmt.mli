@@ -1,0 +1,15 @@
+(** Plain-text aligned table rendering for the experiment harness. *)
+
+type align = Left | Right
+
+(** [render ~header ?aligns rows] renders an aligned table with a separator
+    under the header.  [aligns] defaults to left for the first column and
+    right for the rest.  Rows shorter than the header are padded with empty
+    cells; longer rows raise [Invalid_argument]. *)
+val render : header:string list -> ?aligns:align list -> string list list -> string
+
+(** [print ~title ~header ?aligns rows] prints a titled table to stdout. *)
+val print : title:string -> header:string list -> ?aligns:align list -> string list list -> unit
+
+(** [fmt_float x] renders a float compactly ("123.4", "0.0123", "1.2e+07"). *)
+val fmt_float : float -> string

@@ -1,0 +1,1 @@
+lib/workloads/presets.ml: Array Float Hgp_core Hgp_graph Hgp_hierarchy Hgp_util Printf Stream_dag

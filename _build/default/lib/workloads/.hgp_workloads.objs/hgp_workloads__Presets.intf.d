@@ -1,0 +1,1 @@
+lib/workloads/presets.mli: Hgp_core Hgp_hierarchy Hgp_util

@@ -1,0 +1,1 @@
+lib/workloads/stream_dag.ml: Array Float Hgp_core Hgp_graph Hgp_hierarchy Hgp_sim Hgp_util List

@@ -1,0 +1,98 @@
+module Prng = Hgp_util.Prng
+module Gen = Hgp_graph.Generators
+module Instance = Hgp_core.Instance
+
+type spec = {
+  name : string;
+  build : Prng.t -> Hgp_hierarchy.Hierarchy.t -> Instance.t;
+}
+
+(* Uniform demands targeting [load_factor] of the hierarchy capacity, with
+   each task clamped to one leaf capacity (small workloads on large
+   hierarchies would otherwise be invalid; the realized load is lower). *)
+let uniform_clamped g hy ~load_factor =
+  let n = Hgp_graph.Graph.n g in
+  let cap = Hgp_hierarchy.Hierarchy.leaf_capacity hy in
+  let total_cap = float_of_int (Hgp_hierarchy.Hierarchy.num_leaves hy) *. cap in
+  let d = Float.min cap (load_factor *. total_cap /. float_of_int n) in
+  Instance.create g ~demands:(Array.make n d) hy
+
+let random_clamped rng g hy ~load_factor =
+  let n = Hgp_graph.Graph.n g in
+  let cap = Hgp_hierarchy.Hierarchy.leaf_capacity hy in
+  let total_cap = float_of_int (Hgp_hierarchy.Hierarchy.num_leaves hy) *. cap in
+  let raw = Array.init n (fun _ -> 0.1 +. Prng.float rng 0.9) in
+  let sum = Array.fold_left ( +. ) 0. raw in
+  let scale = load_factor *. total_cap /. sum in
+  Instance.create g ~demands:(Array.map (fun d -> Float.min cap (d *. scale)) raw) hy
+
+let stream ~n_sources ~depth =
+  {
+    name = Printf.sprintf "stream(%dx%d)" n_sources depth;
+    build =
+      (fun rng hy ->
+        let params =
+          { Stream_dag.default_params with n_sources; pipeline_depth = depth }
+        in
+        let w = Stream_dag.generate rng params in
+        Stream_dag.to_instance w hy ~load_factor:0.7);
+  }
+
+let mesh ~rows ~cols =
+  {
+    name = Printf.sprintf "mesh(%dx%d)" rows cols;
+    build =
+      (fun _rng hy ->
+        let g = Gen.grid2d ~rows ~cols in
+        uniform_clamped g hy ~load_factor:0.8);
+  }
+
+let gnp ~n ~p =
+  {
+    name = Printf.sprintf "gnp(%d,%.2f)" n p;
+    build =
+      (fun rng hy ->
+        let g = Gen.gnp_connected rng n p in
+        let g = Gen.randomize_weights rng g ~lo:1.0 ~hi:5.0 in
+        random_clamped rng g hy ~load_factor:0.75);
+  }
+
+let powerlaw ~n =
+  {
+    name = Printf.sprintf "powerlaw(%d)" n;
+    build =
+      (fun rng hy ->
+        let g = Gen.chung_lu rng ~n ~exponent:2.5 ~avg_degree:4.0 in
+        let g = Hgp_graph.Traversal.ensure_connected g rng in
+        uniform_clamped g hy ~load_factor:0.75);
+  }
+
+let small_suite =
+  [
+    stream ~n_sources:8 ~depth:4;
+    mesh ~rows:6 ~cols:6;
+    gnp ~n:40 ~p:0.15;
+    powerlaw ~n:48;
+  ]
+
+let barbell ~clique ~bridge =
+  {
+    name = Printf.sprintf "barbell(%d,%d)" clique bridge;
+    build =
+      (fun _rng hy ->
+        let g = Gen.barbell ~clique ~bridge in
+        uniform_clamped g hy ~load_factor:0.7);
+  }
+
+let small_world ~n =
+  {
+    name = Printf.sprintf "smallworld(%d)" n;
+    build =
+      (fun rng hy ->
+        let g = Gen.watts_strogatz rng ~n ~k:4 ~beta:0.15 in
+        let g = Hgp_graph.Traversal.ensure_connected g rng in
+        uniform_clamped g hy ~load_factor:0.7);
+  }
+
+let full_suite =
+  small_suite @ [ barbell ~clique:10 ~bridge:4; small_world ~n:48 ]

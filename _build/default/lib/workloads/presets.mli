@@ -1,0 +1,36 @@
+(** Named workload presets used by the experiment harness and the examples:
+    each couples a graph generator with a demand model. *)
+
+type spec = {
+  name : string;
+  build : Hgp_util.Prng.t -> Hgp_hierarchy.Hierarchy.t -> Hgp_core.Instance.t;
+}
+
+(** [stream ~n_sources ~depth] is a streaming-DAG workload at 70% load. *)
+val stream : n_sources:int -> depth:int -> spec
+
+(** [mesh ~rows ~cols] is a 2-D stencil computation (uniform demands, 80%
+    load) — the scientific-computing workload of the mapping literature. *)
+val mesh : rows:int -> cols:int -> spec
+
+(** [gnp ~n ~p] is an Erdős–Rényi communication pattern with random demands
+    at 75% load. *)
+val gnp : n:int -> p:float -> spec
+
+(** [powerlaw ~n] is a Chung–Lu power-law graph (hub-heavy communication)
+    with uniform demands at 75% load. *)
+val powerlaw : n:int -> spec
+
+(** [small_suite] is a compact list for experiments ([n] around 30–80). *)
+val small_suite : spec list
+
+(** [barbell ~clique ~bridge] is two communication-heavy task cliques joined
+    by a thin bridge (uniform demands, 70% load). *)
+val barbell : clique:int -> bridge:int -> spec
+
+(** [small_world ~n] is a Watts–Strogatz small-world pattern (70% load). *)
+val small_world : n:int -> spec
+
+(** [full_suite] is {!small_suite} plus the barbell and small-world
+    workloads. *)
+val full_suite : spec list

@@ -1,0 +1,132 @@
+module Prng = Hgp_util.Prng
+module Graph = Hgp_graph.Graph
+
+type params = {
+  n_sources : int;
+  pipeline_depth : int;
+  join_probability : float;
+  fanout_probability : float;
+  selectivity : float;
+  rate_min : float;
+  rate_max : float;
+}
+
+let default_params =
+  {
+    n_sources = 8;
+    pipeline_depth = 5;
+    join_probability = 0.15;
+    fanout_probability = 0.1;
+    selectivity = 0.8;
+    rate_min = 10.;
+    rate_max = 100.;
+  }
+
+type t = {
+  graph : Graph.t;
+  rates : float array;
+  kinds : string array;
+  directed_edges : (int * int * float) list;
+}
+
+type op = { id : int; rate : float }
+
+let generate rng p =
+  if p.n_sources < 1 || p.pipeline_depth < 1 then invalid_arg "Stream_dag.generate";
+  if not (p.selectivity > 0. && p.selectivity <= 1.) then
+    invalid_arg "Stream_dag.generate: selectivity out of range";
+  let rates = ref [] and kinds = ref [] and edges = ref [] in
+  let next = ref 0 in
+  let fresh rate kind =
+    let id = !next in
+    incr next;
+    rates := rate :: !rates;
+    kinds := kind :: !kinds;
+    { id; rate }
+  in
+  let connect a b w = edges := (a.id, b.id, w) :: !edges in
+  (* Frontier of live pipeline heads. *)
+  let frontier =
+    ref
+      (List.init p.n_sources (fun _ ->
+           fresh (p.rate_min +. Prng.float rng (p.rate_max -. p.rate_min)) "source"))
+  in
+  for _stage = 1 to p.pipeline_depth do
+    let heads = !frontier in
+    let rec step acc = function
+      | [] -> acc
+      | a :: b :: rest when Prng.float rng 1.0 < p.join_probability ->
+        (* Join two pipelines: output rate is the sum, decayed. *)
+        let out = fresh ((a.rate +. b.rate) *. p.selectivity) "join" in
+        connect a out a.rate;
+        connect b out b.rate;
+        step (out :: acc) rest
+      | a :: rest when Prng.float rng 1.0 < p.fanout_probability ->
+        (* Fan out into two downstream operators sharing the rate. *)
+        let o1 = fresh (a.rate *. p.selectivity /. 2.) "op" in
+        let o2 = fresh (a.rate *. p.selectivity /. 2.) "op" in
+        connect a o1 (a.rate /. 2.);
+        connect a o2 (a.rate /. 2.);
+        step (o1 :: o2 :: acc) rest
+      | a :: rest ->
+        let out = fresh (a.rate *. p.selectivity) "op" in
+        connect a out a.rate;
+        step (out :: acc) rest
+    in
+    frontier := step [] heads
+  done;
+  (* Terminate every pipeline in a sink; group a few pipelines per sink to
+     model shared output tables. *)
+  let heads = Array.of_list !frontier in
+  Prng.shuffle rng heads;
+  let group = 3 in
+  let i = ref 0 in
+  while !i < Array.length heads do
+    let upto = min (Array.length heads) (!i + group) in
+    let members = Array.sub heads !i (upto - !i) in
+    let total = Array.fold_left (fun acc a -> acc +. a.rate) 0. members in
+    let sink = fresh total "sink" in
+    Array.iter (fun a -> connect a sink a.rate) members;
+    i := upto
+  done;
+  let n = !next in
+  let graph = Graph.of_edges n (List.rev !edges) in
+  let graph = Hgp_graph.Traversal.ensure_connected graph rng in
+  {
+    graph;
+    rates = Array.of_list (List.rev !rates);
+    kinds = Array.of_list (List.rev !kinds);
+    directed_edges = List.rev !edges;
+  }
+
+let to_instance w hierarchy ~load_factor =
+  let n = Graph.n w.graph in
+  let total_cap =
+    float_of_int (Hgp_hierarchy.Hierarchy.num_leaves hierarchy)
+    *. Hgp_hierarchy.Hierarchy.leaf_capacity hierarchy
+  in
+  let total_rate = Array.fold_left ( +. ) 0. w.rates in
+  let scale = load_factor *. total_cap /. total_rate in
+  let cap = Hgp_hierarchy.Hierarchy.leaf_capacity hierarchy in
+  let demands =
+    Array.init n (fun v -> Float.min cap (Float.max 1e-6 (w.rates.(v) *. scale)))
+  in
+  Hgp_core.Instance.create w.graph ~demands hierarchy
+
+let to_sim_workload w ~demands =
+  let n = Graph.n w.graph in
+  if Array.length demands <> n then invalid_arg "Stream_dag.to_sim_workload: demands";
+  let sources = ref [] and sinks = ref [] in
+  Array.iteri
+    (fun v k ->
+      if k = "source" then sources := (v, w.rates.(v)) :: !sources
+      else if k = "sink" then sinks := v :: !sinks)
+    w.kinds;
+  {
+    Hgp_sim.Des.n_tasks = n;
+    sources = List.rev !sources;
+    edges = w.directed_edges;
+    rates = Array.copy w.rates;
+    demands = Array.copy demands;
+    sinks = List.rev !sinks;
+  }

@@ -1,0 +1,47 @@
+(** Synthetic stream-processing workloads, modelled on the data-stream
+    warehousing system (TidalRace) that motivates the paper.
+
+    A query plan is a layered DAG: source operators ingest streams, a chain
+    of parsers/filters/transforms processes them, occasional joins fuse
+    pipelines, and aggregate/sink operators terminate them.  Communication
+    weight on an edge is the tuple rate flowing across it (decayed by filter
+    selectivity); an operator's CPU demand is proportional to the rate it
+    processes.  Heavy pipelines therefore want to stay on nearby cores, which
+    is exactly the structure hierarchical partitioning exploits. *)
+
+type params = {
+  n_sources : int;  (** ingest streams *)
+  pipeline_depth : int;  (** operators per pipeline *)
+  join_probability : float;  (** chance a stage joins two pipelines *)
+  fanout_probability : float;  (** chance a stage splits a pipeline in two *)
+  selectivity : float;  (** per-stage rate decay in (0, 1] *)
+  rate_min : float;  (** minimum source rate *)
+  rate_max : float;  (** maximum source rate *)
+}
+
+val default_params : params
+
+type t = {
+  graph : Hgp_graph.Graph.t;  (** the undirected communication graph *)
+  rates : float array;  (** tuple rate processed by each operator *)
+  kinds : string array;  (** "source" / "op" / "join" / "sink" *)
+  directed_edges : (int * int * float) list;
+      (** dataflow edges [(src, dst, rate)] in generation order; the
+          undirected [graph] is their symmetrization (plus connectivity
+          patch edges, if any) *)
+}
+
+(** [generate rng params] builds a workload.  The graph is connected. *)
+val generate : Hgp_util.Prng.t -> params -> t
+
+(** [to_instance w hierarchy ~load_factor] turns the workload into an HGP
+    instance: demands proportional to operator rates, rescaled so total
+    demand is [load_factor] of the hierarchy capacity (each demand clamped to
+    a leaf capacity). *)
+val to_instance :
+  t -> Hgp_hierarchy.Hierarchy.t -> load_factor:float -> Hgp_core.Instance.t
+
+(** [to_sim_workload w ~demands] adapts the DAG for the discrete-event
+    simulator ({!Hgp_sim.Des}); [demands] are the per-operator core fractions
+    of the HGP instance the placement was computed for. *)
+val to_sim_workload : t -> demands:float array -> Hgp_sim.Des.workload

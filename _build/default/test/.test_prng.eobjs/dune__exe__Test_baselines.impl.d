@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Hgp_baselines Hgp_core Hgp_graph Hgp_hierarchy Hgp_util List QCheck2 Test_support

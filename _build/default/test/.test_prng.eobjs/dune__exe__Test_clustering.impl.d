@@ -1,0 +1,1 @@
+test/test_clustering.ml: Alcotest Array Hgp_graph Hgp_racke Hgp_util List QCheck2 Test_support

@@ -1,0 +1,1 @@
+test/test_collections.ml: Alcotest Array Hgp_core Hgp_graph Hgp_tree Hgp_util QCheck2 Test_support

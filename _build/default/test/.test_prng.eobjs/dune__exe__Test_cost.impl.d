@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Array Float Hgp_core Hgp_graph Hgp_hierarchy Hgp_util QCheck2 Test_support

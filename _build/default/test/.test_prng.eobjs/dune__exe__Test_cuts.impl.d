@@ -1,0 +1,1 @@
+test/test_cuts.ml: Alcotest Array Float Hgp_graph List Test_support

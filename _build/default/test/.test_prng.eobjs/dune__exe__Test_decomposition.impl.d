@@ -1,0 +1,1 @@
+test/test_decomposition.ml: Alcotest Array Float Hgp_graph Hgp_racke Hgp_tree Hgp_util List QCheck2 Test_support

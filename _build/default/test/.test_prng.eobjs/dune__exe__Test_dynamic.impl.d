@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Array Float Hgp_core Hgp_hierarchy Hgp_util List QCheck2 Test_support

@@ -1,0 +1,1 @@
+test/test_feasible.ml: Alcotest Array Hgp_core Hgp_graph Hgp_hierarchy Hgp_tree Hgp_util List QCheck2 Test_support

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Float Hgp_flow Hgp_graph Test_support

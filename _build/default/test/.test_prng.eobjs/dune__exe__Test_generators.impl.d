@@ -1,0 +1,1 @@
+test/test_generators.ml: Alcotest Hgp_flow Hgp_graph Hgp_util QCheck2 Test_support

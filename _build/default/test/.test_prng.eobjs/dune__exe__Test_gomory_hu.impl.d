@@ -1,0 +1,1 @@
+test/test_gomory_hu.ml: Alcotest Array Float Hgp_flow Hgp_graph Hgp_util List Test_support

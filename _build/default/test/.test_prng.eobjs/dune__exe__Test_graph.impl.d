@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float Hgp_graph List Test_support

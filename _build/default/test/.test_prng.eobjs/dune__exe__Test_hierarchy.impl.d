@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest Hgp_hierarchy List QCheck2 String Test_support

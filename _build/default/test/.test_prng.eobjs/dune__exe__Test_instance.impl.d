@@ -1,0 +1,1 @@
+test/test_instance.ml: Alcotest Array Filename Fun Hgp_core Hgp_graph Hgp_hierarchy Hgp_util List QCheck2 Sys Test_support

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Hgp_baselines Hgp_core Hgp_graph Hgp_hierarchy Hgp_sim Hgp_util Hgp_workloads List Printf Test_support

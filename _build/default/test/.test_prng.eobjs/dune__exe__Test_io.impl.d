@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Filename Float Fun Hgp_graph Sys Test_support

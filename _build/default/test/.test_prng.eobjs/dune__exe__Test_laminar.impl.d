@@ -1,0 +1,1 @@
+test/test_laminar.ml: Alcotest Array Hgp_tree

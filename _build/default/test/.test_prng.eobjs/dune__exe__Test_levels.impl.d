@@ -1,0 +1,1 @@
+test/test_levels.ml: Alcotest Array Float Hgp_core Hgp_graph Hgp_tree Hgp_util QCheck2 Test_support

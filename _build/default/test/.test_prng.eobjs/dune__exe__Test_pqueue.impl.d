@@ -1,0 +1,1 @@
+test/test_pqueue.ml: Alcotest Array Hgp_util List QCheck2 Test_support

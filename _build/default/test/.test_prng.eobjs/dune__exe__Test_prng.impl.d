@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Hashtbl Hgp_util List QCheck2 Test_support

@@ -1,0 +1,1 @@
+test/test_signature.ml: Alcotest Hgp_core QCheck2 Test_support

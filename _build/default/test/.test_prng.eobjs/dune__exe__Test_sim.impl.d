@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Float Hgp_baselines Hgp_core Hgp_hierarchy Hgp_sim Hgp_util Hgp_workloads List QCheck2 Test_support

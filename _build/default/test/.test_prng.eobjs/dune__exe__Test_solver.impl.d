@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Hgp_baselines Hgp_core Hgp_graph Hgp_hierarchy Hgp_racke Hgp_tree Hgp_util List QCheck2 Test_support

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Float Hgp_util QCheck2 Test_support

@@ -1,0 +1,1 @@
+test/test_tablefmt.ml: Alcotest Hgp_util List QCheck2 String Test_support

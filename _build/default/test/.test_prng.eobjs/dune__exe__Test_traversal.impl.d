@@ -1,0 +1,1 @@
+test/test_traversal.ml: Alcotest Array Float Hgp_graph Hgp_util Test_support

@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Array Float Hgp_graph Hgp_tree List Test_support

@@ -1,0 +1,1 @@
+test/test_tree_dp.ml: Alcotest Array Float Hgp_core Hgp_graph Hgp_hierarchy Hgp_tree Hgp_util QCheck2 Test_support

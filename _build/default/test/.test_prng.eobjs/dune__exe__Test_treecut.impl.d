@@ -1,0 +1,1 @@
+test/test_treecut.ml: Alcotest Array Float Fun Hgp_tree Hgp_util List QCheck2 Test_support

@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Array Float Format Hgp_core Hgp_graph Hgp_hierarchy Hgp_util QCheck2 String Test_support

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Hgp_core Hgp_graph Hgp_hierarchy Hgp_util Hgp_workloads List QCheck2 Test_support

@@ -1,0 +1,49 @@
+(* Shared helpers for the test suites. *)
+
+let check_close ?(eps = 1e-6) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. (1. +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.9g, got %.9g" msg expected actual
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* A small deterministic PRNG generator seeded from QCheck input. *)
+let gen_rng = QCheck2.Gen.map Hgp_util.Prng.create QCheck2.Gen.(int_bound 1_000_000)
+
+(* Random small connected weighted graph. *)
+let gen_graph ?(max_n = 12) () =
+  let open QCheck2.Gen in
+  let* n = int_range 2 max_n in
+  let* seed = int_bound 1_000_000 in
+  let rng = Hgp_util.Prng.create seed in
+  let g = Hgp_graph.Generators.gnp_connected rng n 0.4 in
+  let g = Hgp_graph.Generators.randomize_weights rng g ~lo:1.0 ~hi:9.0 in
+  return g
+
+(* Random small tree (as Tree.t) with random integer weights. *)
+let gen_tree ?(max_n = 10) () =
+  let open QCheck2.Gen in
+  let* n = int_range 2 max_n in
+  let* seed = int_bound 1_000_000 in
+  let rng = Hgp_util.Prng.create seed in
+  let g = Hgp_graph.Generators.random_tree rng n in
+  let g = Hgp_graph.Generators.randomize_weights rng g ~lo:1.0 ~hi:9.0 in
+  return (Hgp_tree.Tree.of_graph g ~root:0)
+
+(* Small random hierarchy: height 1..3, degrees 2..3, decreasing cm. *)
+let gen_hierarchy =
+  let open QCheck2.Gen in
+  let* h = int_range 1 3 in
+  let* degs = array_repeat h (int_range 2 3) in
+  let* steps = array_repeat h (float_range 0.5 10.0) in
+  (* cm built by accumulating nonnegative steps from the leaf level up. *)
+  let cm = Array.make (h + 1) 0. in
+  for j = h - 1 downto 0 do
+    cm.(j) <- cm.(j + 1) +. steps.(j)
+  done;
+  return (Hgp_hierarchy.Hierarchy.create ~degs ~cm ~leaf_capacity:1.0)
+
+(* Random assignment of [n] vertices to hierarchy leaves (ignores capacity —
+   for cost-identity style properties). *)
+let gen_assignment n hy =
+  QCheck2.Gen.(array_size (return n) (int_bound (Hgp_hierarchy.Hierarchy.num_leaves hy - 1)))

@@ -1,0 +1,121 @@
+module Clustering = Hgp_racke.Clustering
+module Graph = Hgp_graph.Graph
+module Gen = Hgp_graph.Generators
+module Prng = Hgp_util.Prng
+
+let test_partition_covers () =
+  let rng = Prng.create 1 in
+  let g = Gen.grid2d ~rows:4 ~cols:4 in
+  let vertices = Array.init 16 (fun i -> i) in
+  let parts =
+    Clustering.partition rng g ~vertices ~radius:2.0 ~edge_length:Clustering.unit_length
+  in
+  let all = List.concat_map Array.to_list parts in
+  Alcotest.(check (list int)) "exact cover" (List.init 16 (fun i -> i))
+    (List.sort compare all)
+
+let test_partition_subset () =
+  let rng = Prng.create 2 in
+  let g = Gen.grid2d ~rows:4 ~cols:4 in
+  let vertices = [| 0; 1; 2; 5; 6 |] in
+  let parts =
+    Clustering.partition rng g ~vertices ~radius:1.5 ~edge_length:Clustering.unit_length
+  in
+  let all = List.concat_map Array.to_list parts in
+  Alcotest.(check (list int)) "covers the subset" [ 0; 1; 2; 5; 6 ] (List.sort compare all)
+
+let test_edge_lengths () =
+  Test_support.check_close "inverse" 0.25 (Clustering.inverse_weight_length 4.);
+  Alcotest.(check bool) "zero weight infinite" true
+    (Clustering.inverse_weight_length 0. = infinity);
+  Test_support.check_close "unit" 1. (Clustering.unit_length 42.)
+
+let test_hierarchical_covers () =
+  let rng = Prng.create 3 in
+  let g = Gen.grid2d ~rows:3 ~cols:5 in
+  let c = Clustering.hierarchical rng g ~edge_length:Clustering.unit_length in
+  let vs = Clustering.cluster_vertices c in
+  let sorted = Array.copy vs in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "every vertex once" (Array.init 15 (fun i -> i)) sorted;
+  Alcotest.(check bool) "nontrivial depth" true (Clustering.depth c >= 1)
+
+let test_singleton_graph () =
+  let rng = Prng.create 4 in
+  let g = Graph.of_edges 1 [] in
+  let c = Clustering.hierarchical rng g ~edge_length:Clustering.unit_length in
+  Alcotest.(check (array int)) "single vertex" [| 0 |] (Clustering.cluster_vertices c)
+
+let prop_clusters_connected =
+  Test_support.qtest ~count:60 "every cluster induces a connected subgraph"
+    QCheck2.Gen.(pair (int_bound 100000) (int_range 4 20))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let g = Gen.gnp_connected rng n 0.25 in
+      let parts =
+        Clustering.partition rng g
+          ~vertices:(Array.init n (fun i -> i))
+          ~radius:2.0 ~edge_length:Clustering.unit_length
+      in
+      List.for_all
+        (fun p ->
+          let sub, _ = Graph.induced g p in
+          Hgp_graph.Traversal.is_connected sub)
+        parts)
+
+let prop_bfs_bisection_nested_and_balanced =
+  Test_support.qtest ~count:60 "bfs_bisection: proper nesting, near-equal splits"
+    QCheck2.Gen.(pair (int_bound 100000) (int_range 2 24))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let g = Gen.gnp_connected rng n 0.3 in
+      let c = Clustering.bfs_bisection rng g ~edge_length:Clustering.unit_length in
+      let vs = Clustering.cluster_vertices c in
+      let sorted = Array.copy vs in
+      Array.sort compare sorted;
+      let rec balanced = function
+        | Clustering.Leaf _ -> true
+        | Clustering.Node [ a; b ] ->
+          let na = Array.length (Clustering.cluster_vertices a) in
+          let nb = Array.length (Clustering.cluster_vertices b) in
+          abs (na - nb) <= 1 && balanced a && balanced b
+        | Clustering.Node [ a ] -> balanced a
+        | Clustering.Node _ -> false
+      in
+      sorted = Array.init n (fun i -> i) && balanced c)
+
+let prop_hierarchical_nested =
+  Test_support.qtest ~count:60 "hierarchical clustering is a proper nesting"
+    QCheck2.Gen.(pair (int_bound 100000) (int_range 2 20))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let g = Gen.gnp_connected rng n 0.3 in
+      let c = Clustering.hierarchical rng g ~edge_length:Clustering.inverse_weight_length in
+      (* Check recursively: children's vertex sets partition the parent's. *)
+      let rec check = function
+        | Clustering.Leaf _ -> true
+        | Clustering.Node kids ->
+          let parent = Clustering.cluster_vertices (Clustering.Node kids) in
+          let union = Array.concat (List.map Clustering.cluster_vertices kids) in
+          let s a =
+            let c = Array.copy a in
+            Array.sort compare c;
+            Array.to_list c
+          in
+          s parent = s union && List.for_all check kids
+      in
+      check c)
+
+let () =
+  Alcotest.run "clustering"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "partition covers" `Quick test_partition_covers;
+          Alcotest.test_case "partition subset" `Quick test_partition_subset;
+          Alcotest.test_case "edge lengths" `Quick test_edge_lengths;
+          Alcotest.test_case "hierarchical covers" `Quick test_hierarchical_covers;
+          Alcotest.test_case "singleton graph" `Quick test_singleton_graph;
+        ] );
+      ("property", [ prop_clusters_connected; prop_bfs_bisection_nested_and_balanced; prop_hierarchical_nested ]);
+    ]

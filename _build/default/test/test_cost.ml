@@ -1,0 +1,132 @@
+module Graph = Hgp_graph.Graph
+module Gen = Hgp_graph.Generators
+module H = Hgp_hierarchy.Hierarchy
+module Instance = Hgp_core.Instance
+module Cost = Hgp_core.Cost
+module Prng = Hgp_util.Prng
+
+let sample_instance () =
+  let g = Graph.of_edges 4 [ (0, 1, 2.); (1, 2, 3.); (2, 3, 4.) ] in
+  let hy = H.create ~degs:[| 2; 2 |] ~cm:[| 10.; 4.; 0. |] ~leaf_capacity:1.0 in
+  Instance.create g ~demands:[| 0.5; 0.5; 0.5; 0.5 |] hy
+
+let test_assignment_cost_known () =
+  let inst = sample_instance () in
+  (* p: 0->leaf0, 1->leaf0 (same leaf), 2->leaf1 (same socket), 3->leaf2. *)
+  let p = [| 0; 0; 1; 2 |] in
+  (* edge (0,1): same leaf 0; edge (1,2): lca level 1 -> 4*3; edge (2,3):
+     lca level 0 -> 10*4. *)
+  Test_support.check_close "known cost" ((4. *. 3.) +. (10. *. 4.))
+    (Cost.assignment_cost inst p)
+
+let test_leaf_loads () =
+  let inst = sample_instance () in
+  let loads = Cost.leaf_loads inst [| 0; 0; 1; 2 |] in
+  Test_support.check_close "leaf 0" 1.0 loads.(0);
+  Test_support.check_close "leaf 3 empty" 0. loads.(3)
+
+let test_violations () =
+  let inst = sample_instance () in
+  let p = [| 0; 0; 0; 1 |] in
+  Test_support.check_close "leaf level violation" 1.5 (Cost.level_violation inst p 2);
+  Test_support.check_close "socket level" 1.0 (Cost.level_violation inst p 1);
+  Test_support.check_close "max" 1.5 (Cost.max_violation inst p)
+
+let test_is_valid () =
+  let inst = sample_instance () in
+  Alcotest.(check bool) "balanced ok" true (Cost.is_valid inst [| 0; 1; 2; 3 |] ~slack:1.0);
+  Alcotest.(check bool) "overloaded not ok" false
+    (Cost.is_valid inst [| 0; 0; 0; 1 |] ~slack:1.0);
+  Alcotest.(check bool) "slack accepts" true (Cost.is_valid inst [| 0; 0; 0; 1 |] ~slack:1.5);
+  Alcotest.(check bool) "out of range leaf" false (Cost.is_valid inst [| 0; 1; 2; 9 |] ~slack:1.0)
+
+(* Lemma 2: assignment cost (Eq. 1) equals mirror cost (Eq. 3). *)
+let prop_lemma2_cost_identity =
+  Test_support.qtest ~count:200 "Lemma 2: Eq.1 = Eq.3 on random assignments"
+    QCheck2.Gen.(
+      let* g = Test_support.gen_graph () in
+      let* hy = Test_support.gen_hierarchy in
+      let* p = Test_support.gen_assignment (Graph.n g) hy in
+      return (g, hy, p))
+    (fun (g, hy, p) ->
+      let demands = Array.make (Graph.n g) 0.5 in
+      let inst = Instance.create g ~demands hy in
+      let a = Cost.assignment_cost inst p in
+      let m = Cost.mirror_cost inst p in
+      Float.abs (a -. m) < 1e-6 *. (1. +. Float.abs a))
+
+(* Lemma 2 must hold for non-normalized cm as well (Lemma 1 interplay). *)
+let prop_lemma2_non_normalized =
+  Test_support.qtest ~count:100 "Lemma 2 with cm(h) > 0"
+    QCheck2.Gen.(
+      let* g = Test_support.gen_graph () in
+      let* seed = int_bound 10000 in
+      return (g, seed))
+    (fun (g, seed) ->
+      let rng = Prng.create seed in
+      let hy = H.create ~degs:[| 2; 2 |] ~cm:[| 12.; 5.; 2. |] ~leaf_capacity:1.0 in
+      let p = Array.init (Graph.n g) (fun _ -> Prng.int rng 4) in
+      let inst = Instance.create g ~demands:(Array.make (Graph.n g) 0.5) hy in
+      let a = Cost.assignment_cost inst p in
+      let m = Cost.mirror_cost inst p in
+      Float.abs (a -. m) < 1e-6 *. (1. +. Float.abs a))
+
+(* Lemma 1: normalization shifts every assignment's cost by the same
+   offset * total weight, so optima are preserved. *)
+let prop_lemma1_normalization_shift =
+  Test_support.qtest ~count:100 "Lemma 1: cost(cm) = cost(cm') + offset * W"
+    QCheck2.Gen.(
+      let* g = Test_support.gen_graph () in
+      let* seed = int_bound 10000 in
+      return (g, seed))
+    (fun (g, seed) ->
+      let rng = Prng.create seed in
+      let hy = H.create ~degs:[| 2; 3 |] ~cm:[| 9.; 4.; 1.5 |] ~leaf_capacity:1.0 in
+      let hy', offset = H.normalize hy in
+      let p = Array.init (Graph.n g) (fun _ -> Prng.int rng 6) in
+      let demands = Array.make (Graph.n g) 0.5 in
+      let raw = Cost.assignment_cost (Instance.create g ~demands hy) p in
+      let normalized = Cost.assignment_cost (Instance.create g ~demands hy') p in
+      Float.abs (raw -. (normalized +. (offset *. Graph.total_weight g)))
+      < 1e-6 *. (1. +. Float.abs raw))
+
+let prop_cost_bounds =
+  Test_support.qtest ~count:100 "0 <= cost <= cm(0) * W"
+    QCheck2.Gen.(
+      let* g = Test_support.gen_graph () in
+      let* hy = Test_support.gen_hierarchy in
+      let* p = Test_support.gen_assignment (Graph.n g) hy in
+      return (g, hy, p))
+    (fun (g, hy, p) ->
+      let inst = Instance.create g ~demands:(Array.make (Graph.n g) 0.5) hy in
+      let c = Cost.assignment_cost inst p in
+      c >= 0. && c <= (H.cm hy 0 *. Graph.total_weight g) +. 1e-9)
+
+let prop_colocated_free =
+  Test_support.qtest ~count:50 "everything on one leaf costs cm(h) * W"
+    (Test_support.gen_graph ())
+    (fun g ->
+      let hy = H.create ~degs:[| 2 |] ~cm:[| 7.; 1.5 |] ~leaf_capacity:1.0 in
+      let inst = Instance.create g ~demands:(Array.make (Graph.n g) 0.5) hy in
+      let c = Cost.assignment_cost inst (Array.make (Graph.n g) 0) in
+      Float.abs (c -. (1.5 *. Graph.total_weight g)) < 1e-9)
+
+let () =
+  Alcotest.run "cost"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "known cost" `Quick test_assignment_cost_known;
+          Alcotest.test_case "leaf loads" `Quick test_leaf_loads;
+          Alcotest.test_case "violations" `Quick test_violations;
+          Alcotest.test_case "is_valid" `Quick test_is_valid;
+        ] );
+      ( "property",
+        [
+          prop_lemma2_cost_identity;
+          prop_lemma2_non_normalized;
+          prop_lemma1_normalization_shift;
+          prop_cost_bounds;
+          prop_colocated_free;
+        ] );
+    ]

@@ -1,0 +1,70 @@
+module Graph = Hgp_graph.Graph
+module Cuts = Hgp_graph.Cuts
+module Gen = Hgp_graph.Generators
+
+let square () = Graph.of_edges 4 [ (0, 1, 1.); (1, 2, 2.); (2, 3, 3.); (3, 0, 4.) ]
+
+let test_cut_weight () =
+  let g = square () in
+  Test_support.check_close "cut {0}" 5. (Cuts.cut_weight g (fun v -> v = 0));
+  Test_support.check_close "cut {0,1}" 6. (Cuts.cut_weight g (fun v -> v <= 1));
+  Test_support.check_close "cut all" 0. (Cuts.cut_weight g (fun _ -> true))
+
+let test_cut_weight_of_set () =
+  let g = square () in
+  Test_support.check_close "set variant" 6. (Cuts.cut_weight_of_set g [| 0; 1 |])
+
+let test_kway () =
+  let g = square () in
+  Test_support.check_close "4 singleton parts" 10. (Cuts.kway_cut g [| 0; 1; 2; 3 |]);
+  Test_support.check_close "single part" 0. (Cuts.kway_cut g [| 0; 0; 0; 0 |])
+
+let test_boundary () =
+  let g = square () in
+  let b = Cuts.boundary g [| 0; 0; 1; 1 |] in
+  Alcotest.(check int) "two crossing edges" 2 (List.length b)
+
+let test_part_loads_and_imbalance () =
+  let parts = [| 0; 0; 1; 1 |] in
+  let demand v = float_of_int (v + 1) in
+  let loads = Cuts.part_loads parts ~n_parts:2 ~demand in
+  Test_support.check_close "part 0" 3. loads.(0);
+  Test_support.check_close "part 1" 7. loads.(1);
+  Test_support.check_close "imbalance" (7. /. 5.) (Cuts.imbalance parts ~n_parts:2 ~demand)
+
+let prop_cut_complement_symmetric =
+  Test_support.qtest ~count:100 "cut(S) = cut(V minus S)"
+    (Test_support.gen_graph ())
+    (fun g ->
+      let n = Graph.n g in
+      let in_set v = v mod 3 = 0 in
+      let a = Cuts.cut_weight g in_set in
+      let b = Cuts.cut_weight g (fun v -> not (in_set v)) in
+      Float.abs (a -. b) < 1e-9 && a <= Graph.total_weight g +. 1e-9 && n > 0)
+
+let prop_kway_equals_pairwise_sum =
+  Test_support.qtest ~count:100 "k-way cut = sum over crossing edges"
+    (Test_support.gen_graph ())
+    (fun g ->
+      let n = Graph.n g in
+      let parts = Array.init n (fun v -> v mod 3) in
+      let manual =
+        Graph.fold_edges
+          (fun acc u v w -> if parts.(u) <> parts.(v) then acc +. w else acc)
+          0. g
+      in
+      Float.abs (Cuts.kway_cut g parts -. manual) < 1e-9)
+
+let () =
+  Alcotest.run "cuts"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "cut weight" `Quick test_cut_weight;
+          Alcotest.test_case "cut weight of set" `Quick test_cut_weight_of_set;
+          Alcotest.test_case "kway" `Quick test_kway;
+          Alcotest.test_case "boundary" `Quick test_boundary;
+          Alcotest.test_case "loads and imbalance" `Quick test_part_loads_and_imbalance;
+        ] );
+      ("property", [ prop_cut_complement_symmetric; prop_kway_equals_pairwise_sum ]);
+    ]

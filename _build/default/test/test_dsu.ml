@@ -1,0 +1,81 @@
+module Dsu = Hgp_util.Dsu
+
+let test_singletons () =
+  let d = Dsu.create 5 in
+  Alcotest.(check int) "sets" 5 (Dsu.count_sets d);
+  for i = 0 to 4 do
+    Alcotest.(check int) "self find" i (Dsu.find d i);
+    Alcotest.(check int) "size 1" 1 (Dsu.set_size d i)
+  done
+
+let test_union_semantics () =
+  let d = Dsu.create 4 in
+  Alcotest.(check bool) "first union merges" true (Dsu.union d 0 1);
+  Alcotest.(check bool) "repeat union no-op" false (Dsu.union d 0 1);
+  Alcotest.(check bool) "same" true (Dsu.same d 0 1);
+  Alcotest.(check bool) "not same" false (Dsu.same d 0 2);
+  Alcotest.(check int) "sizes" 2 (Dsu.set_size d 1);
+  Alcotest.(check int) "sets" 3 (Dsu.count_sets d)
+
+let test_groups () =
+  let d = Dsu.create 6 in
+  ignore (Dsu.union d 0 2);
+  ignore (Dsu.union d 2 4);
+  ignore (Dsu.union d 1 5);
+  let groups = Dsu.groups d in
+  let sets = List.map Array.to_list groups in
+  Alcotest.(check int) "three groups" 3 (List.length sets);
+  Alcotest.(check bool) "0,2,4 together" true (List.mem [ 0; 2; 4 ] sets);
+  Alcotest.(check bool) "1,5 together" true (List.mem [ 1; 5 ] sets);
+  Alcotest.(check bool) "3 alone" true (List.mem [ 3 ] sets)
+
+(* Model-based property test: compare against a naive partition refinement. *)
+let prop_matches_naive =
+  Test_support.qtest ~count:200 "matches naive model"
+    QCheck2.Gen.(
+      pair (int_range 1 20) (list_size (int_bound 40) (pair (int_bound 19) (int_bound 19))))
+    (fun (n, ops) ->
+      let ops = List.map (fun (a, b) -> (a mod n, b mod n)) ops in
+      let d = Dsu.create n in
+      (* Naive model: representative array updated by full scans. *)
+      let model = Array.init n (fun i -> i) in
+      List.iter
+        (fun (a, b) ->
+          ignore (Dsu.union d a b);
+          let ra = model.(a) and rb = model.(b) in
+          if ra <> rb then
+            Array.iteri (fun i r -> if r = rb then model.(i) <- ra) model)
+        ops;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if Dsu.same d i j <> (model.(i) = model.(j)) then ok := false
+        done
+      done;
+      (* Sizes and set counts agree with the model too. *)
+      let model_sets =
+        List.length (List.sort_uniq compare (Array.to_list model))
+      in
+      !ok && Dsu.count_sets d = model_sets)
+
+let prop_group_sizes =
+  Test_support.qtest ~count:100 "groups partition the universe"
+    QCheck2.Gen.(
+      pair (int_range 1 15) (list_size (int_bound 30) (pair (int_bound 14) (int_bound 14))))
+    (fun (n, ops) ->
+      let d = Dsu.create n in
+      List.iter (fun (a, b) -> ignore (Dsu.union d (a mod n) (b mod n))) ops;
+      let members = List.concat_map Array.to_list (Dsu.groups d) in
+      List.sort compare members = List.init n (fun i -> i))
+
+let () =
+  Alcotest.run "dsu"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "singletons" `Quick test_singletons;
+          Alcotest.test_case "union semantics" `Quick test_union_semantics;
+          Alcotest.test_case "groups" `Quick test_groups;
+        ] );
+      ("property", [ prop_matches_naive; prop_group_sizes ]);
+    ]

@@ -1,0 +1,161 @@
+module H = Hgp_hierarchy.Hierarchy
+module Dynamic = Hgp_core.Dynamic
+module Solver = Hgp_core.Solver
+module Prng = Hgp_util.Prng
+
+let hy () = H.create ~degs:[| 2; 2 |] ~cm:[| 10.; 3.; 0. |] ~leaf_capacity:1.0
+
+let cfg ?(resolve_period = 0) () =
+  {
+    Dynamic.slack = 1.25;
+    resolve_period;
+    solver_options = { Solver.default_options with ensemble_size = 2 };
+  }
+
+let test_add_and_cost () =
+  let t = Dynamic.create (hy ()) (cfg ()) in
+  let a = Dynamic.add_task t ~demand:0.5 ~edges:[] in
+  let b = Dynamic.add_task t ~demand:0.5 ~edges:[ (a, 10.) ] in
+  Alcotest.(check int) "two tasks" 2 (Dynamic.n_alive t);
+  (* Greedy co-locates heavily-communicating tasks. *)
+  Alcotest.(check int) "co-located" (Dynamic.leaf_of t a) (Dynamic.leaf_of t b);
+  Test_support.check_close "zero cost when co-located" 0. (Dynamic.current_cost t)
+
+let test_capacity_forces_split () =
+  let t = Dynamic.create (hy ()) (cfg ()) in
+  let a = Dynamic.add_task t ~demand:0.8 ~edges:[] in
+  let b = Dynamic.add_task t ~demand:0.8 ~edges:[ (a, 5.) ] in
+  Alcotest.(check bool) "split across leaves" true
+    (Dynamic.leaf_of t a <> Dynamic.leaf_of t b);
+  (* The greedy choice picks the cheapest separation: same socket. *)
+  Test_support.check_close "same-socket cost" 15. (Dynamic.current_cost t);
+  Alcotest.(check bool) "within slack" true (Dynamic.max_violation t <= 1.25 +. 1e-9)
+
+let test_remove_frees_capacity () =
+  let t = Dynamic.create (hy ()) (cfg ()) in
+  let a = Dynamic.add_task t ~demand:0.9 ~edges:[] in
+  let b = Dynamic.add_task t ~demand:0.9 ~edges:[ (a, 1.) ] in
+  Dynamic.remove_task t a;
+  Alcotest.(check int) "one left" 1 (Dynamic.n_alive t);
+  Test_support.check_close "no live edges" 0. (Dynamic.current_cost t);
+  (* New task can land next to b again. *)
+  let c = Dynamic.add_task t ~demand:0.1 ~edges:[ (b, 3.) ] in
+  Alcotest.(check int) "co-located with b" (Dynamic.leaf_of t b) (Dynamic.leaf_of t c)
+
+let test_removed_id_rejected () =
+  let t = Dynamic.create (hy ()) (cfg ()) in
+  let a = Dynamic.add_task t ~demand:0.5 ~edges:[] in
+  Dynamic.remove_task t a;
+  Alcotest.(check bool) "edge to removed rejected" true
+    (try
+       ignore (Dynamic.add_task t ~demand:0.5 ~edges:[ (a, 1.) ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "double remove rejected" true
+    (try
+       Dynamic.remove_task t a;
+       false
+     with Invalid_argument _ -> true)
+
+let test_rebalance_improves () =
+  let rng = Prng.create 5 in
+  let t = Dynamic.create (hy ()) (cfg ()) in
+  (* Adversarial arrival order: heavy pairs arrive interleaved so greedy
+     placement fragments them. *)
+  let ids = ref [] in
+  for _ = 1 to 12 do
+    let edges =
+      match !ids with
+      | [] -> []
+      | existing ->
+        List.filteri (fun i _ -> i < 3) (List.map (fun id -> (id, Prng.float rng 10.)) existing)
+    in
+    ids := Dynamic.add_task t ~demand:0.3 ~edges :: !ids
+  done;
+  let before = Dynamic.current_cost t in
+  let moved = Dynamic.rebalance t in
+  let after = Dynamic.current_cost t in
+  Alcotest.(check bool) "rebalance not worse" true (after <= before +. 1e-6);
+  Alcotest.(check bool) "migrations counted" true ((Dynamic.stats t).migrations = moved)
+
+let test_auto_resolve () =
+  let t = Dynamic.create (hy ()) (cfg ~resolve_period:5 ()) in
+  for _ = 1 to 11 do
+    ignore (Dynamic.add_task t ~demand:0.2 ~edges:[])
+  done;
+  Alcotest.(check int) "two auto resolves" 2 (Dynamic.stats t).auto_resolves;
+  Alcotest.(check int) "11 events" 11 (Dynamic.stats t).events
+
+let prop_loads_consistent =
+  Test_support.qtest ~count:60 "loads and violation stay consistent under churn"
+    QCheck2.Gen.(pair (int_bound 100000) (int_range 5 40))
+    (fun (seed, steps) ->
+      let rng = Prng.create seed in
+      let t = Dynamic.create (hy ()) (cfg ()) in
+      let live = ref [] in
+      for _ = 1 to steps do
+        if !live <> [] && Prng.float rng 1.0 < 0.3 then begin
+          let arr = Array.of_list !live in
+          let victim = Prng.choose rng arr in
+          Dynamic.remove_task t victim;
+          live := List.filter (fun x -> x <> victim) !live
+        end
+        else begin
+          let edges =
+            List.filter_map
+              (fun id -> if Prng.bool rng then Some (id, 1. +. Prng.float rng 5.) else None)
+              !live
+          in
+          let id = Dynamic.add_task t ~demand:(0.05 +. Prng.float rng 0.4) ~edges in
+          live := id :: !live
+        end
+      done;
+      (* Violation may exceed slack only when total demand forces it. *)
+      Dynamic.n_alive t = List.length !live
+      && Dynamic.current_cost t >= 0.
+      &&
+      let v = Dynamic.max_violation t in
+      v >= 0. && v < 50.)
+
+let prop_cost_matches_independent_recomputation =
+  Test_support.qtest ~count:30 "manager cost = independent Eq.1 recomputation"
+    QCheck2.Gen.(pair (int_bound 100000) QCheck2.Gen.bool)
+    (fun (seed, do_rebalance) ->
+      let rng = Prng.create seed in
+      let hierarchy = hy () in
+      let t = Dynamic.create hierarchy (cfg ()) in
+      let live = ref [] and all_edges = ref [] in
+      for _ = 1 to 10 do
+        let edges =
+          List.filter_map
+            (fun id -> if Prng.bool rng then Some (id, 1. +. Prng.float rng 4.) else None)
+            !live
+        in
+        let id = Dynamic.add_task t ~demand:0.25 ~edges in
+        List.iter (fun (u, w) -> all_edges := (id, u, w) :: !all_edges) edges;
+        live := id :: !live
+      done;
+      if do_rebalance then ignore (Dynamic.rebalance t);
+      let expected =
+        List.fold_left
+          (fun acc (a, b, w) ->
+            acc
+            +. (w *. H.cm hierarchy (H.lca_level hierarchy (Dynamic.leaf_of t a) (Dynamic.leaf_of t b))))
+          0. !all_edges
+      in
+      Float.abs (Dynamic.current_cost t -. expected) < 1e-6 *. (1. +. expected))
+
+let () =
+  Alcotest.run "dynamic"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "add and cost" `Quick test_add_and_cost;
+          Alcotest.test_case "capacity forces split" `Quick test_capacity_forces_split;
+          Alcotest.test_case "remove frees capacity" `Quick test_remove_frees_capacity;
+          Alcotest.test_case "removed id rejected" `Quick test_removed_id_rejected;
+          Alcotest.test_case "rebalance improves" `Quick test_rebalance_improves;
+          Alcotest.test_case "auto resolve" `Quick test_auto_resolve;
+        ] );
+      ("property", [ prop_loads_consistent; prop_cost_matches_independent_recomputation ]);
+    ]

@@ -1,0 +1,136 @@
+module Tree = Hgp_tree.Tree
+module Tree_dp = Hgp_core.Tree_dp
+module Feasible = Hgp_core.Feasible
+module H = Hgp_hierarchy.Hierarchy
+module Gen = Hgp_graph.Generators
+module Prng = Hgp_util.Prng
+
+(* Random job-tree instances solved by the DP, then converted. *)
+let gen_solved =
+  let open QCheck2.Gen in
+  let* seed = int_bound 1_000_000 in
+  let* n = int_range 2 12 in
+  let* hidx = int_range 0 2 in
+  let rng = Prng.create seed in
+  let hy =
+    match hidx with
+    | 0 -> H.create ~degs:[| 2 |] ~cm:[| 10.; 0. |] ~leaf_capacity:1.0
+    | 1 -> H.create ~degs:[| 2; 2 |] ~cm:[| 10.; 3.; 0. |] ~leaf_capacity:1.0
+    | _ -> H.create ~degs:[| 2; 2; 2 |] ~cm:[| 10.; 5.; 2.; 0. |] ~leaf_capacity:1.0
+  in
+  let resolution = 4 in
+  let g = Gen.random_tree rng n in
+  let g = Gen.randomize_weights rng g ~lo:1.0 ~hi:9.0 in
+  let t = Tree.of_graph g ~root:0 in
+  let t, job_leaf = Tree.lift_internal_jobs t in
+  let demand_units = Array.make (Tree.n_nodes t) 0 in
+  (* Load roughly 60% of total capacity. *)
+  let total_units = resolution * H.num_leaves hy in
+  let budget = max n (6 * total_units / 10) in
+  Array.iteri
+    (fun i l -> demand_units.(l) <- max 1 (min resolution (budget / n + (i mod 2))))
+    job_leaf;
+  return (t, job_leaf, demand_units, hy, resolution)
+
+let solve_and_pack (t, _job_leaf, demand_units, hy, resolution) =
+  let cfg = Tree_dp.config_of_hierarchy hy ~resolution () in
+  match Tree_dp.solve t ~demand_units cfg with
+  | None -> None
+  | Some r ->
+    Some (r, Feasible.pack t ~kappa:r.kappa ~demand_units ~hierarchy:hy ~resolution)
+
+let prop_all_leaves_assigned =
+  Test_support.qtest ~count:120 "every leaf gets a real hierarchy leaf"
+    gen_solved
+    (fun ((t, _, _, hy, _) as inst) ->
+      match solve_and_pack inst with
+      | None -> true
+      | Some (_, report) ->
+        Array.for_all
+          (fun l ->
+            let a = report.Feasible.assignment.(l) in
+            a >= 0 && a < H.num_leaves hy)
+          (Tree.leaves t)
+        && Array.for_all
+             (fun v ->
+               Tree.is_leaf t v || report.Feasible.assignment.(v) = -1)
+             (Array.init (Tree.n_nodes t) (fun i -> i)))
+
+let prop_violation_bounded =
+  Test_support.qtest ~count:120 "Theorem 5: violation <= (1 + h) per level"
+    gen_solved
+    (fun ((_, _, _, hy, _) as inst) ->
+      match solve_and_pack inst with
+      | None -> true
+      | Some (_, report) ->
+        let h = H.height hy in
+        let ok = ref true in
+        for j = 1 to h do
+          (* Level-j sets obey (1 + j) CP(j) by Theorem 5. *)
+          if report.Feasible.level_violation_units.(j) > float_of_int (1 + j) +. 1e-9 then
+            ok := false
+        done;
+        !ok
+        && report.Feasible.max_violation_units
+           <= Feasible.theoretical_violation_bound ~h ~eps:0. +. 1e-9)
+
+let prop_cost_never_increases =
+  Test_support.qtest ~count:120 "Theorem 5: conversion cost <= relaxed DP cost"
+    gen_solved
+    (fun ((t, job_leaf, _, hy, _) as inst) ->
+      match solve_and_pack inst with
+      | None -> true
+      | Some (r, report) ->
+        (* Equation-1 cost of the packed assignment: every node of the
+           original tree is anchored at its job leaf (dummy leaves ride along
+           uncut infinite edges), so charge each finite tree edge by the LCA
+           level of its endpoints' job-leaf assignments. *)
+        let location v = report.Feasible.assignment.(job_leaf.(v)) in
+        let n_orig = Array.length job_leaf in
+        let packed_cost = ref 0. in
+        for v = 0 to n_orig - 1 do
+          if v <> Tree.root t then begin
+            let w = Tree.edge_weight t v in
+            if w <> infinity then
+              packed_cost :=
+                !packed_cost +. (w *. H.cm hy (H.lca_level hy (location v) (location (Tree.parent t v))))
+          end
+        done;
+        !packed_cost <= r.Tree_dp.cost +. 1e-6)
+
+let test_explicit_packing () =
+  (* Star with 4 unit leaves, capacities 1 unit per H-leaf, h=2 (2x2).
+     The relaxed optimum puts each leaf alone (all edges cut at level 0 or
+     deeper as needed); packing must assign 4 distinct H-leaves. *)
+  let t =
+    Tree.of_parents ~root:0 ~parents:[| -1; 0; 0; 0; 0 |]
+      ~weights:[| 0.; 1.; 1.; 1.; 1. |]
+  in
+  let demand_units = [| 0; 1; 1; 1; 1 |] in
+  let hy = H.create ~degs:[| 2; 2 |] ~cm:[| 4.; 1.; 0. |] ~leaf_capacity:1.0 in
+  let cfg = Tree_dp.config_of_hierarchy hy ~resolution:1 () in
+  match Tree_dp.solve t ~demand_units cfg with
+  | None -> Alcotest.fail "feasible"
+  | Some r ->
+    let report = Feasible.pack t ~kappa:r.kappa ~demand_units ~hierarchy:hy ~resolution:1 in
+    let leaves = [ 1; 2; 3; 4 ] in
+    let assigned = List.map (fun l -> report.Feasible.assignment.(l)) leaves in
+    Alcotest.(check int) "four distinct leaves" 4
+      (List.length (List.sort_uniq compare assigned));
+    Test_support.check_close "perfectly packed" 1. report.Feasible.max_violation_units
+
+let test_bound_helper () =
+  Test_support.check_close "bound" 7.5
+    (Feasible.theoretical_violation_bound ~h:4 ~eps:0.5)
+
+let () =
+  Alcotest.run "feasible"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "explicit packing" `Quick test_explicit_packing;
+          Alcotest.test_case "bound helper" `Quick test_bound_helper;
+        ] );
+      ( "property",
+        [ prop_all_leaves_assigned; prop_violation_bounded; prop_cost_never_increases ] );
+    ]

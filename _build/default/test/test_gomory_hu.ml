@@ -1,0 +1,73 @@
+module Graph = Hgp_graph.Graph
+module Gen = Hgp_graph.Generators
+module GH = Hgp_flow.Gomory_hu
+module Maxflow = Hgp_flow.Maxflow
+module Prng = Hgp_util.Prng
+
+let test_path_graph () =
+  (* On a path the GH tree is the path itself: min cut between i and j is the
+     lightest edge between them. *)
+  let g = Graph.of_edges 4 [ (0, 1, 5.); (1, 2, 2.); (2, 3, 7.) ] in
+  let t = GH.build g in
+  Test_support.check_close "0-3 bottleneck" 2. (GH.min_cut_between t 0 3);
+  Test_support.check_close "0-1 direct" 5. (GH.min_cut_between t 0 1);
+  Test_support.check_close "2-3 direct" 7. (GH.min_cut_between t 2 3)
+
+let test_triangle () =
+  let g = Graph.of_edges 3 [ (0, 1, 1.); (1, 2, 2.); (0, 2, 3.) ] in
+  let t = GH.build g in
+  (* Min cut isolating vertex 1 is 1+2=3; between 0 and 2 it is min(4, ...) *)
+  Test_support.check_close "0-1" 3. (GH.min_cut_between t 0 1);
+  Test_support.check_close "1-2" 3. (GH.min_cut_between t 1 2);
+  Test_support.check_close "0-2" 4. (GH.min_cut_between t 0 2)
+
+let test_single_vertex () =
+  let g = Graph.of_edges 1 [] in
+  let t = GH.build g in
+  Alcotest.(check int) "trivial" 1 (Array.length t.GH.parent)
+
+let test_to_graph_is_tree () =
+  let rng = Prng.create 3 in
+  let g = Gen.gnp_connected rng 12 0.4 in
+  let t = GH.build g in
+  let tg = GH.to_graph t in
+  Alcotest.(check int) "n-1 edges" 11 (Graph.m tg);
+  Alcotest.(check bool) "connected" true (Hgp_graph.Traversal.is_connected tg)
+
+let prop_all_pairs_correct =
+  Test_support.qtest ~count:40 "GH tree gives exact min cuts for all pairs"
+    (Test_support.gen_graph ~max_n:9 ())
+    (fun g ->
+      let n = Graph.n g in
+      let t = GH.build g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          let claimed = GH.min_cut_between t u v in
+          let actual = Maxflow.min_cut_value g ~src:u ~dst:v in
+          if Float.abs (claimed -. actual) > 1e-6 then ok := false
+        done
+      done;
+      !ok)
+
+let prop_check_helper =
+  Test_support.qtest ~count:40 "check reports zero error"
+    (Test_support.gen_graph ~max_n:10 ())
+    (fun g ->
+      let n = Graph.n g in
+      let t = GH.build g in
+      let pairs = List.init (n - 1) (fun i -> (i, i + 1)) in
+      GH.check t g ~pairs < 1e-6)
+
+let () =
+  Alcotest.run "gomory_hu"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "path graph" `Quick test_path_graph;
+          Alcotest.test_case "triangle" `Quick test_triangle;
+          Alcotest.test_case "single vertex" `Quick test_single_vertex;
+          Alcotest.test_case "to_graph" `Quick test_to_graph_is_tree;
+        ] );
+      ("property", [ prop_all_pairs_correct; prop_check_helper ]);
+    ]

@@ -1,0 +1,164 @@
+module H = Hgp_hierarchy.Hierarchy
+
+let sample () = H.create ~degs:[| 2; 3 |] ~cm:[| 10.; 4.; 0. |] ~leaf_capacity:1.0
+
+let test_shape () =
+  let t = sample () in
+  Alcotest.(check int) "height" 2 (H.height t);
+  Alcotest.(check int) "leaves" 6 (H.num_leaves t);
+  Alcotest.(check int) "level-1 nodes" 2 (H.nodes_at_level t 1);
+  Alcotest.(check int) "leaves under root" 6 (H.leaves_under t 0);
+  Alcotest.(check int) "leaves under level-1" 3 (H.leaves_under t 1);
+  Alcotest.(check int) "leaves under leaf" 1 (H.leaves_under t 2)
+
+let test_capacity () =
+  let t = sample () in
+  Test_support.check_close "CP(0)" 6. (H.capacity t 0);
+  Test_support.check_close "CP(1)" 3. (H.capacity t 1);
+  Test_support.check_close "CP(2)" 1. (H.capacity t 2)
+
+let test_lca () =
+  let t = sample () in
+  Alcotest.(check int) "same leaf" 2 (H.lca_level t 4 4);
+  Alcotest.(check int) "same level-1 group" 1 (H.lca_level t 0 2);
+  Alcotest.(check int) "cross groups" 0 (H.lca_level t 2 3);
+  Test_support.check_close "edge cost same group" 4. (H.edge_cost t 0 1);
+  Test_support.check_close "edge cost cross" 10. (H.edge_cost t 0 5);
+  Test_support.check_close "edge cost same leaf" 0. (H.edge_cost t 3 3)
+
+let test_ancestor_and_ranges () =
+  let t = sample () in
+  Alcotest.(check int) "ancestor level 1" 1 (H.ancestor t ~level:1 4);
+  Alcotest.(check int) "ancestor level 0" 0 (H.ancestor t ~level:0 4);
+  Alcotest.(check (pair int int)) "children of root" (0, 1) (H.children_of t ~level:0 0);
+  Alcotest.(check (pair int int)) "children of node 1" (3, 5) (H.children_of t ~level:1 1);
+  Alcotest.(check (pair int int)) "leaves of node 1" (3, 5) (H.leaves_of t ~level:1 1)
+
+let test_normalize () =
+  let t = H.create ~degs:[| 2 |] ~cm:[| 5.; 2. |] ~leaf_capacity:1.0 in
+  Alcotest.(check bool) "not normalized" false (H.is_normalized t);
+  let t', offset = H.normalize t in
+  Test_support.check_close "offset" 2. offset;
+  Alcotest.(check bool) "normalized" true (H.is_normalized t');
+  Test_support.check_close "cm shifted" 3. (H.cm t' 0);
+  (* Lemma 1: the two cost functions differ by offset * total edge weight on
+     every assignment (checked end-to-end in test_cost). *)
+  let t2, off2 = H.normalize t' in
+  Test_support.check_close "idempotent" 0. off2;
+  Alcotest.(check bool) "same object" true (t2 == t')
+
+let test_trivial_hierarchy () =
+  let t = H.create ~degs:[||] ~cm:[| 0. |] ~leaf_capacity:2.0 in
+  Alcotest.(check int) "height 0" 0 (H.height t);
+  Alcotest.(check int) "one leaf" 1 (H.num_leaves t);
+  Alcotest.(check int) "self lca" 0 (H.lca_level t 0 0)
+
+let test_validation () =
+  Alcotest.check_raises "increasing cm rejected"
+    (Invalid_argument "Hierarchy.create: cm must be non-increasing") (fun () ->
+      ignore (H.create ~degs:[| 2 |] ~cm:[| 1.; 2. |] ~leaf_capacity:1.0));
+  Alcotest.check_raises "cm length"
+    (Invalid_argument "Hierarchy.create: cm must have length h+1") (fun () ->
+      ignore (H.create ~degs:[| 2 |] ~cm:[| 1. |] ~leaf_capacity:1.0));
+  Alcotest.check_raises "bad degree"
+    (Invalid_argument "Hierarchy.create: degree must be >= 1") (fun () ->
+      ignore (H.create ~degs:[| 0 |] ~cm:[| 1.; 0. |] ~leaf_capacity:1.0))
+
+let test_presets_valid () =
+  List.iter
+    (fun (name, t) ->
+      Alcotest.(check bool) (name ^ " has leaves") true (H.num_leaves t >= 2);
+      for j = 0 to H.height t - 1 do
+        Alcotest.(check bool) (name ^ " cm decreasing") true (H.cm t j >= H.cm t (j + 1))
+      done)
+    H.Presets.all;
+  Alcotest.(check int) "quad socket = 64 cores" 64 (H.num_leaves H.Presets.quad_socket);
+  Alcotest.(check bool) "quad socket not normalized" false
+    (H.is_normalized H.Presets.quad_socket)
+
+module Topology = Hgp_hierarchy.Topology
+
+let test_topology_parse () =
+  let h = Topology.parse "2x3@9,4,0" in
+  Alcotest.(check int) "height" 2 (H.height h);
+  Alcotest.(check int) "leaves" 6 (H.num_leaves h);
+  Test_support.check_close "cm0" 9. (H.cm h 0);
+  let p = Topology.parse "dual_socket" in
+  Alcotest.(check int) "preset" 16 (H.num_leaves p)
+
+let test_topology_parse_errors () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s ^ " rejected") true
+        (match Topology.parse_result s with Error _ -> true | Ok _ -> false))
+    [ "nope"; "2x2@1"; "2x2@1,2,3"; "a@1,0"; "2@x,y"; "1@2@3" ]
+
+let test_topology_roundtrip () =
+  List.iter
+    (fun (_, h) ->
+      let h' = Topology.parse (Topology.to_spec h) in
+      Alcotest.(check int) "leaves round-trip" (H.num_leaves h) (H.num_leaves h');
+      for j = 0 to H.height h do
+        Test_support.check_close "cm round-trip" (H.cm h j) (H.cm h' j)
+      done)
+    H.Presets.all
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_topology_describe () =
+  let d = Topology.describe H.Presets.dual_socket in
+  Alcotest.(check bool) "mentions socket" true (contains d "socket");
+  Alcotest.(check bool) "mentions capacity" true (contains d "capacity")
+
+let test_of_latencies () =
+  let h = Topology.of_latencies ~degs:[| 2; 2 |] ~latencies:[| 300.; 80.; 20. |] ~leaf_capacity:2.0 in
+  Test_support.check_close "latency as cm" 80. (H.cm h 1);
+  Test_support.check_close "leaf capacity" 2.0 (H.leaf_capacity h)
+
+let prop_lca_properties =
+  Test_support.qtest ~count:200 "LCA is symmetric, bounded, and consistent with ancestors"
+    QCheck2.Gen.(pair Test_support.gen_hierarchy (pair (int_bound 1000) (int_bound 1000)))
+    (fun (t, (a0, b0)) ->
+      let k = H.num_leaves t in
+      let a = a0 mod k and b = b0 mod k in
+      let l = H.lca_level t a b in
+      l = H.lca_level t b a
+      && l >= 0
+      && l <= H.height t
+      && (a <> b || l = H.height t)
+      && (a = b
+         || H.ancestor t ~level:l a = H.ancestor t ~level:l b
+            && H.ancestor t ~level:(l + 1) a <> H.ancestor t ~level:(l + 1) b))
+
+let prop_uniform_preset =
+  Test_support.qtest ~count:50 "uniform preset shape"
+    QCheck2.Gen.(pair (int_range 2 4) (int_range 0 3))
+    (fun (branching, height) ->
+      let t = H.Presets.uniform ~branching ~height in
+      H.num_leaves t = int_of_float (float_of_int branching ** float_of_int height)
+      && H.cm t height = 0.)
+
+let () =
+  Alcotest.run "hierarchy"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "shape" `Quick test_shape;
+          Alcotest.test_case "capacity" `Quick test_capacity;
+          Alcotest.test_case "lca" `Quick test_lca;
+          Alcotest.test_case "ancestor and ranges" `Quick test_ancestor_and_ranges;
+          Alcotest.test_case "normalize" `Quick test_normalize;
+          Alcotest.test_case "trivial hierarchy" `Quick test_trivial_hierarchy;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "presets" `Quick test_presets_valid;
+          Alcotest.test_case "topology parse" `Quick test_topology_parse;
+          Alcotest.test_case "topology parse errors" `Quick test_topology_parse_errors;
+          Alcotest.test_case "topology roundtrip" `Quick test_topology_roundtrip;
+          Alcotest.test_case "topology describe" `Quick test_topology_describe;
+          Alcotest.test_case "of_latencies" `Quick test_of_latencies;
+        ] );
+      ("property", [ prop_lca_properties; prop_uniform_preset ]);
+    ]

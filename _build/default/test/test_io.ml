@@ -1,0 +1,90 @@
+module Graph = Hgp_graph.Graph
+module Io = Hgp_graph.Io
+module Gen = Hgp_graph.Generators
+
+let graphs_equal a b =
+  Graph.n a = Graph.n b && Graph.m a = Graph.m b
+  && Graph.fold_edges
+       (fun acc u v w -> acc && Float.abs (Graph.edge_weight b u v -. w) < 1e-9)
+       true a
+
+let test_roundtrip_metis () =
+  let g = Graph.of_edges 4 [ (0, 1, 1.5); (1, 2, 2.); (2, 3, 0.5); (0, 3, 4.) ] in
+  let g' = Io.of_string (Io.to_string g) in
+  Alcotest.(check bool) "roundtrip" true (graphs_equal g g')
+
+let test_unweighted_parse () =
+  let s = "3 2\n2 3\n1\n1\n" in
+  let g = Io.of_string s in
+  Alcotest.(check int) "n" 3 (Graph.n g);
+  Alcotest.(check int) "m" 2 (Graph.m g);
+  Test_support.check_close "unit weight" 1. (Graph.edge_weight g 0 1)
+
+let test_comments_ignored () =
+  let s = "% a comment\n2 1\n2\n1\n" in
+  let g = Io.of_string s in
+  Alcotest.(check int) "m" 1 (Graph.m g)
+
+let test_malformed () =
+  Alcotest.(check bool) "bad header raises" true
+    (try
+       ignore (Io.of_string "not a header\n");
+       false
+     with Failure _ -> true);
+  Alcotest.(check bool) "wrong line count raises" true
+    (try
+       ignore (Io.of_string "3 1\n2\n1\n");
+       false
+     with Failure _ -> true);
+  Alcotest.(check bool) "wrong edge count raises" true
+    (try
+       ignore (Io.of_string "2 5\n2\n1\n");
+       false
+     with Failure _ -> true)
+
+let test_file_roundtrip () =
+  let g = Gen.grid2d ~rows:3 ~cols:3 in
+  let path = Filename.temp_file "hgp" ".graph" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Io.save g path;
+      let g' = Io.load path in
+      Alcotest.(check bool) "file roundtrip" true (graphs_equal g g'))
+
+let test_edge_list_roundtrip () =
+  let g = Graph.of_edges 5 [ (0, 4, 2.); (1, 2, 3.) ] in
+  let g' = Io.of_edge_list_string (Io.to_edge_list_string g) in
+  Alcotest.(check bool) "roundtrip" true (graphs_equal g g')
+
+let prop_metis_roundtrip =
+  Test_support.qtest ~count:50 "METIS roundtrip on random graphs"
+    (Test_support.gen_graph ())
+    (fun g -> graphs_equal g (Io.of_string (Io.to_string g)))
+
+let prop_edge_list_roundtrip =
+  Test_support.qtest ~count:50 "edge-list roundtrip on random graphs"
+    (Test_support.gen_graph ())
+    (fun g ->
+      (* Edge-list format infers n from the max id: isolated trailing
+         vertices are not representable, so compare edge sets only. *)
+      let g' = Io.of_edge_list_string (Io.to_edge_list_string g) in
+      Graph.m g = Graph.m g'
+      && Graph.fold_edges
+           (fun acc u v w -> acc && Float.abs (Graph.edge_weight g' u v -. w) < 1e-9)
+           true g)
+
+let () =
+  Alcotest.run "io"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "metis roundtrip" `Quick test_roundtrip_metis;
+          Alcotest.test_case "unweighted parse" `Quick test_unweighted_parse;
+          Alcotest.test_case "comments" `Quick test_comments_ignored;
+          Alcotest.test_case "malformed" `Quick test_malformed;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "edge list roundtrip" `Quick test_edge_list_roundtrip;
+        ] );
+      ("property", [ prop_metis_roundtrip; prop_edge_list_roundtrip ]);
+    ]

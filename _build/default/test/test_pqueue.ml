@@ -1,0 +1,95 @@
+module Pqueue = Hgp_util.Pqueue
+
+let test_basic_order () =
+  let h = Pqueue.create () in
+  Pqueue.push h ~prio:3. "c";
+  Pqueue.push h ~prio:1. "a";
+  Pqueue.push h ~prio:2. "b";
+  Alcotest.(check (pair (float 0.) string)) "peek" (1., "a") (Pqueue.peek_min h);
+  Alcotest.(check (pair (float 0.) string)) "pop a" (1., "a") (Pqueue.pop_min h);
+  Alcotest.(check (pair (float 0.) string)) "pop b" (2., "b") (Pqueue.pop_min h);
+  Alcotest.(check (pair (float 0.) string)) "pop c" (3., "c") (Pqueue.pop_min h);
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty h)
+
+let test_empty_raises () =
+  let h : int Pqueue.t = Pqueue.create () in
+  Alcotest.check_raises "pop empty" Not_found (fun () -> ignore (Pqueue.pop_min h));
+  Alcotest.check_raises "peek empty" Not_found (fun () -> ignore (Pqueue.peek_min h))
+
+let prop_heapsort =
+  Test_support.qtest ~count:200 "pops in sorted order"
+    QCheck2.Gen.(list_size (int_range 1 200) (float_range (-1e6) 1e6))
+    (fun xs ->
+      let h = Pqueue.create () in
+      List.iteri (fun i x -> Pqueue.push h ~prio:x i) xs;
+      let out = ref [] in
+      while not (Pqueue.is_empty h) do
+        out := fst (Pqueue.pop_min h) :: !out
+      done;
+      List.rev !out = List.sort compare xs)
+
+let test_indexed_basic () =
+  let h = Pqueue.Indexed.create 5 in
+  Pqueue.Indexed.insert h 0 10.;
+  Pqueue.Indexed.insert h 1 5.;
+  Pqueue.Indexed.insert h 2 7.;
+  Alcotest.(check bool) "mem" true (Pqueue.Indexed.mem h 1);
+  Alcotest.(check (float 0.)) "priority" 7. (Pqueue.Indexed.priority h 2);
+  Pqueue.Indexed.decrease h 0 1.;
+  let k, p = Pqueue.Indexed.pop_min h in
+  Alcotest.(check int) "min key after decrease" 0 k;
+  Alcotest.(check (float 0.)) "min prio" 1. p;
+  Alcotest.(check bool) "popped absent" false (Pqueue.Indexed.mem h 0)
+
+let test_indexed_decrease_noop () =
+  let h = Pqueue.Indexed.create 2 in
+  Pqueue.Indexed.insert h 0 1.;
+  Pqueue.Indexed.decrease h 0 5.;
+  Alcotest.(check (float 0.)) "not raised" 1. (Pqueue.Indexed.priority h 0)
+
+let test_indexed_errors () =
+  let h = Pqueue.Indexed.create 2 in
+  Pqueue.Indexed.insert h 0 1.;
+  Alcotest.check_raises "double insert"
+    (Invalid_argument "Pqueue.Indexed.insert: key already present") (fun () ->
+      Pqueue.Indexed.insert h 0 2.);
+  Alcotest.check_raises "decrease absent"
+    (Invalid_argument "Pqueue.Indexed.decrease: key absent") (fun () ->
+      Pqueue.Indexed.decrease h 1 0.)
+
+let prop_indexed_dijkstra_style =
+  Test_support.qtest ~count:200 "indexed heap with decreases pops sorted final priorities"
+    QCheck2.Gen.(
+      pair (int_range 1 50) (list_size (int_bound 100) (pair (int_bound 49) (float_range 0. 100.))))
+    (fun (n, updates) ->
+      let h = Pqueue.Indexed.create n in
+      let final = Array.make n infinity in
+      List.iter
+        (fun (k, p) ->
+          let k = k mod n in
+          Pqueue.Indexed.insert_or_decrease h k p;
+          if p < final.(k) then final.(k) <- p)
+        updates;
+      let last = ref neg_infinity in
+      let ok = ref true in
+      while not (Pqueue.Indexed.is_empty h) do
+        let k, p = Pqueue.Indexed.pop_min h in
+        if p < !last then ok := false;
+        if p <> final.(k) then ok := false;
+        last := p
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "pqueue"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basic order" `Quick test_basic_order;
+          Alcotest.test_case "empty raises" `Quick test_empty_raises;
+          Alcotest.test_case "indexed basic" `Quick test_indexed_basic;
+          Alcotest.test_case "indexed decrease noop" `Quick test_indexed_decrease_noop;
+          Alcotest.test_case "indexed errors" `Quick test_indexed_errors;
+        ] );
+      ("property", [ prop_heapsort; prop_indexed_dijkstra_style ]);
+    ]

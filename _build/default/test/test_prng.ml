@@ -1,0 +1,121 @@
+module Prng = Hgp_util.Prng
+
+let test_determinism () =
+  let a = Prng.create 123 and b = Prng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_different_seeds () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let equal = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr equal
+  done;
+  Alcotest.(check bool) "streams differ" true (!equal < 4)
+
+let test_copy_independent () =
+  let a = Prng.create 9 in
+  let _ = Prng.bits64 a in
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_split_independent () =
+  let a = Prng.create 5 in
+  let b = Prng.split a in
+  let xs = Array.init 32 (fun _ -> Prng.bits64 a) in
+  let ys = Array.init 32 (fun _ -> Prng.bits64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_int_range_errors () =
+  let rng = Prng.create 0 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0))
+
+let test_shuffle_is_permutation () =
+  let rng = Prng.create 11 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_permutation_uniform_smoke () =
+  (* All 6 permutations of 3 elements appear over many draws. *)
+  let rng = Prng.create 17 in
+  let seen = Hashtbl.create 6 in
+  for _ = 1 to 500 do
+    Hashtbl.replace seen (Array.to_list (Prng.permutation rng 3)) ()
+  done;
+  Alcotest.(check int) "all 6 permutations" 6 (Hashtbl.length seen)
+
+let test_sample_without_replacement () =
+  let rng = Prng.create 23 in
+  for _ = 1 to 50 do
+    let k = Prng.int rng 10 in
+    let s = Prng.sample_without_replacement rng ~n:10 ~k in
+    Alcotest.(check int) "size" k (Array.length s);
+    let distinct = List.sort_uniq compare (Array.to_list s) in
+    Alcotest.(check int) "distinct" k (List.length distinct);
+    Array.iter (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 10)) s
+  done
+
+let prop_int_in_bounds =
+  Test_support.qtest "int in [0,bound)" QCheck2.Gen.(pair (int_bound 100000) (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Prng.create seed in
+      let v = Prng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_float_in_bounds =
+  Test_support.qtest "float in [0,b)" QCheck2.Gen.(pair (int_bound 100000) (float_range 0.001 1e6))
+    (fun (seed, b) ->
+      let rng = Prng.create seed in
+      let v = Prng.float rng b in
+      v >= 0. && v < b)
+
+let prop_int_incl =
+  Test_support.qtest "int_incl in [lo,hi]"
+    QCheck2.Gen.(triple (int_bound 100000) (int_range (-50) 50) (int_range 0 100))
+    (fun (seed, lo, span) ->
+      let rng = Prng.create seed in
+      let v = Prng.int_incl rng lo (lo + span) in
+      v >= lo && v <= lo + span)
+
+let prop_exponential_positive =
+  Test_support.qtest "exponential >= 0"
+    QCheck2.Gen.(pair (int_bound 100000) (float_range 0.01 100.))
+    (fun (seed, rate) ->
+      let rng = Prng.create seed in
+      Prng.exponential rng ~rate >= 0.)
+
+let prop_pareto_min =
+  Test_support.qtest "pareto >= x_min"
+    QCheck2.Gen.(triple (int_bound 100000) (float_range 0.5 5.) (float_range 0.1 10.))
+    (fun (seed, alpha, x_min) ->
+      let rng = Prng.create seed in
+      Prng.pareto rng ~alpha ~x_min >= x_min)
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "different seeds" `Quick test_different_seeds;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "split" `Quick test_split_independent;
+          Alcotest.test_case "int errors" `Quick test_int_range_errors;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "permutation coverage" `Quick test_permutation_uniform_smoke;
+          Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+        ] );
+      ( "property",
+        [
+          prop_int_in_bounds;
+          prop_float_in_bounds;
+          prop_int_incl;
+          prop_exponential_positive;
+          prop_pareto_min;
+        ] );
+    ]

@@ -1,0 +1,166 @@
+module H = Hgp_hierarchy.Hierarchy
+module Des = Hgp_sim.Des
+module SD = Hgp_workloads.Stream_dag
+module Prng = Hgp_util.Prng
+
+(* A deterministic 3-stage pipeline: source -> op -> sink. *)
+let pipeline ~rate ~demand =
+  {
+    Des.n_tasks = 3;
+    sources = [ (0, rate) ];
+    edges = [ (0, 1, rate); (1, 2, rate) ];
+    rates = [| rate; rate; rate |];
+    demands = [| demand; demand; demand |];
+    sinks = [ 2 ];
+  }
+
+let hy2 () = H.create ~degs:[| 2 |] ~cm:[| 10.; 0. |] ~leaf_capacity:1.0
+
+let base_cfg =
+  { Des.default_config with duration = 30.0; warmup = 3.0; seed = 7 }
+
+let test_pipeline_flows () =
+  let w = pipeline ~rate:50. ~demand:0.3 in
+  let m = Des.run w (hy2 ()) ~assignment:[| 0; 0; 1 |] base_cfg in
+  Alcotest.(check bool) "completions" true (m.completed > 1000);
+  Alcotest.(check int) "no drops at low load" 0 m.dropped;
+  (* Throughput close to the nominal rate. *)
+  Alcotest.(check bool) "throughput near nominal" true
+    (m.throughput > 40. && m.throughput < 60.);
+  Alcotest.(check bool) "latency positive and small" true
+    (m.avg_latency > 0. && m.avg_latency < 0.2);
+  Alcotest.(check bool) "p99 >= avg" true (m.p99_latency >= m.avg_latency)
+
+let test_utilization_tracks_demand () =
+  let w = pipeline ~rate:50. ~demand:0.3 in
+  (* All three stages on one core: utilization ~ 0.9 + comm. *)
+  let m = Des.run w (hy2 ()) ~assignment:[| 0; 0; 0 |] base_cfg in
+  Alcotest.(check bool) "near 0.9" true
+    (m.max_core_utilization > 0.8 && m.max_core_utilization < 1.0)
+
+let test_saturation_drops () =
+  let w = pipeline ~rate:50. ~demand:0.6 in
+  (* 3 * 0.6 = 1.8 cores of work on one core: must saturate and drop. *)
+  let m =
+    Des.run w (hy2 ()) ~assignment:[| 0; 0; 0 |] { base_cfg with max_queue = 16 }
+  in
+  Alcotest.(check bool) "saturated" true (m.max_core_utilization > 0.99);
+  Alcotest.(check bool) "drops" true (m.dropped > 0);
+  Alcotest.(check bool) "throughput capped below nominal" true (m.throughput < 50.)
+
+let test_colocated_cheaper_than_split () =
+  (* With heavy communication overhead, splitting a hot pipeline across the
+     hierarchy costs CPU: co-located placement sustains more. *)
+  let w = pipeline ~rate:100. ~demand:0.25 in
+  let cfg = { base_cfg with comm_overhead = 4e-3 } in
+  let split = Des.run w (hy2 ()) ~assignment:[| 0; 1; 0 |] cfg in
+  let colocated = Des.run w (hy2 ()) ~assignment:[| 0; 0; 0 |] cfg in
+  Alcotest.(check bool) "co-location lowers peak utilization" true
+    (colocated.max_core_utilization < split.max_core_utilization +. 1e-9)
+
+let test_link_contention_throttles () =
+  (* Two parallel heavy pipelines both crossing the root link: with link
+     contention the shared link becomes the bottleneck; co-locating each
+     pipeline avoids it entirely. *)
+  let w =
+    {
+      Des.n_tasks = 4;
+      sources = [ (0, 200.); (2, 200.) ];
+      edges = [ (0, 1, 200.); (2, 3, 200.) ];
+      rates = [| 200.; 200.; 200.; 200. |];
+      demands = [| 0.2; 0.2; 0.2; 0.2 |];
+      sinks = [ 1; 3 ];
+    }
+  in
+  let cfg = { base_cfg with link_occupancy = 5e-3; duration = 15.0; warmup = 2.0 } in
+  (* Both pipelines split across the root edge: 400 tuples/s contend on a
+     link that serves 200/s. *)
+  let contended = Des.run w (hy2 ()) ~assignment:[| 0; 1; 0; 1 |] cfg in
+  let colocated = Des.run w (hy2 ()) ~assignment:[| 0; 0; 1; 1 |] cfg in
+  Alcotest.(check bool) "co-location avoids the shared link" true
+    (colocated.throughput > contended.throughput);
+  Alcotest.(check bool) "contended latency worse" true
+    (Float.is_nan colocated.avg_latency
+    || colocated.avg_latency < contended.avg_latency);
+  (* With occupancy 0 the same split placement flows freely. *)
+  let free =
+    Des.run w (hy2 ()) ~assignment:[| 0; 1; 0; 1 |] { cfg with link_occupancy = 0. }
+  in
+  Alcotest.(check bool) "no contention without occupancy" true
+    (free.throughput > contended.throughput)
+
+let test_deterministic () =
+  let w = pipeline ~rate:40. ~demand:0.2 in
+  let m1 = Des.run w (hy2 ()) ~assignment:[| 0; 1; 0 |] base_cfg in
+  let m2 = Des.run w (hy2 ()) ~assignment:[| 0; 1; 0 |] base_cfg in
+  Alcotest.(check int) "same completions" m1.completed m2.completed;
+  Test_support.check_close "same latency" m1.avg_latency m2.avg_latency
+
+let test_config_validation () =
+  let w = pipeline ~rate:10. ~demand:0.1 in
+  Alcotest.(check bool) "bad duration" true
+    (try
+       ignore (Des.run w (hy2 ()) ~assignment:[| 0; 0; 0 |] { base_cfg with duration = 0. });
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad assignment" true
+    (try
+       ignore (Des.run w (hy2 ()) ~assignment:[| 0; 5; 0 |] base_cfg);
+       false
+     with Invalid_argument _ -> true)
+
+let test_stream_adapter () =
+  let rng = Prng.create 11 in
+  let w = SD.generate rng { SD.default_params with n_sources = 4; pipeline_depth = 3 } in
+  let hy = H.Presets.dual_socket in
+  let inst = SD.to_instance w hy ~load_factor:0.5 in
+  let sw = SD.to_sim_workload w ~demands:inst.Hgp_core.Instance.demands in
+  Alcotest.(check int) "task count" (Hgp_core.Instance.n inst) sw.Des.n_tasks;
+  Alcotest.(check int) "four sources" 4 (List.length sw.Des.sources);
+  Alcotest.(check bool) "has sinks" true (sw.Des.sinks <> []);
+  let sol = Hgp_core.Solver.solve inst in
+  let m =
+    Des.run sw hy ~assignment:sol.Hgp_core.Solver.assignment
+      { base_cfg with duration = 10.0; warmup = 1.0; load = 0.5 }
+  in
+  Alcotest.(check bool) "tuples flow end to end" true (m.completed > 0)
+
+let prop_selectivity_throughput =
+  (* Deeper pipelines with selectivity < 1 deliver fewer tuples to sinks. *)
+  Test_support.qtest ~count:10 "selectivity reduces deliveries"
+    QCheck2.Gen.(int_bound 10000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let make selectivity =
+        let w =
+          SD.generate rng
+            { SD.default_params with n_sources = 4; pipeline_depth = 4; selectivity;
+              join_probability = 0.; fanout_probability = 0. }
+        in
+        let hy = H.Presets.dual_socket in
+        let inst = SD.to_instance w hy ~load_factor:0.4 in
+        let sw = SD.to_sim_workload w ~demands:inst.Hgp_core.Instance.demands in
+        let p = Hgp_baselines.Placement.greedy inst ~slack:1.3 () in
+        Des.run sw hy ~assignment:p { base_cfg with duration = 10.0; warmup = 1.0; seed }
+      in
+      let lossy = make 0.5 in
+      let lossless = make 1.0 in
+      (* 0.5^3 of tuples survive three decaying hops vs all of them. *)
+      lossy.completed < lossless.completed)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "pipeline flows" `Quick test_pipeline_flows;
+          Alcotest.test_case "utilization tracks demand" `Quick test_utilization_tracks_demand;
+          Alcotest.test_case "saturation drops" `Quick test_saturation_drops;
+          Alcotest.test_case "colocation cheaper" `Quick test_colocated_cheaper_than_split;
+          Alcotest.test_case "link contention" `Quick test_link_contention_throttles;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "stream adapter" `Quick test_stream_adapter;
+        ] );
+      ("property", [ prop_selectivity_throughput ]);
+    ]

@@ -1,0 +1,71 @@
+module Stats = Hgp_util.Stats
+
+let test_mean () =
+  Test_support.check_close "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |])
+
+let test_stddev () =
+  Test_support.check_close "stddev known" (sqrt 2.5)
+    (Stats.stddev [| 1.; 2.; 3.; 4.; 5. |]);
+  Test_support.check_close "single obs" 0. (Stats.stddev [| 7. |])
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [| 3.; -1.; 7.; 0. |] in
+  Test_support.check_close "min" (-1.) lo;
+  Test_support.check_close "max" 7. hi
+
+let test_quantiles () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  Test_support.check_close "q0" 1. (Stats.quantile xs 0.);
+  Test_support.check_close "q1" 4. (Stats.quantile xs 1.);
+  Test_support.check_close "median" 2.5 (Stats.median xs);
+  Test_support.check_close "q0.25" 1.75 (Stats.quantile xs 0.25)
+
+let test_geometric_mean () =
+  Test_support.check_close "geomean" 4. (Stats.geometric_mean [| 2.; 8. |])
+
+let test_errors () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty input")
+    (fun () -> ignore (Stats.mean [||]));
+  Alcotest.check_raises "bad quantile" (Invalid_argument "Stats.quantile: q out of range")
+    (fun () -> ignore (Stats.quantile [| 1. |] 1.5));
+  Alcotest.check_raises "geomean nonpositive"
+    (Invalid_argument "Stats.geometric_mean: non-positive element") (fun () ->
+      ignore (Stats.geometric_mean [| 1.; 0. |]))
+
+let prop_mean_bounds =
+  Test_support.qtest "min <= mean <= max"
+    QCheck2.Gen.(array_size (int_range 1 50) (float_range (-1e3) 1e3))
+    (fun xs ->
+      let lo, hi = Stats.min_max xs in
+      let m = Stats.mean xs in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+let prop_quantile_monotone =
+  Test_support.qtest "quantiles monotone in q"
+    QCheck2.Gen.(
+      triple
+        (array_size (int_range 1 50) (float_range (-100.) 100.))
+        (float_range 0. 1.) (float_range 0. 1.))
+    (fun (xs, q1, q2) ->
+      let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+      Stats.quantile xs lo <= Stats.quantile xs hi +. 1e-9)
+
+let prop_geomean_le_mean =
+  Test_support.qtest "AM-GM inequality"
+    QCheck2.Gen.(array_size (int_range 1 30) (float_range 0.01 1e3))
+    (fun xs -> Stats.geometric_mean xs <= Stats.mean xs +. 1e-6)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "min max" `Quick test_min_max;
+          Alcotest.test_case "quantiles" `Quick test_quantiles;
+          Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+      ("property", [ prop_mean_bounds; prop_quantile_monotone; prop_geomean_le_mean ]);
+    ]

@@ -1,0 +1,56 @@
+module Tablefmt = Hgp_util.Tablefmt
+
+let test_render_basic () =
+  let out =
+    Tablefmt.render ~header:[ "name"; "value" ] [ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "line count" 4 (List.length lines);
+  (* Every line has the same width. *)
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths);
+  Alcotest.(check bool) "header present" true
+    (String.length (List.hd lines) > 0 && String.sub (List.hd lines) 0 4 = "name")
+
+let test_right_alignment () =
+  let out = Tablefmt.render ~header:[ "a"; "num" ] [ [ "x"; "7" ] ] in
+  let last_line = List.nth (String.split_on_char '\n' out) 2 in
+  (* "num" column is right aligned: the 7 sits at the end. *)
+  Alcotest.(check char) "right aligned" '7' last_line.[String.length last_line - 1]
+
+let test_row_padding () =
+  let out = Tablefmt.render ~header:[ "a"; "b"; "c" ] [ [ "only" ] ] in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_row_too_long () =
+  Alcotest.check_raises "too long" (Invalid_argument "Tablefmt.render: row longer than header")
+    (fun () -> ignore (Tablefmt.render ~header:[ "a" ] [ [ "x"; "y" ] ]))
+
+let test_fmt_float () =
+  Alcotest.(check string) "integer" "42" (Tablefmt.fmt_float 42.);
+  Alcotest.(check string) "small" "1.234e-04" (Tablefmt.fmt_float 0.00012345);
+  Alcotest.(check string) "large" "1.235e+07" (Tablefmt.fmt_float 12345678.9);
+  Alcotest.(check string) "plain" "3.142" (Tablefmt.fmt_float 3.14159)
+
+let prop_row_count =
+  Test_support.qtest "renders n+2 lines"
+    QCheck2.Gen.(int_range 0 20)
+    (fun n ->
+      let rows = List.init n (fun i -> [ string_of_int i; "v" ]) in
+      let out = Tablefmt.render ~header:[ "i"; "v" ] rows in
+      List.length (String.split_on_char '\n' out) = n + 2)
+
+let () =
+  Alcotest.run "tablefmt"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "render basic" `Quick test_render_basic;
+          Alcotest.test_case "right alignment" `Quick test_right_alignment;
+          Alcotest.test_case "row padding" `Quick test_row_padding;
+          Alcotest.test_case "row too long" `Quick test_row_too_long;
+          Alcotest.test_case "fmt float" `Quick test_fmt_float;
+        ] );
+      ("property", [ prop_row_count ]);
+    ]

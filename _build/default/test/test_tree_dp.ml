@@ -1,0 +1,182 @@
+module Tree = Hgp_tree.Tree
+module Tree_dp = Hgp_core.Tree_dp
+module Gen = Hgp_graph.Generators
+module Prng = Hgp_util.Prng
+module H = Hgp_hierarchy.Hierarchy
+
+let mk_config ?(bucketing = None) ?(prune = true) ~cm ~cp_units () =
+  { Tree_dp.cm; cp_units; bucketing; prune; beam_width = None }
+
+(* A small job tree (every node a job via lifting) with random unit demands. *)
+let gen_job_instance =
+  let open QCheck2.Gen in
+  let* seed = int_bound 1_000_000 in
+  let* n = int_range 2 7 in
+  let* h = int_range 1 2 in
+  let rng = Prng.create seed in
+  let g = Gen.random_tree rng n in
+  let g = Gen.randomize_weights rng g ~lo:1.0 ~hi:9.0 in
+  let t = Tree.of_graph g ~root:0 in
+  let t, job_leaf = Tree.lift_internal_jobs t in
+  let demand_units = Array.make (Tree.n_nodes t) 0 in
+  Array.iter (fun l -> demand_units.(l) <- 1 + Prng.int rng 2) job_leaf;
+  let cm = if h = 1 then [| 10.; 0. |] else [| 10.; 3.; 0. |] in
+  (* Generous capacities so most instances are feasible. *)
+  let cp_units =
+    if h = 1 then [| 4 * n; 4 |] else [| 4 * n; 8; 4 |]
+  in
+  return (t, demand_units, cm, cp_units)
+
+let prop_dp_equals_brute_force =
+  Test_support.qtest ~count:120 "DP cost = exhaustive kappa enumeration"
+    gen_job_instance
+    (fun (t, demand_units, cm, cp_units) ->
+      let cfg = mk_config ~cm ~cp_units () in
+      match (Tree_dp.solve t ~demand_units cfg, Tree_dp.brute_force t ~demand_units cfg) with
+      | Some r, Some bf -> Float.abs (r.cost -. bf) < 1e-6
+      | None, None -> true
+      | _ -> false)
+
+let prop_kappa_consistency =
+  Test_support.qtest ~count:120 "reconstructed kappa realizes the DP cost and capacities"
+    gen_job_instance
+    (fun (t, demand_units, cm, cp_units) ->
+      let cfg = mk_config ~cm ~cp_units () in
+      match Tree_dp.solve t ~demand_units cfg with
+      | None -> true
+      | Some r ->
+        Float.abs (Tree_dp.kappa_cost t ~kappa:r.kappa ~cm -. r.cost) < 1e-6
+        && Tree_dp.check_kappa t ~demand_units ~kappa:r.kappa ~cp_units <= 1. +. 1e-9)
+
+let prop_prune_preserves_optimum =
+  Test_support.qtest ~count:120 "Pareto pruning preserves the optimal cost"
+    gen_job_instance
+    (fun (t, demand_units, cm, cp_units) ->
+      let with_p = Tree_dp.solve t ~demand_units (mk_config ~prune:true ~cm ~cp_units ()) in
+      let without = Tree_dp.solve t ~demand_units (mk_config ~prune:false ~cm ~cp_units ()) in
+      match (with_p, without) with
+      | Some a, Some b ->
+        Float.abs (a.cost -. b.cost) < 1e-6 && a.states_explored <= b.states_explored
+      | None, None -> true
+      | _ -> false)
+
+let prop_root_signature_monotone =
+  Test_support.qtest ~count:120 "root signature is monotone and within capacity"
+    gen_job_instance
+    (fun (t, demand_units, cm, cp_units) ->
+      let cfg = mk_config ~cm ~cp_units () in
+      match Tree_dp.solve t ~demand_units cfg with
+      | None -> true
+      | Some r ->
+        let sg = r.root_signature in
+        let h = Array.length cm - 1 in
+        let ok = ref (Array.length sg = h) in
+        for j = 0 to h - 1 do
+          if sg.(j) > cp_units.(j + 1) then ok := false;
+          if j > 0 && sg.(j) > sg.(j - 1) then ok := false
+        done;
+        !ok)
+
+let test_single_edge_tradeoff () =
+  (* Two unit-demand leaves under a root; leaf capacity 1 unit forces a cut
+     at level 1 on the cheaper... there is only one shape: both leaves hang
+     off the root with weights 2 and 5.  Separating them must cut ONE of the
+     two edges at level 0 (kappa = 0); optimal cuts the cheap one. *)
+  let t =
+    Tree.of_parents ~root:0 ~parents:[| -1; 0; 0 |] ~weights:[| 0.; 2.; 5. |]
+  in
+  let demand_units = [| 0; 1; 1 |] in
+  let cfg = mk_config ~cm:[| 10.; 0. |] ~cp_units:[| 2; 1 |] () in
+  match Tree_dp.solve t ~demand_units cfg with
+  | None -> Alcotest.fail "should be feasible"
+  | Some r ->
+    Test_support.check_close "cut the cheap edge" 20. r.cost;
+    Alcotest.(check int) "cheap edge separated" 0 r.kappa.(1);
+    Alcotest.(check int) "heavy edge kept" 1 r.kappa.(2)
+
+let test_no_cut_needed () =
+  let t =
+    Tree.of_parents ~root:0 ~parents:[| -1; 0; 0 |] ~weights:[| 0.; 2.; 5. |]
+  in
+  let demand_units = [| 0; 1; 1 |] in
+  let cfg = mk_config ~cm:[| 10.; 0. |] ~cp_units:[| 4; 2 |] () in
+  match Tree_dp.solve t ~demand_units cfg with
+  | None -> Alcotest.fail "feasible"
+  | Some r -> Test_support.check_close "everything together is free" 0. r.cost
+
+let test_infeasible_leaf () =
+  let t = Tree.of_parents ~root:0 ~parents:[| -1; 0 |] ~weights:[| 0.; 1. |] in
+  let cfg = mk_config ~cm:[| 1.; 0. |] ~cp_units:[| 4; 2 |] () in
+  Alcotest.(check bool) "oversized job" true
+    (Tree_dp.solve t ~demand_units:[| 0; 3 |] cfg = None)
+
+let test_infeasible_total () =
+  let t =
+    Tree.of_parents ~root:0 ~parents:[| -1; 0; 0; 0 |] ~weights:[| 0.; 1.; 1.; 1. |]
+  in
+  let cfg = mk_config ~cm:[| 1.; 0. |] ~cp_units:[| 2; 1 |] () in
+  Alcotest.(check bool) "total exceeds CP(0)" true
+    (Tree_dp.solve t ~demand_units:[| 0; 1; 1; 1 |] cfg = None)
+
+let test_internal_demand_rejected () =
+  let t = Tree.of_parents ~root:0 ~parents:[| -1; 0 |] ~weights:[| 0.; 1. |] in
+  let cfg = mk_config ~cm:[| 1.; 0. |] ~cp_units:[| 4; 2 |] () in
+  Alcotest.check_raises "internal demand"
+    (Invalid_argument "Tree_dp.solve: internal node carries demand") (fun () ->
+      ignore (Tree_dp.solve t ~demand_units:[| 1; 1 |] cfg))
+
+let test_infinite_edge_handling () =
+  (* A dummy infinite edge must never be cut, and costs nothing uncut. *)
+  let t =
+    Tree.of_parents ~root:0 ~parents:[| -1; 0; 0 |] ~weights:[| 0.; infinity; 1. |]
+  in
+  let demand_units = [| 0; 1; 1 |] in
+  let cfg = mk_config ~cm:[| 5.; 0. |] ~cp_units:[| 2; 1 |] () in
+  match Tree_dp.solve t ~demand_units cfg with
+  | None -> Alcotest.fail "feasible"
+  | Some r ->
+    Test_support.check_close "cut only the finite edge" 5. r.cost;
+    Alcotest.(check int) "infinite edge kept" 1 r.kappa.(1)
+
+let test_height_zero () =
+  let t = Tree.of_parents ~root:0 ~parents:[| -1; 0 |] ~weights:[| 0.; 3. |] in
+  let cfg = mk_config ~cm:[| 0. |] ~cp_units:[| 5 |] () in
+  match Tree_dp.solve t ~demand_units:[| 0; 2 |] cfg with
+  | None -> Alcotest.fail "feasible"
+  | Some r -> Test_support.check_close "single leaf hierarchy, zero cost" 0. r.cost
+
+let prop_bucketing_cost_not_better =
+  Test_support.qtest ~count:80 "bucketed DP cost <= exact (it relaxes capacities)"
+    gen_job_instance
+    (fun (t, demand_units, cm, cp_units) ->
+      let exact = Tree_dp.solve t ~demand_units (mk_config ~cm ~cp_units ()) in
+      let bucketed =
+        Tree_dp.solve t ~demand_units (mk_config ~bucketing:(Some 0.5) ~cm ~cp_units ())
+      in
+      match (exact, bucketed) with
+      | Some e, Some b -> b.cost <= e.cost +. 1e-6
+      | None, _ -> true (* bucketing under-counts demand, may become feasible *)
+      | Some _, None -> false)
+
+let () =
+  Alcotest.run "tree_dp"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "single edge tradeoff" `Quick test_single_edge_tradeoff;
+          Alcotest.test_case "no cut needed" `Quick test_no_cut_needed;
+          Alcotest.test_case "infeasible leaf" `Quick test_infeasible_leaf;
+          Alcotest.test_case "infeasible total" `Quick test_infeasible_total;
+          Alcotest.test_case "internal demand" `Quick test_internal_demand_rejected;
+          Alcotest.test_case "infinite edges" `Quick test_infinite_edge_handling;
+          Alcotest.test_case "height zero" `Quick test_height_zero;
+        ] );
+      ( "property",
+        [
+          prop_dp_equals_brute_force;
+          prop_kappa_consistency;
+          prop_prune_preserves_optimum;
+          prop_root_signature_monotone;
+          prop_bucketing_cost_not_better;
+        ] );
+    ]

@@ -1,0 +1,120 @@
+module Tree = Hgp_tree.Tree
+module Treecut = Hgp_tree.Treecut
+
+let sample () =
+  (* Path-ish tree: 0 - 1 - 2 with leaves hanging off. *)
+  let parents = [| -1; 0; 1; 0; 1; 2; 2 |] in
+  let weights = [| 0.; 10.; 10.; 1.; 2.; 3.; 4. |] in
+  (* leaves: 3 (w1, child of 0), 4 (w2, child of 1), 5 (w3), 6 (w4, children of 2) *)
+  Tree.of_parents ~root:0 ~parents ~weights
+
+let test_singleton_cut () =
+  let t = sample () in
+  let w, edges = Treecut.min_cut t ~in_set:(fun l -> l = 3) in
+  Test_support.check_close "cheapest separation" 1. w;
+  Alcotest.(check (list int)) "cuts its own edge" [ 3 ] edges
+
+let test_deep_pair () =
+  let t = sample () in
+  (* Separate {5,6} (both under node 2): cutting the edge above node 2 costs
+     10, cutting both their leaf edges costs 7, but isolating the complement
+     leaves 3 and 4 instead costs only 1 + 2 = 3. *)
+  let w, _ = Treecut.min_cut t ~in_set:(fun l -> l = 5 || l = 6) in
+  Test_support.check_close "isolating the complement wins" 3. w
+
+let test_empty_and_full () =
+  let t = sample () in
+  Test_support.check_close "empty set" 0. (Treecut.min_cut_weight t ~in_set:(fun _ -> false));
+  Test_support.check_close "full set" 0. (Treecut.min_cut_weight t ~in_set:(fun _ -> true))
+
+let test_infinite_edges_avoided () =
+  let parents = [| -1; 0; 0 |] in
+  let weights = [| 0.; infinity; 2. |] in
+  let t = Tree.of_parents ~root:0 ~parents ~weights in
+  let w, edges = Treecut.min_cut t ~in_set:(fun l -> l = 1) in
+  Test_support.check_close "cuts the finite edge" 2. w;
+  Alcotest.(check (list int)) "edge 2" [ 2 ] edges
+
+let test_mirror_region () =
+  let t = sample () in
+  let region = Treecut.mirror_region t ~in_set:(fun l -> l = 3) in
+  Alcotest.(check bool) "contains the leaf" true region.(3);
+  Alcotest.(check bool) "excludes the root" false region.(0);
+  let full = Treecut.mirror_region t ~in_set:(fun _ -> true) in
+  Alcotest.(check bool) "full set covers everything" true (Array.for_all Fun.id full)
+
+let prop_matches_brute_force =
+  Test_support.qtest ~count:150 "DP min cut = brute force"
+    QCheck2.Gen.(pair (Test_support.gen_tree ~max_n:8 ()) (int_bound 255))
+    (fun (t, mask) ->
+      let leaves = Tree.leaves t in
+      let in_set l =
+        let rec idx i = if leaves.(i) = l then i else idx (i + 1) in
+        (mask lsr idx 0) land 1 = 1
+      in
+      let dp = Treecut.min_cut_weight t ~in_set in
+      let bf = Treecut.brute_force_weight t ~in_set in
+      Float.abs (dp -. bf) < 1e-9)
+
+let prop_cut_edges_realize_value =
+  Test_support.qtest ~count:150 "returned edges sum to the value and separate"
+    QCheck2.Gen.(pair (Test_support.gen_tree ~max_n:8 ()) (int_bound 255))
+    (fun (t, mask) ->
+      let leaves = Tree.leaves t in
+      let in_set l =
+        let rec idx i = if leaves.(i) = l then i else idx (i + 1) in
+        (mask lsr idx 0) land 1 = 1
+      in
+      let w, edges = Treecut.min_cut t ~in_set in
+      let sum = List.fold_left (fun acc c -> acc +. Tree.edge_weight t c) 0. edges in
+      (* Removing the edges separates the sets. *)
+      let n = Tree.n_nodes t in
+      let dsu = Hgp_util.Dsu.create n in
+      for v = 0 to n - 1 do
+        if v <> Tree.root t && not (List.mem v edges) then
+          ignore (Hgp_util.Dsu.union dsu v (Tree.parent t v))
+      done;
+      let separated = ref true in
+      Array.iter
+        (fun a ->
+          Array.iter
+            (fun b ->
+              if in_set a && (not (in_set b)) && Hgp_util.Dsu.same dsu a b then
+                separated := false)
+            leaves)
+        leaves;
+      Float.abs (sum -. w) < 1e-9 && !separated)
+
+let prop_mirror_contains_set_only =
+  Test_support.qtest ~count:150 "mirror region contains S and no foreign leaves"
+    QCheck2.Gen.(pair (Test_support.gen_tree ~max_n:8 ()) (int_bound 255))
+    (fun (t, mask) ->
+      let leaves = Tree.leaves t in
+      let in_set l =
+        let rec idx i = if leaves.(i) = l then i else idx (i + 1) in
+        (mask lsr idx 0) land 1 = 1
+      in
+      let any_in = Array.exists in_set leaves in
+      let any_out = Array.exists (fun l -> not (in_set l)) leaves in
+      if not (any_in && any_out) then true
+      else begin
+        let region = Treecut.mirror_region t ~in_set in
+        Array.for_all
+          (fun l -> if in_set l then region.(l) else not region.(l))
+          leaves
+      end)
+
+let () =
+  Alcotest.run "treecut"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "singleton" `Quick test_singleton_cut;
+          Alcotest.test_case "deep pair" `Quick test_deep_pair;
+          Alcotest.test_case "empty and full" `Quick test_empty_and_full;
+          Alcotest.test_case "infinite edges" `Quick test_infinite_edges_avoided;
+          Alcotest.test_case "mirror region" `Quick test_mirror_region;
+        ] );
+      ( "property",
+        [ prop_matches_brute_force; prop_cut_edges_realize_value; prop_mirror_contains_set_only ] );
+    ]

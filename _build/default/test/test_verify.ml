@@ -1,0 +1,62 @@
+module Graph = Hgp_graph.Graph
+module Gen = Hgp_graph.Generators
+module H = Hgp_hierarchy.Hierarchy
+module Instance = Hgp_core.Instance
+module Verify = Hgp_core.Verify
+module Solver = Hgp_core.Solver
+module Prng = Hgp_util.Prng
+
+let hy () = H.create ~degs:[| 2; 2 |] ~cm:[| 10.; 3.; 0. |] ~leaf_capacity:1.0
+
+let test_complete_certificate () =
+  let g = Graph.of_edges 4 [ (0, 1, 2.); (1, 2, 3.); (2, 3, 4.) ] in
+  let inst = Instance.create g ~demands:[| 0.5; 0.5; 0.5; 0.5 |] (hy ()) in
+  let r = Verify.certify inst [| 0; 0; 1; 2 |] ~eps:0.25 in
+  Alcotest.(check bool) "complete" true r.assignment_complete;
+  Test_support.check_close "eq1" ((3. *. 3.) +. (10. *. 4.)) r.cost_eq1;
+  Alcotest.(check bool) "lemma2 tiny" true (r.lemma2_gap < 1e-9);
+  Test_support.check_close "leaf load" 1.0 r.leaf_loads.(0);
+  Test_support.check_close "level 0 = total/CP0" 0.5 r.level_violation.(0);
+  Alcotest.(check bool) "within bound" true r.within_theorem_bound;
+  Test_support.check_close "bound" (1.25 *. 3.) r.theorem_bound
+
+let test_incomplete_certificate () =
+  let g = Gen.path 3 in
+  let inst = Instance.create g ~demands:[| 0.3; 0.3; 0.3 |] (hy ()) in
+  let r = Verify.certify inst [| 0; -1; 0 |] ~eps:0.25 in
+  Alcotest.(check bool) "incomplete" false r.assignment_complete;
+  Alcotest.(check bool) "costs are nan" true (Float.is_nan r.cost_eq1);
+  (* Loads still counted for the valid entries. *)
+  Test_support.check_close "partial load" 0.6 r.leaf_loads.(0)
+
+let test_pp_renders () =
+  let g = Gen.path 3 in
+  let inst = Instance.create g ~demands:[| 0.3; 0.3; 0.3 |] (hy ()) in
+  let r = Verify.certify inst [| 0; 1; 2 |] ~eps:0.25 in
+  let s = Format.asprintf "%a" Verify.pp r in
+  Alcotest.(check bool) "mentions certificate" true (String.length s > 40)
+
+let prop_solver_output_certifies =
+  Test_support.qtest ~count:25 "solver output always certifies within Theorem 1"
+    QCheck2.Gen.(pair (int_bound 100000) (int_range 8 24))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let g = Gen.gnp_connected rng n 0.3 in
+      let inst = Instance.uniform_demands g (hy ()) ~load_factor:0.6 in
+      let sol = Solver.solve ~options:{ Solver.default_options with ensemble_size = 2 } inst in
+      let r = Verify.certify inst sol.assignment ~eps:1.0 in
+      r.assignment_complete && r.lemma2_gap < 1e-9 && r.within_theorem_bound
+      && Float.abs (r.cost_eq1 -. sol.cost) < 1e-6 *. (1. +. sol.cost)
+      && Float.abs (r.max_violation -. sol.max_violation) < 1e-9)
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "complete certificate" `Quick test_complete_certificate;
+          Alcotest.test_case "incomplete certificate" `Quick test_incomplete_certificate;
+          Alcotest.test_case "pp renders" `Quick test_pp_renders;
+        ] );
+      ("property", [ prop_solver_output_certifies ]);
+    ]

@@ -1,0 +1,97 @@
+module Graph = Hgp_graph.Graph
+module H = Hgp_hierarchy.Hierarchy
+module Instance = Hgp_core.Instance
+module Stream_dag = Hgp_workloads.Stream_dag
+module Presets = Hgp_workloads.Presets
+module Prng = Hgp_util.Prng
+
+let test_stream_generate () =
+  let rng = Prng.create 1 in
+  let w = Stream_dag.generate rng Stream_dag.default_params in
+  Alcotest.(check bool) "has operators" true (Graph.n w.graph > 8);
+  Alcotest.(check bool) "connected" true (Hgp_graph.Traversal.is_connected w.graph);
+  Alcotest.(check int) "rates per operator" (Graph.n w.graph) (Array.length w.rates);
+  Array.iter (fun r -> Alcotest.(check bool) "positive rate" true (r > 0.)) w.rates;
+  Alcotest.(check bool) "has sources" true (Array.exists (( = ) "source") w.kinds);
+  Alcotest.(check bool) "has sinks" true (Array.exists (( = ) "sink") w.kinds)
+
+let test_stream_sources_count () =
+  let rng = Prng.create 2 in
+  let w =
+    Stream_dag.generate rng { Stream_dag.default_params with n_sources = 5 }
+  in
+  let sources = Array.fold_left (fun a k -> if k = "source" then a + 1 else a) 0 w.kinds in
+  Alcotest.(check int) "five sources" 5 sources
+
+let test_stream_to_instance () =
+  let rng = Prng.create 3 in
+  let w = Stream_dag.generate rng Stream_dag.default_params in
+  let hy = H.Presets.dual_socket in
+  let inst = Stream_dag.to_instance w hy ~load_factor:0.7 in
+  Alcotest.(check bool) "feasible" true (Instance.is_feasible inst);
+  Alcotest.(check bool) "load near target" true
+    (Instance.total_demand inst <= 0.7 *. 16. +. 1e-6)
+
+let test_stream_params_validation () =
+  let rng = Prng.create 4 in
+  Alcotest.(check bool) "bad selectivity" true
+    (try
+       ignore
+         (Stream_dag.generate rng { Stream_dag.default_params with selectivity = 1.5 });
+       false
+     with Invalid_argument _ -> true)
+
+let test_presets_build () =
+  let hy = H.Presets.dual_socket in
+  List.iter
+    (fun spec ->
+      let rng = Prng.create 42 in
+      let inst = spec.Presets.build rng hy in
+      Alcotest.(check bool)
+        (spec.Presets.name ^ " nonempty")
+        true
+        (Instance.n inst > 0);
+      Alcotest.(check bool)
+        (spec.Presets.name ^ " connected")
+        true
+        (Hgp_graph.Traversal.is_connected inst.graph);
+      Alcotest.(check bool) (spec.Presets.name ^ " feasible") true (Instance.is_feasible inst))
+    Presets.full_suite
+
+let prop_stream_rates_conserve =
+  Test_support.qtest ~count:40 "pipeline rates decay with selectivity"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let p = { Stream_dag.default_params with n_sources = 4; pipeline_depth = 3 } in
+      let w = Stream_dag.generate rng p in
+      (* Every non-source operator's rate is at most the sum of source rates. *)
+      let source_total = ref 0. in
+      Array.iteri
+        (fun i k -> if k = "source" then source_total := !source_total +. w.rates.(i))
+        w.kinds;
+      Array.for_all (fun r -> r <= !source_total +. 1e-6) w.rates)
+
+let prop_instance_demands_in_range =
+  Test_support.qtest ~count:40 "stream instance demands are valid"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let w = Stream_dag.generate rng Stream_dag.default_params in
+      let hy = H.Presets.cluster in
+      let inst = Stream_dag.to_instance w hy ~load_factor:0.6 in
+      Array.for_all (fun d -> d > 0. && d <= H.leaf_capacity hy +. 1e-9) inst.demands)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "stream generate" `Quick test_stream_generate;
+          Alcotest.test_case "stream sources" `Quick test_stream_sources_count;
+          Alcotest.test_case "stream to instance" `Quick test_stream_to_instance;
+          Alcotest.test_case "stream params" `Quick test_stream_params_validation;
+          Alcotest.test_case "presets build" `Quick test_presets_build;
+        ] );
+      ("property", [ prop_stream_rates_conserve; prop_instance_demands_in_range ]);
+    ]
