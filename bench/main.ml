@@ -7,10 +7,23 @@
      dune exec bench/main.exe -- E3 E7   # selected experiments
      dune exec bench/main.exe -- micro   # micro-benchmarks only *)
 
+(* Every bench run collects pipeline telemetry and leaves a machine-readable
+   stage breakdown in BENCH_obs.jsonl (schema: docs/OBSERVABILITY.md), so
+   perf trajectories across commits can be diffed stage by stage. *)
+let emit_obs () =
+  let path = "BENCH_obs.jsonl" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Hgp_obs.Obs.emit Hgp_obs.Obs.Jsonl oc);
+  Printf.printf "\nwrote %s (pipeline stage breakdown, JSON lines)\n%!" path
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   Printf.printf "hierarchical graph partitioning — experiment suite\n";
   Printf.printf "(paper: Hajiaghayi, Johnson, Khani, Saha — SPAA 2014)\n%!";
+  Hgp_obs.Obs.enable ();
+  at_exit emit_obs;
   match args with
   | [] ->
     Experiments.run_all ();

@@ -1,4 +1,8 @@
-(* Bechamel micro-benchmarks for the computational kernels. *)
+(* Bechamel micro-benchmarks for the computational kernels.
+
+   Kernels are measured with telemetry collection disabled (the default
+   production posture) so times stay comparable across commits; the obs.*
+   entries measure the telemetry layer itself in both postures. *)
 
 open Bechamel
 module Gen = Hgp_graph.Generators
@@ -6,6 +10,7 @@ module H = Hgp_hierarchy.Hierarchy
 module Tree = Hgp_tree.Tree
 module Instance = Hgp_core.Instance
 module Prng = Hgp_util.Prng
+module Obs = Hgp_obs.Obs
 
 let tests () =
   let rng = Prng.create 4242 in
@@ -38,9 +43,30 @@ let tests () =
     Test.make ~name:"treecut.min_cut"
       (Staged.stage (fun () ->
            Hgp_tree.Treecut.min_cut_weight tree ~in_set:(fun l -> l mod 2 = 0)));
+    (* Telemetry layer itself: the disabled case is the overhead every
+       instrumented call site pays in production. *)
+    Test.make ~name:"obs.span_disabled"
+      (Staged.stage (fun () -> Obs.span "bench.probe" (fun () -> Sys.opaque_identity 0)));
+    Test.make ~name:"obs.span_enabled"
+      (Staged.stage (fun () ->
+           Obs.enable ();
+           let r = Obs.span "bench.probe" (fun () -> Sys.opaque_identity 0) in
+           Obs.disable ();
+           r));
+    Test.make ~name:"obs.count_enabled"
+      (Staged.stage (fun () ->
+           Obs.enable ();
+           Obs.count "bench.counter" 1;
+           Obs.disable ()));
   ]
 
 let run () =
+  (* Measure kernels in the disabled-telemetry posture regardless of what the
+     surrounding harness enabled; restore afterwards. *)
+  let was_enabled = Obs.enabled () in
+  Obs.disable ();
+  Fun.protect ~finally:(fun () -> if was_enabled then Obs.enable ())
+  @@ fun () ->
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in

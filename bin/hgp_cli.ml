@@ -18,6 +18,7 @@ module Solver = Hgp_core.Solver
 module B = Hgp_baselines
 module Prng = Hgp_util.Prng
 module Tablefmt = Hgp_util.Tablefmt
+module Obs = Hgp_obs.Obs
 open Cmdliner
 
 let parse_hierarchy s =
@@ -45,6 +46,27 @@ let load_arg =
 
 let slack_arg =
   Arg.(value & opt float 1.25 & info [ "slack" ] ~doc:"Capacity slack for heuristics.")
+
+(* --metrics[=json|table]: enable pipeline telemetry and print the stage
+   breakdown to stderr (stdout keeps its machine-readable contract). *)
+let metrics_arg =
+  let sink = Arg.enum [ ("table", Obs.Table); ("json", Obs.Jsonl) ] in
+  Arg.(
+    value
+    & opt ~vopt:(Some Obs.Table) (some sink) None
+    & info [ "metrics" ]
+        ~doc:
+          "Collect pipeline telemetry and print the stage breakdown to stderr; \
+           $(docv) is 'table' (default) or 'json' (JSON lines, see \
+           docs/OBSERVABILITY.md)."
+        ~docv:"SINK")
+
+let with_metrics metrics f =
+  match metrics with
+  | None -> f ()
+  | Some sink ->
+    Obs.enable ();
+    Fun.protect ~finally:(fun () -> Obs.emit sink stderr) f
 
 (* ---- generate ---- *)
 
@@ -134,7 +156,8 @@ let solve_cmd =
   let resolution =
     Arg.(value & opt (some int) None & info [ "resolution" ] ~doc:"Units per leaf capacity.")
   in
-  let run path hierarchy load seed ensemble resolution =
+  let run path hierarchy load seed ensemble resolution metrics =
+    with_metrics metrics @@ fun () ->
     let inst = load_instance path hierarchy load seed in
     let options =
       { Solver.default_options with ensemble_size = ensemble; seed; resolution }
@@ -144,13 +167,18 @@ let solve_cmd =
       sol.max_violation sol.tree_index sol.dp_states;
     Array.iteri (fun v leaf -> Printf.printf "%d %d\n" v leaf) sol.assignment
   in
-  let term = Term.(const run $ graph_arg $ hierarchy_arg $ load_arg $ seed_arg $ ensemble $ resolution) in
+  let term =
+    Term.(
+      const run $ graph_arg $ hierarchy_arg $ load_arg $ seed_arg $ ensemble $ resolution
+      $ metrics_arg)
+  in
   Cmd.v (Cmd.info "solve" ~doc:"Solve HGP on a graph; prints 'vertex leaf' lines.") term
 
 (* ---- compare ---- *)
 
 let compare_cmd =
-  let run path hierarchy load seed slack =
+  let run path hierarchy load seed slack metrics =
+    with_metrics metrics @@ fun () ->
     let inst = load_instance path hierarchy load seed in
     let rng = Prng.create seed in
     let k = Hierarchy.num_leaves hierarchy in
@@ -183,7 +211,10 @@ let compare_cmd =
     in
     Tablefmt.print ~title:"method comparison" ~header:[ "method"; "cost"; "violation" ] rows
   in
-  let term = Term.(const run $ graph_arg $ hierarchy_arg $ load_arg $ seed_arg $ slack_arg) in
+  let term =
+    Term.(
+      const run $ graph_arg $ hierarchy_arg $ load_arg $ seed_arg $ slack_arg $ metrics_arg)
+  in
   Cmd.v (Cmd.info "compare" ~doc:"Compare the solver against the baselines.") term
 
 (* ---- validate ---- *)

@@ -27,6 +27,11 @@ let quantize ~demands ~leaf_capacity ~resolution ~mode =
         max 0 (min u resolution))
       demands
   in
+  Hgp_obs.Obs.count "demand.quantize_calls" 1;
+  (* Jobs rounded to zero units vanish from the relaxed instance — the lead
+     indicator that the resolution is too coarse for the demand profile. *)
+  Hgp_obs.Obs.count "demand.zero_unit_jobs"
+    (Array.fold_left (fun acc u -> if u = 0 then acc + 1 else acc) 0 units);
   { units; unit_size; resolution; mode }
 
 let resolution_for_eps ~n ~eps =

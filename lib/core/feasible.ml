@@ -1,5 +1,6 @@
 module Tree = Hgp_tree.Tree
 module Hierarchy = Hgp_hierarchy.Hierarchy
+module Obs = Hgp_obs.Obs
 
 type report = {
   assignment : int array;
@@ -10,6 +11,7 @@ type report = {
 let theoretical_violation_bound ~h ~eps = (1. +. eps) *. (1. +. float_of_int h)
 
 let pack t ~kappa ~demand_units ~hierarchy ~resolution =
+  Obs.span "feasible.pack" @@ fun () ->
   let h = Hierarchy.height hierarchy in
   let n = Tree.n_nodes t in
   let per_level = Array.init (h + 1) (fun j -> Levels.components t ~kappa ~level:j) in
@@ -100,4 +102,6 @@ let pack t ~kappa ~demand_units ~hierarchy ~resolution =
       loads
   done;
   let max_violation_units = Array.fold_left Float.max 0. level_violation_units in
+  Obs.count "feasible.packs" 1;
+  Obs.count "feasible.leaves_packed" (Array.length (Tree.leaves t));
   { assignment; level_violation_units; max_violation_units }

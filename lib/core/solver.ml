@@ -4,6 +4,7 @@ module Tree = Hgp_tree.Tree
 module Decomposition = Hgp_racke.Decomposition
 module Ensemble = Hgp_racke.Ensemble
 module Prng = Hgp_util.Prng
+module Obs = Hgp_obs.Obs
 
 let log_src = Logs.Src.create "hgp.solver" ~doc:"HGP end-to-end solver"
 
@@ -86,9 +87,10 @@ let run_tree (inst : Instance.t) d ~quantized ~resolution ~options =
     Tree_dp.config_of_hierarchy inst.hierarchy ~resolution ?bucketing:options.bucketing
       ?beam_width:options.beam_width ()
   in
-  match Tree_dp.solve t ~demand_units cfg with
+  match Obs.span "solver.tree_dp" (fun () -> Tree_dp.solve t ~demand_units cfg) with
   | None -> None
   | Some r ->
+    Obs.span "solver.feasible" @@ fun () ->
     let report =
       Feasible.pack t ~kappa:r.kappa ~demand_units ~hierarchy:inst.hierarchy ~resolution
     in
@@ -115,10 +117,23 @@ let solve_on_decomposition inst d ~options =
   | None -> failwith "Solver.solve_on_decomposition: quantized instance is infeasible"
 
 let solve ?(options = default_options) inst =
-  let quantized, resolution = quantize_instance inst options in
+  Obs.span "solver.total"
+    ~attrs:
+      [
+        ("n", string_of_int (Instance.n inst));
+        ("strategy", Ensemble.strategy_name options.strategy);
+        ("parallel", string_of_bool options.parallel);
+      ]
+  @@ fun () ->
+  let quantized, resolution =
+    Obs.span "solver.quantize" (fun () -> quantize_instance inst options)
+  in
+  Obs.gauge "solver.resolution" (float_of_int resolution);
   let rng = Prng.create options.seed in
   let ensemble =
-    Ensemble.sample ~strategy:options.strategy rng inst.graph ~size:options.ensemble_size
+    Obs.span "solver.ensemble" (fun () ->
+        Ensemble.sample ~strategy:options.strategy rng inst.graph
+          ~size:options.ensemble_size)
   in
   let n_trees = Ensemble.size ensemble in
   (* Per-tree solves are independent (all shared state is immutable), so they
@@ -136,7 +151,12 @@ let solve ?(options = default_options) inst =
         let domains =
           Array.init batch (fun b ->
               let idx = !i + b in
-              Domain.spawn (fun () -> solve_one idx))
+              (* A spawned domain has a fresh span stack, so the per-tree
+                 span is a root: per-domain timings stay visible instead of
+                 folding into solver.total. *)
+              Domain.spawn (fun () ->
+                  Obs.span ("solver.domain." ^ string_of_int idx) (fun () ->
+                      solve_one idx)))
         in
         Array.iteri (fun b d -> results.(!i + b) <- Domain.join d) domains;
         i := !i + batch
@@ -145,12 +165,15 @@ let solve ?(options = default_options) inst =
     end
     else Array.init n_trees solve_one
   in
+  Obs.span "solver.select" @@ fun () ->
   let best = ref None in
   let total_states = ref 0 in
   Array.iteri
     (fun i result ->
       match result with
-      | None -> Log.debug (fun m -> m "tree %d: infeasible after quantization" i)
+      | None ->
+        Obs.count "solver.trees_infeasible" 1;
+        Log.debug (fun m -> m "tree %d: infeasible after quantization" i)
       | Some (assignment, relaxed, states) ->
         total_states := !total_states + states;
         let cost = Cost.assignment_cost inst assignment in
@@ -162,6 +185,8 @@ let solve ?(options = default_options) inst =
     results;
   match !best with
   | Some (assignment, _, relaxed, i) ->
+    Obs.count "solver.solves" 1;
+    Obs.count "solver.dp_states" !total_states;
     Log.info (fun m ->
         m "solved n=%d k=%d resolution=%d: winning tree %d, %d DP states"
           (Instance.n inst)

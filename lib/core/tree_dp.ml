@@ -1,5 +1,6 @@
 module Tree = Hgp_tree.Tree
 module Hierarchy = Hgp_hierarchy.Hierarchy
+module Obs = Hgp_obs.Obs
 
 type config = {
   cm : float array;
@@ -106,6 +107,9 @@ let solve t ~demand_units cfg =
     let caps = Array.sub cfg.cp_units 1 h in
     let strides = space.Signature.strides in
     let states = ref 0 in
+    let beam_evictions = ref 0 in
+    let pareto_dropped = ref 0 in
+    let table_peak = ref 0 in
     (* tables.(v): final signature table of node v (key -> cost). *)
     let tables : (int, float) Hashtbl.t array = Array.make n (Hashtbl.create 0) in
     (* backs.(v).(i): for child index i of v, key in the accumulator after
@@ -183,18 +187,33 @@ let solve t ~demand_units cfg =
                 acc_entries;
               (* Very large raw tables are pre-truncated so the Pareto pass
                  stays near-linear. *)
+              let raw_size = Hashtbl.length nacc in
+              if raw_size > !table_peak then table_peak := raw_size;
               let pre =
                 match cfg.beam_width with
-                | Some width when Hashtbl.length nacc > 8 * width ->
+                | Some width when raw_size > 8 * width ->
                   beam_truncate (Some (8 * width)) nacc
                 | _ -> nacc
               in
+              let pre_size = Hashtbl.length pre in
               let pruned = if cfg.prune then pareto_prune space h pre else pre in
-              acc := beam_truncate cfg.beam_width pruned)
+              let pruned_size = Hashtbl.length pruned in
+              pareto_dropped := !pareto_dropped + (pre_size - pruned_size);
+              let kept = beam_truncate cfg.beam_width pruned in
+              beam_evictions :=
+                !beam_evictions + (raw_size - pre_size) + (pruned_size - Hashtbl.length kept);
+              acc := kept)
             cs;
           tables.(v) <- !acc
         end)
       (Tree.post_order t);
+    (* One registry update per solve keeps the DP loops free of telemetry
+       calls; all four are no-ops while collection is disabled. *)
+    Obs.count "tree_dp.solves" 1;
+    Obs.count "tree_dp.states" !states;
+    Obs.count "tree_dp.beam_evictions" !beam_evictions;
+    Obs.count "tree_dp.pareto_dropped" !pareto_dropped;
+    Obs.gauge_max "tree_dp.table_peak" (float_of_int !table_peak);
     if !infeasible_leaf then None
     else begin
       let r = Tree.root t in

@@ -1,6 +1,7 @@
 module Graph = Hgp_graph.Graph
 module Tree = Hgp_tree.Tree
 module Prng = Hgp_util.Prng
+module Obs = Hgp_obs.Obs
 
 type t = {
   tree : Tree.t;
@@ -10,6 +11,11 @@ type t = {
 }
 
 type strategy = Low_diameter | Bfs_bisection | Gomory_hu
+
+let strategy_name = function
+  | Low_diameter -> "low_diameter"
+  | Bfs_bisection -> "bfs_bisection"
+  | Gomory_hu -> "gomory_hu"
 
 (* Shared finisher: given the tree shape (parent pointers, ids in DFS order
    so parents precede children is NOT assumed — depths are computed by
@@ -33,6 +39,7 @@ let finish g ~root ~parent_arr ~leaf_of_vertex ~vertex_of_node =
     ignore (depth_of x)
   done;
   let weights = Array.make total 0. in
+  Obs.span "decomposition.cut_weights" (fun () ->
   Graph.iter_edges
     (fun u v w ->
       let a = ref leaf_of_vertex.(u) and b = ref leaf_of_vertex.(v) in
@@ -50,7 +57,7 @@ let finish g ~root ~parent_arr ~leaf_of_vertex ~vertex_of_node =
         a := parent_arr.(!a);
         b := parent_arr.(!b)
       done)
-    g;
+    g);
   let tree = Tree.of_parents ~root ~parents:parent_arr ~weights in
   let vertex_of_leaf =
     Array.init total (fun id ->
@@ -113,16 +120,23 @@ let of_spanning_shape g ~parents =
 let build ?(strategy = Low_diameter) rng g =
   if not (Hgp_graph.Traversal.is_connected g) then
     invalid_arg "Decomposition.build: graph must be connected";
-  match strategy with
-  | Low_diameter ->
-    let c = Clustering.hierarchical rng g ~edge_length:Clustering.inverse_weight_length in
-    of_clustering g c
-  | Bfs_bisection ->
-    let c = Clustering.bfs_bisection rng g ~edge_length:Clustering.inverse_weight_length in
-    of_clustering g c
-  | Gomory_hu ->
-    let gh = Hgp_flow.Gomory_hu.build g in
-    of_spanning_shape g ~parents:gh.Hgp_flow.Gomory_hu.parent
+  Obs.span "decomposition.build" ~attrs:[ ("strategy", strategy_name strategy) ]
+  @@ fun () ->
+  let d =
+    match strategy with
+    | Low_diameter ->
+      let c = Clustering.hierarchical rng g ~edge_length:Clustering.inverse_weight_length in
+      of_clustering g c
+    | Bfs_bisection ->
+      let c = Clustering.bfs_bisection rng g ~edge_length:Clustering.inverse_weight_length in
+      of_clustering g c
+    | Gomory_hu ->
+      let gh = Hgp_flow.Gomory_hu.build g in
+      of_spanning_shape g ~parents:gh.Hgp_flow.Gomory_hu.parent
+  in
+  Obs.count "decomposition.trees_built" 1;
+  Obs.count "decomposition.tree_nodes" (Tree.n_nodes d.tree);
+  d
 
 let tree d = d.tree
 let graph d = d.graph

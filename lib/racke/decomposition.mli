@@ -21,6 +21,10 @@ type strategy =
       (** the shape of a Gomory–Hu (flow-equivalent) cut tree — groups
           vertices by connectivity; costs [n - 1] max-flows *)
 
+(** [strategy_name s] is a stable lowercase identifier ("low_diameter",
+    "bfs_bisection", "gomory_hu") used in telemetry attributes and reports. *)
+val strategy_name : strategy -> string
+
 (** [of_clustering g c] builds the decomposition tree of a hierarchical
     clustering of [g].  The clustering must cover every vertex exactly once.
     Unary chains in [c] are preserved as given. *)

@@ -1,6 +1,12 @@
+module Obs = Hgp_obs.Obs
+
 type t = { trees : Decomposition.t array }
 
 type strategy = Pure of Decomposition.strategy | Mixed
+
+let strategy_name = function
+  | Pure s -> Decomposition.strategy_name s
+  | Mixed -> "mixed"
 
 let mixed_cycle =
   [| Decomposition.Low_diameter; Decomposition.Bfs_bisection; Decomposition.Gomory_hu |]
@@ -15,8 +21,13 @@ let sample ?(strategy = Pure Decomposition.Low_diameter) rng g ~size =
   let trees =
     Array.init size (fun i ->
         let rng' = Hgp_util.Prng.split rng in
-        Decomposition.build ~strategy:(shape_of i) rng' g)
+        let shape = shape_of i in
+        (* One span per shape so a mixed ensemble reports how its sampling
+           time splits across strategies. *)
+        Obs.span ("ensemble.build." ^ Decomposition.strategy_name shape) (fun () ->
+            Decomposition.build ~strategy:shape rng' g))
   in
+  Obs.count "ensemble.trees_sampled" size;
   { trees }
 
 let size e = Array.length e.trees

@@ -14,6 +14,10 @@ type strategy =
       (** round-robin over all shape strategies — diversity usually helps
           the best-of selection of Theorem 7 *)
 
+(** [strategy_name s] is a stable identifier ("mixed" or the underlying
+    {!Decomposition.strategy_name}) for telemetry and reports. *)
+val strategy_name : strategy -> string
+
 (** [sample ?strategy rng g ~size] draws [size] independent decomposition
     trees of the connected graph [g] (default
     [Pure Decomposition.Low_diameter]).  Requires [size >= 1]. *)

@@ -1,0 +1,331 @@
+(* Tests for the telemetry subsystem (Hgp_obs.Obs). *)
+
+module Obs = Hgp_obs.Obs
+
+(* Minimal recursive-descent JSON validator — enough to assert the JSON-lines
+   sink emits syntactically valid objects without depending on a JSON
+   library. *)
+module Json_check = struct
+  exception Bad of int
+
+  let validate (s : string) : bool =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t' || s.[!pos] = '\n' || s.[!pos] = '\r') do
+        advance ()
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then advance () else raise (Bad !pos)
+    in
+    let literal lit =
+      let l = String.length lit in
+      if !pos + l <= n && String.sub s !pos l = lit then pos := !pos + l
+      else raise (Bad !pos)
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' -> obj ()
+      | Some '[' -> arr ()
+      | Some '"' -> string_lit ()
+      | Some 't' -> literal "true"
+      | Some 'f' -> literal "false"
+      | Some 'n' -> literal "null"
+      | Some ('-' | '0' .. '9') -> number ()
+      | _ -> raise (Bad !pos)
+    and obj () =
+      expect '{';
+      skip_ws ();
+      if peek () = Some '}' then advance ()
+      else begin
+        let rec members () =
+          skip_ws ();
+          string_lit ();
+          skip_ws ();
+          expect ':';
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ()
+          | Some '}' -> advance ()
+          | _ -> raise (Bad !pos)
+        in
+        members ()
+      end
+    and arr () =
+      expect '[';
+      skip_ws ();
+      if peek () = Some ']' then advance ()
+      else begin
+        let rec elements () =
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements ()
+          | Some ']' -> advance ()
+          | _ -> raise (Bad !pos)
+        in
+        elements ()
+      end
+    and string_lit () =
+      expect '"';
+      let rec go () =
+        if !pos >= n then raise (Bad !pos);
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (if !pos >= n then raise (Bad !pos));
+          (match s.[!pos] with
+          | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' -> advance ()
+          | 'u' ->
+            advance ();
+            for _ = 1 to 4 do
+              (match peek () with
+              | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+              | _ -> raise (Bad !pos))
+            done
+          | _ -> raise (Bad !pos));
+          go ()
+        | c when Char.code c < 0x20 -> raise (Bad !pos)
+        | _ ->
+          advance ();
+          go ()
+      in
+      go ()
+    and number () =
+      if peek () = Some '-' then advance ();
+      let digits () =
+        let saw = ref false in
+        while (match peek () with Some ('0' .. '9') -> true | _ -> false) do
+          saw := true;
+          advance ()
+        done;
+        if not !saw then raise (Bad !pos)
+      in
+      digits ();
+      if peek () = Some '.' then begin
+        advance ();
+        digits ()
+      end;
+      (match peek () with
+      | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+      | _ -> ())
+    in
+    match
+      value ();
+      skip_ws ();
+      !pos = n
+    with
+    | exception Bad _ -> false
+    | complete -> complete
+end
+
+(* Every test starts from a clean, enabled registry and leaves collection
+   off, so suites stay order-independent. *)
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let with_obs f =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    f
+
+let find_span snap name = List.find_opt (fun s -> s.Obs.name = name) snap.Obs.spans
+
+let test_disabled_passthrough () =
+  Obs.reset ();
+  Obs.disable ();
+  let r = Obs.span "off.span" (fun () -> 41 + 1) in
+  Obs.count "off.counter" 3;
+  Obs.gauge "off.gauge" 1.0;
+  Alcotest.(check int) "value passes through" 42 r;
+  let snap = Obs.snapshot () in
+  Alcotest.(check int) "no spans recorded" 0 (List.length snap.Obs.spans);
+  Alcotest.(check int) "no counters recorded" 0 (List.length snap.Obs.counters);
+  Alcotest.(check int) "no gauges recorded" 0 (List.length snap.Obs.gauges)
+
+let test_clock_monotonic () =
+  let t1 = Obs.now_ns () in
+  let t2 = Obs.now_ns () in
+  Alcotest.(check bool) "clock never goes backwards" true (Int64.compare t2 t1 >= 0)
+
+let test_span_records () =
+  with_obs @@ fun () ->
+  let r = Obs.span "unit.work" (fun () -> "done") in
+  Alcotest.(check string) "returns result" "done" r;
+  let snap = Obs.snapshot () in
+  match find_span snap "unit.work" with
+  | None -> Alcotest.fail "span not recorded"
+  | Some s ->
+    Alcotest.(check int) "count" 1 s.Obs.count;
+    Alcotest.(check bool) "nonnegative total" true (s.Obs.total_ns >= 0L);
+    Alcotest.(check bool) "no parent at top level" true (s.Obs.parent = None)
+
+let test_span_nesting_and_self_time () =
+  with_obs @@ fun () ->
+  let spin ns =
+    let t0 = Obs.now_ns () in
+    while Int64.sub (Obs.now_ns ()) t0 < ns do
+      ()
+    done
+  in
+  Obs.span "outer" (fun () ->
+      Obs.span "inner.a" (fun () -> spin 200_000L);
+      Obs.span "inner.b" (fun () -> spin 200_000L);
+      spin 100_000L);
+  let snap = Obs.snapshot () in
+  let outer = Option.get (find_span snap "outer") in
+  let a = Option.get (find_span snap "inner.a") in
+  let b = Option.get (find_span snap "inner.b") in
+  Alcotest.(check bool) "inner.a parent" true (a.Obs.parent = Some "outer");
+  Alcotest.(check bool) "inner.b parent" true (b.Obs.parent = Some "outer");
+  Alcotest.(check bool) "outer total >= children total" true
+    (outer.Obs.total_ns >= Int64.add a.Obs.total_ns b.Obs.total_ns);
+  Alcotest.(check bool) "outer self = total - children" true
+    (Int64.sub outer.Obs.total_ns outer.Obs.self_ns
+    >= Int64.add a.Obs.total_ns b.Obs.total_ns);
+  Alcotest.(check bool) "self nonnegative" true (outer.Obs.self_ns >= 0L)
+
+let test_span_aggregates_by_name () =
+  with_obs @@ fun () ->
+  for _ = 1 to 5 do
+    Obs.span "repeated" (fun () -> ())
+  done;
+  let snap = Obs.snapshot () in
+  let s = Option.get (find_span snap "repeated") in
+  Alcotest.(check int) "five completions merged" 5 s.Obs.count;
+  Alcotest.(check bool) "max <= total" true (s.Obs.max_ns <= s.Obs.total_ns)
+
+let test_span_records_on_raise () =
+  with_obs @@ fun () ->
+  (try Obs.span "raising" (fun () -> failwith "boom") with Failure _ -> ());
+  let snap = Obs.snapshot () in
+  Alcotest.(check bool) "span recorded despite raise" true
+    (find_span snap "raising" <> None)
+
+let test_counters_and_gauges () =
+  with_obs @@ fun () ->
+  Obs.count "c" 3;
+  Obs.count "c" 4;
+  Obs.gauge "g" 1.5;
+  Obs.gauge "g" 0.5;
+  Obs.gauge_max "m" 2.0;
+  Obs.gauge_max "m" 1.0;
+  let snap = Obs.snapshot () in
+  Alcotest.(check (list (pair string int))) "counter sums" [ ("c", 7) ] snap.Obs.counters;
+  Alcotest.(check bool) "gauge last-write-wins" true
+    (List.assoc "g" snap.Obs.gauges = 0.5);
+  Alcotest.(check bool) "gauge_max keeps max" true (List.assoc "m" snap.Obs.gauges = 2.0)
+
+let test_reset_clears () =
+  with_obs @@ fun () ->
+  Obs.span "x" (fun () -> ());
+  Obs.count "y" 1;
+  Obs.reset ();
+  let snap = Obs.snapshot () in
+  Alcotest.(check int) "spans cleared" 0 (List.length snap.Obs.spans);
+  Alcotest.(check int) "counters cleared" 0 (List.length snap.Obs.counters)
+
+let test_attrs_recorded () =
+  with_obs @@ fun () ->
+  Obs.span "tagged" ~attrs:[ ("k", "v\"quoted\"") ] (fun () -> ());
+  let snap = Obs.snapshot () in
+  let s = Option.get (find_span snap "tagged") in
+  Alcotest.(check bool) "attrs kept" true (List.assoc "k" s.Obs.attrs = "v\"quoted\"")
+
+let test_jsonl_valid () =
+  with_obs @@ fun () ->
+  Obs.span "solver.total" ~attrs:[ ("n", "32"); ("weird", "a\\b\"c\nd") ] (fun () ->
+      Obs.span "solver.tree_dp" (fun () -> ()));
+  Obs.count "solver.dp_states" 123;
+  Obs.gauge "solver.resolution" 24.0;
+  let out = Obs.render Obs.Jsonl (Obs.snapshot ()) in
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  Alcotest.(check bool) "several lines" true (List.length lines >= 4);
+  List.iter
+    (fun line ->
+      if not (Json_check.validate line) then
+        Alcotest.failf "invalid JSON line: %s" line)
+    lines;
+  Alcotest.(check bool) "mentions tree_dp span" true
+    (List.exists (contains ~sub:"\"name\":\"solver.tree_dp\"") lines)
+
+let test_table_renders () =
+  with_obs @@ fun () ->
+  Obs.span "a.span" (fun () -> ());
+  Obs.count "a.counter" 1;
+  Obs.gauge "a.gauge" 3.14;
+  let out = Obs.render Obs.Table (Obs.snapshot ()) in
+  Alcotest.(check bool) "has spans section" true
+    (contains ~sub:"a.span" out && contains ~sub:"a.counter" out
+   && contains ~sub:"a.gauge" out)
+
+let test_noop_renders_empty () =
+  with_obs @@ fun () ->
+  Obs.span "s" (fun () -> ());
+  Alcotest.(check string) "noop is empty" "" (Obs.render Obs.Noop (Obs.snapshot ()))
+
+let test_sink_of_string () =
+  Alcotest.(check bool) "json" true (Obs.sink_of_string "json" = Ok Obs.Jsonl);
+  Alcotest.(check bool) "table" true (Obs.sink_of_string "table" = Ok Obs.Table);
+  Alcotest.(check bool) "bogus rejected" true
+    (match Obs.sink_of_string "bogus" with Error _ -> true | Ok _ -> false)
+
+let test_multidomain_safe () =
+  with_obs @@ fun () ->
+  let domains =
+    Array.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 100 do
+              Obs.span (Printf.sprintf "domain.%d" i) (fun () -> Obs.count "domain.ops" 1)
+            done))
+  in
+  Array.iter Domain.join domains;
+  let snap = Obs.snapshot () in
+  Alcotest.(check bool) "all ops counted" true
+    (List.assoc "domain.ops" snap.Obs.counters = 400);
+  for i = 0 to 3 do
+    let s = Option.get (find_span snap (Printf.sprintf "domain.%d" i)) in
+    Alcotest.(check int) "span count per domain" 100 s.Obs.count;
+    Alcotest.(check bool) "domain spans are roots" true (s.Obs.parent = None)
+  done
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "disabled passthrough" `Quick test_disabled_passthrough;
+          Alcotest.test_case "monotonic clock" `Quick test_clock_monotonic;
+          Alcotest.test_case "span records" `Quick test_span_records;
+          Alcotest.test_case "nesting and self time" `Quick test_span_nesting_and_self_time;
+          Alcotest.test_case "aggregates by name" `Quick test_span_aggregates_by_name;
+          Alcotest.test_case "records on raise" `Quick test_span_records_on_raise;
+          Alcotest.test_case "counters and gauges" `Quick test_counters_and_gauges;
+          Alcotest.test_case "reset clears" `Quick test_reset_clears;
+          Alcotest.test_case "attrs recorded" `Quick test_attrs_recorded;
+          Alcotest.test_case "jsonl valid" `Quick test_jsonl_valid;
+          Alcotest.test_case "table renders" `Quick test_table_renders;
+          Alcotest.test_case "noop renders empty" `Quick test_noop_renders_empty;
+          Alcotest.test_case "sink of string" `Quick test_sink_of_string;
+          Alcotest.test_case "multi-domain safety" `Quick test_multidomain_safe;
+        ] );
+    ]

@@ -1,0 +1,114 @@
+(* Cross-cutting property tests for the Theorem-1 pipeline: every solver
+   output must certify, and the telemetry recorded along the way must be
+   internally consistent. *)
+
+module Gen = Hgp_graph.Generators
+module H = Hgp_hierarchy.Hierarchy
+module Instance = Hgp_core.Instance
+module Solver = Hgp_core.Solver
+module Verify = Hgp_core.Verify
+module Prng = Hgp_util.Prng
+module Obs = Hgp_obs.Obs
+
+let h2 () = H.create ~degs:[| 2; 2 |] ~cm:[| 10.; 3.; 0. |] ~leaf_capacity:1.0
+
+(* Random connected instance over mixed hierarchies (h = 1..3). *)
+let gen_instance =
+  let open QCheck2.Gen in
+  let* seed = int_bound 1_000_000 in
+  let* n = int_range 8 24 in
+  let* shape = int_bound 2 in
+  let rng = Prng.create seed in
+  let g = Gen.gnp_connected rng n 0.3 in
+  let g = Gen.randomize_weights rng g ~lo:1.0 ~hi:5.0 in
+  let hy =
+    match shape with
+    | 0 -> H.Presets.flat ~k:4
+    | 1 -> h2 ()
+    | _ -> H.create ~degs:[| 2; 2; 2 |] ~cm:[| 20.; 6.; 2.; 0. |] ~leaf_capacity:1.0
+  in
+  let inst = Instance.random_demands rng g hy ~load_factor:0.6 in
+  return (seed, inst)
+
+(* ISSUE satellite: Verify.certify of Solver.solve output always yields a
+   complete assignment, a vanishing Lemma-2 gap, and a violation within the
+   Theorem-1 bound. *)
+let prop_solve_always_certifies =
+  Test_support.qtest ~count:30 "certify(solve) is complete, tight, and bounded"
+    gen_instance
+    (fun (seed, inst) ->
+      let options = { Solver.default_options with ensemble_size = 2; seed } in
+      let sol = Solver.solve ~options inst in
+      let r = Verify.certify inst sol.assignment ~eps:1.0 in
+      r.Verify.assignment_complete
+      && r.Verify.lemma2_gap < 1e-6
+      && r.Verify.max_violation <= r.Verify.theorem_bound +. 1e-9)
+
+(* Telemetry consistency: after one solve, every counter is non-negative and
+   the end-to-end span dominates the self-times of its direct children. *)
+let prop_obs_consistent =
+  Test_support.qtest ~count:15 "obs counters >= 0 and solver.total >= child self-times"
+    gen_instance
+    (fun (seed, inst) ->
+      Obs.reset ();
+      Obs.enable ();
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.disable ();
+          Obs.reset ())
+        (fun () ->
+          let options = { Solver.default_options with ensemble_size = 2; seed } in
+          ignore (Solver.solve ~options inst);
+          let snap = Obs.snapshot () in
+          let counters_ok = List.for_all (fun (_, v) -> v >= 0) snap.Obs.counters in
+          let total =
+            List.find_opt (fun s -> s.Obs.name = "solver.total") snap.Obs.spans
+          in
+          match total with
+          | None -> false
+          | Some total ->
+            let child_self =
+              List.fold_left
+                (fun acc s ->
+                  if s.Obs.parent = Some "solver.total" then Int64.add acc s.Obs.self_ns
+                  else acc)
+                0L snap.Obs.spans
+            in
+            let spans_ok =
+              List.for_all
+                (fun s ->
+                  s.Obs.total_ns >= 0L && s.Obs.self_ns >= 0L
+                  && s.Obs.self_ns <= s.Obs.total_ns
+                  && s.Obs.max_ns <= s.Obs.total_ns && s.Obs.count > 0)
+                snap.Obs.spans
+            in
+            counters_ok && spans_ok && total.Obs.total_ns >= child_self))
+
+(* The expected stage counters must be present and plausible after a solve:
+   dp_states matches the solution's own accounting. *)
+let prop_obs_dp_states_matches =
+  Test_support.qtest ~count:15 "obs dp_states counter = solution.dp_states"
+    gen_instance
+    (fun (seed, inst) ->
+      Obs.reset ();
+      Obs.enable ();
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.disable ();
+          Obs.reset ())
+        (fun () ->
+          let options = { Solver.default_options with ensemble_size = 2; seed } in
+          let sol = Solver.solve ~options inst in
+          let snap = Obs.snapshot () in
+          List.assoc_opt "solver.dp_states" snap.Obs.counters = Some sol.Solver.dp_states))
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "pipeline",
+        [
+          prop_solve_always_certifies;
+          prop_obs_consistent;
+          prop_obs_dp_states_matches;
+        ] );
+    ]

@@ -76,6 +76,85 @@ let test_infeasible_raises () =
        false
      with Failure _ | Invalid_argument _ -> true)
 
+(* ---- differential tests against Hgp_baselines.Brute_force ---- *)
+
+(* Exhaustive tiny instances: every labeled connected graph on [n] vertices
+   (unit weights), n <= 5, against hierarchies of height 1 and 2.  The
+   solver's cost must stay within the (1+eps)(1+h) factor of the exact
+   optimum (on these instances the tree embedding is near-lossless, so the
+   Theorem-1 violation budget is the binding slack). *)
+let differential_factor ~eps ~h = (1. +. eps) *. (1. +. float_of_int h)
+
+let check_vs_brute_force inst ~options ~label =
+  match Hgp_baselines.Brute_force.exact inst ~slack:1.0 with
+  | None -> () (* strictly infeasible: nothing to compare against *)
+  | Some (_, opt) ->
+    let sol = Solver.solve ~options inst in
+    let h = H.height inst.Instance.hierarchy in
+    let factor = differential_factor ~eps:options.Solver.eps ~h in
+    if opt <= 1e-9 then
+      Alcotest.(check bool) (label ^ ": zero-opt means zero-cost") true
+        (sol.Solver.cost <= 1e-6)
+    else if sol.Solver.cost > (factor *. opt) +. 1e-6 then
+      Alcotest.failf "%s: cost %.6g exceeds %.3g x optimum %.6g" label sol.Solver.cost
+        factor opt
+
+let test_differential_exhaustive () =
+  let hierarchies =
+    [ ("flat2", H.Presets.flat ~k:2); ("2x2", small_hierarchy ()) ]
+  in
+  for n = 3 to 5 do
+    let pairs = ref [] in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        pairs := (u, v) :: !pairs
+      done
+    done;
+    let pairs = Array.of_list (List.rev !pairs) in
+    let m = Array.length pairs in
+    for mask = 0 to (1 lsl m) - 1 do
+      let edges = ref [] in
+      Array.iteri
+        (fun i (u, v) -> if mask land (1 lsl i) <> 0 then edges := (u, v, 1.) :: !edges)
+        pairs;
+      let g = Graph.of_edges n !edges in
+      if Hgp_graph.Traversal.is_connected g then
+        List.iter
+          (fun (hname, hy) ->
+            let inst = Instance.uniform_demands g hy ~load_factor:0.6 in
+            let options = { default with ensemble_size = 3; seed = 7 } in
+            check_vs_brute_force inst ~options
+              ~label:(Printf.sprintf "n=%d mask=%d %s" n mask hname))
+          hierarchies
+    done
+  done
+
+(* Seeded regressions: one fixed instance per ensemble strategy; each must be
+   deterministic and stay within the differential factor of the optimum. *)
+let test_differential_strategies () =
+  let rng = Prng.create 1234 in
+  let g = Gen.gnp_connected rng 7 0.45 in
+  let g = Gen.randomize_weights rng g ~lo:1.0 ~hi:5.0 in
+  List.iter
+    (fun strategy ->
+      let label = "strategy " ^ Hgp_racke.Ensemble.strategy_name strategy in
+      List.iter
+        (fun (hname, hy) ->
+          let inst = Instance.uniform_demands g hy ~load_factor:0.6 in
+          let options = { default with strategy; ensemble_size = 3; seed = 99 } in
+          check_vs_brute_force inst ~options ~label:(label ^ " " ^ hname);
+          let s1 = Solver.solve ~options inst and s2 = Solver.solve ~options inst in
+          Alcotest.(check (array int)) (label ^ ": deterministic") s1.Solver.assignment
+            s2.Solver.assignment)
+        [ ("flat2", H.Presets.flat ~k:2); ("2x2", small_hierarchy ()) ])
+    Hgp_racke.Ensemble.
+      [
+        Pure Hgp_racke.Decomposition.Low_diameter;
+        Pure Hgp_racke.Decomposition.Bfs_bisection;
+        Pure Hgp_racke.Decomposition.Gomory_hu;
+        Mixed;
+      ]
+
 (* On tiny instances: solver cost must be sandwiched between the exact
    optimum (it cannot beat it by more than the capacity slack it enjoys)
    and a big multiple of it. *)
@@ -208,6 +287,13 @@ let () =
           Alcotest.test_case "tiny demands resolution" `Quick test_resolution_adapts_to_tiny_demands;
           Alcotest.test_case "bucketing end to end" `Quick test_bucketing_end_to_end;
           Alcotest.test_case "parallel = sequential" `Quick test_parallel_matches_sequential;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "exhaustive tiny vs brute force" `Quick
+            test_differential_exhaustive;
+          Alcotest.test_case "per-strategy seeded regressions" `Quick
+            test_differential_strategies;
         ] );
       ("property", [ prop_vs_exact ]);
     ]

@@ -36,6 +36,59 @@ let test_pp_renders () =
   let s = Format.asprintf "%a" Verify.pp r in
   Alcotest.(check bool) "mentions certificate" true (String.length s > 40)
 
+(* Malformed-input hardening: certify must never raise — it reports
+   [assignment_complete = false] and ignores invalid entries in the load
+   accounting. *)
+
+let malformed_instance () =
+  let g = Gen.path 4 in
+  Instance.create g ~demands:[| 0.4; 0.4; 0.4; 0.4 |] (hy ())
+
+let certify_never_raises name p check =
+  match Verify.certify (malformed_instance ()) p ~eps:0.25 with
+  | r -> check r
+  | exception e -> Alcotest.failf "%s: certify raised %s" name (Printexc.to_string e)
+
+let test_out_of_range_leaf_ids () =
+  certify_never_raises "too large" [| 0; 7; 1; 2 |] (fun r ->
+      Alcotest.(check bool) "incomplete (leaf id >= k)" false r.assignment_complete;
+      (* The three valid entries still contribute to leaf loads. *)
+      Test_support.check_close "valid loads counted" 0.4 r.leaf_loads.(0));
+  certify_never_raises "negative" [| 0; -3; 1; 2 |] (fun r ->
+      Alcotest.(check bool) "incomplete (negative leaf)" false r.assignment_complete);
+  certify_never_raises "max_int" [| max_int; 0; 1; 2 |] (fun r ->
+      Alcotest.(check bool) "incomplete (max_int leaf)" false r.assignment_complete)
+
+let test_short_assignment_array () =
+  certify_never_raises "short" [| 0; 1 |] (fun r ->
+      Alcotest.(check bool) "incomplete (short array)" false r.assignment_complete;
+      Alcotest.(check bool) "costs are nan" true (Float.is_nan r.cost_eq1));
+  certify_never_raises "empty" [||] (fun r ->
+      Alcotest.(check bool) "incomplete (empty array)" false r.assignment_complete;
+      Alcotest.(check bool) "violations still finite" true
+        (Array.for_all Float.is_finite r.level_violation))
+
+let test_long_assignment_array () =
+  certify_never_raises "long" [| 0; 1; 2; 3; 0; 1 |] (fun r ->
+      Alcotest.(check bool) "incomplete (length mismatch)" false r.assignment_complete)
+
+let test_zero_demand_vertices () =
+  (* Instance.create rejects non-positive demands: the zero-demand malformed
+     case cannot even be constructed, which is the stronger guarantee. *)
+  let g = Gen.path 3 in
+  Alcotest.(check bool) "zero demand rejected at construction" true
+    (try
+       ignore (Instance.create g ~demands:[| 0.3; 0.; 0.3 |] (hy ()));
+       false
+     with Invalid_argument _ -> true);
+  (* Near-zero positive demands are fine and certify cleanly. *)
+  let inst = Instance.create g ~demands:[| 1e-12; 1e-12; 1e-12 |] (hy ()) in
+  match Verify.certify inst [| 0; 1; 2 |] ~eps:0.25 with
+  | r ->
+    Alcotest.(check bool) "complete with tiny demands" true r.assignment_complete;
+    Alcotest.(check bool) "violation ~ 0" true (r.max_violation < 1e-9)
+  | exception e -> Alcotest.failf "tiny demands: certify raised %s" (Printexc.to_string e)
+
 let prop_solver_output_certifies =
   Test_support.qtest ~count:25 "solver output always certifies within Theorem 1"
     QCheck2.Gen.(pair (int_bound 100000) (int_range 8 24))
@@ -57,6 +110,10 @@ let () =
           Alcotest.test_case "complete certificate" `Quick test_complete_certificate;
           Alcotest.test_case "incomplete certificate" `Quick test_incomplete_certificate;
           Alcotest.test_case "pp renders" `Quick test_pp_renders;
+          Alcotest.test_case "out-of-range leaf ids" `Quick test_out_of_range_leaf_ids;
+          Alcotest.test_case "short/empty assignment" `Quick test_short_assignment_array;
+          Alcotest.test_case "long assignment" `Quick test_long_assignment_array;
+          Alcotest.test_case "zero-demand vertices" `Quick test_zero_demand_vertices;
         ] );
       ("property", [ prop_solver_output_certifies ]);
     ]
