@@ -649,6 +649,96 @@ let e14_dynamic_churn () =
     ~header:[ "policy"; "mean cost"; "final cost"; "migrations" ]
     rows
 
+(* ------------------------------------------------------------------ *)
+(* E15 — resilience: supervisor overhead, deadline adherence, and the  *)
+(* degradation ladder under injected faults (docs/ROBUSTNESS.md).      *)
+
+let e15_resilience () =
+  let hy = H.Presets.dual_socket in
+  let make n =
+    let rng = Prng.create (1500 + n) in
+    let g = Gen.gnp_connected rng n (6.0 /. float_of_int n) in
+    Instance.uniform_demands g hy ~load_factor:0.7
+  in
+  let options = { Solver.default_options with ensemble_size = 2; seed = 15 } in
+  let fallbacks =
+    [
+      ( "portfolio",
+        fun inst ->
+          (B.Portfolio.solve ~include_hgp:false (Prng.create 15) inst ~slack:1.25
+             ~refine_passes:2)
+            .best.B.Portfolio.assignment );
+      ( "recursive-bisection",
+        fun inst -> B.Recursive_bisection.assign (Prng.create 15) inst ~slack:1.25 );
+    ]
+  in
+  let supervised ?deadline_ms inst =
+    match Solver.solve_supervised ~options ?deadline_ms ~fallbacks inst with
+    | Ok s -> s
+    | Error e -> failwith (Hgp_resilience.Hgp_error.to_string e)
+  in
+  (* (a) Happy-path overhead: the supervisor's isolation fences and the
+     final re-certification versus the raw pipeline. *)
+  let overhead_rows =
+    List.map
+      (fun n ->
+        let inst = make n in
+        let sol, t_plain = time (fun () -> Solver.solve ~options inst) in
+        let sup, t_sup = time (fun () -> supervised inst) in
+        [ string_of_int n; fmt sol.cost; fmt sup.Solver.solution.cost; sup.Solver.rung;
+          Printf.sprintf "%.3f" t_plain; Printf.sprintf "%.3f" t_sup;
+          Printf.sprintf "%+.0f%%"
+            (100. *. (t_sup -. t_plain) /. Float.max 1e-9 t_plain) ])
+      [ 64; 144; 256 ]
+  in
+  Tablefmt.print ~title:"E15a  supervisor overhead (no faults, no deadline)"
+    ~header:[ "n"; "plain cost"; "sup cost"; "rung"; "plain (s)"; "sup (s)"; "overhead" ]
+    overhead_rows;
+  (* (b) Deadline adherence: observed wall time must track the budget, and
+     tighter budgets must descend to cheaper rungs, never fail. *)
+  let inst = make 400 in
+  let deadline_rows =
+    List.map
+      (fun budget_ms ->
+        let sup, dt = time (fun () -> supervised ~deadline_ms:budget_ms inst) in
+        [ Printf.sprintf "%.0f" budget_ms; Printf.sprintf "%.0f" (dt *. 1e3);
+          sup.Solver.rung; string_of_bool sup.Solver.degraded;
+          Printf.sprintf "%.2f" sup.Solver.solution.max_violation ])
+      [ 5.; 25.; 100.; 1000.; 10000. ]
+  in
+  Tablefmt.print
+    ~title:"E15b  deadline adherence on n=400 (wall time vs budget; winning rung)"
+    ~header:[ "budget (ms)"; "observed (ms)"; "rung"; "degraded"; "violation" ]
+    deadline_rows;
+  (* (c) Degradation ladder under injected faults: every plan must end in a
+     certified assignment, stepping down only as far as the faults force. *)
+  let plan s = Result.get_ok (Hgp_resilience.Faults.parse s) in
+  let inst = make 144 in
+  let fault_rows =
+    List.map
+      (fun (label, p) ->
+        let sup =
+          match p with
+          | None -> supervised inst
+          | Some p -> Hgp_resilience.Faults.with_plan (plan p) (fun () -> supervised inst)
+        in
+        [ label; sup.Solver.rung;
+          string_of_int (List.length sup.Solver.tree_failures);
+          fmt sup.Solver.solution.cost;
+          Printf.sprintf "%.2f" sup.Solver.solution.max_violation ])
+      [
+        ("none", None);
+        ("one tree crashes", Some "seed=7;tree_dp.solve=crash@1");
+        ("every build crashes", Some "seed=7;decomposition.build=crash");
+        ("packer drops a leaf", Some "seed=7;feasible.pack=corrupt");
+        ("DP corrupts kappa", Some "seed=7;tree_dp.solve=corrupt");
+      ]
+  in
+  Tablefmt.print
+    ~title:"E15c  degradation ladder under injected faults (n=144; all certified)"
+    ~header:[ "fault plan"; "rung"; "tree failures"; "cost"; "violation" ]
+    fault_rows
+
 let run_all () =
   let experiments =
     [
@@ -666,6 +756,7 @@ let run_all () =
       ("E12", e12_simulation_correlation);
       ("E13", e13_pipeline_scaling);
       ("E14", e14_dynamic_churn);
+      ("E15", e15_resilience);
     ]
   in
   List.iter

@@ -45,6 +45,7 @@ let () =
         ("E12", Experiments.e12_simulation_correlation);
         ("E13", Experiments.e13_pipeline_scaling);
         ("E14", Experiments.e14_dynamic_churn);
+        ("E15", Experiments.e15_resilience);
         ("micro", Microbench.run);
       ]
     in

@@ -19,6 +19,8 @@ module B = Hgp_baselines
 module Prng = Hgp_util.Prng
 module Tablefmt = Hgp_util.Tablefmt
 module Obs = Hgp_obs.Obs
+module Hgp_error = Hgp_resilience.Hgp_error
+module Faults = Hgp_resilience.Faults
 open Cmdliner
 
 let parse_hierarchy s =
@@ -67,6 +69,16 @@ let with_metrics metrics f =
   | Some sink ->
     Obs.enable ();
     Fun.protect ~finally:(fun () -> Obs.emit sink stderr) f
+
+(* Structured errors become documented exit codes (docs/ROBUSTNESS.md):
+   parse 65, io 66, infeasible 69, tree/domain/fault/internal 70, deadline
+   75.  The handler sits OUTSIDE [with_metrics] so telemetry still flushes
+   on the way out. *)
+let handle_errors f =
+  try f () with
+  | Hgp_error.Error e ->
+    Printf.eprintf "hgp_cli: %s\n" (Hgp_error.to_string e);
+    exit (Hgp_error.exit_code e)
 
 (* ---- generate ---- *)
 
@@ -156,21 +168,52 @@ let solve_cmd =
   let resolution =
     Arg.(value & opt (some int) None & info [ "resolution" ] ~doc:"Units per leaf capacity.")
   in
-  let run path hierarchy load seed ensemble resolution metrics =
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ]
+          ~doc:
+            "Soft wall-clock budget in milliseconds; on expiry the solve \
+             degrades through cheaper rungs instead of failing (see \
+             docs/ROBUSTNESS.md).")
+  in
+  let run path hierarchy load seed ensemble resolution deadline_ms slack metrics =
+    handle_errors @@ fun () ->
     with_metrics metrics @@ fun () ->
     let inst = load_instance path hierarchy load seed in
     let options =
       { Solver.default_options with ensemble_size = ensemble; seed; resolution }
     in
-    let sol = Solver.solve ~options inst in
-    Printf.printf "# cost %.6g\n# violation %.4f\n# tree %d\n# dp-states %d\n" sol.cost
-      sol.max_violation sol.tree_index sol.dp_states;
-    Array.iteri (fun v leaf -> Printf.printf "%d %d\n" v leaf) sol.assignment
+    (* Ladder rungs below the core pipeline: the refined heuristic portfolio
+       (sans the hgp candidate — it just failed above us), then plain dual
+       recursive bisection.  Each gets a fresh deterministic rng. *)
+    let fallbacks =
+      [
+        ( "portfolio",
+          fun inst ->
+            (B.Portfolio.solve ~include_hgp:false (Prng.create seed) inst ~slack
+               ~refine_passes:2)
+              .best.B.Portfolio.assignment );
+        ( "recursive-bisection",
+          fun inst -> B.Recursive_bisection.assign (Prng.create seed) inst ~slack );
+      ]
+    in
+    match Solver.solve_supervised ~options ?deadline_ms ~fallbacks inst with
+    | Error e -> Hgp_error.error e
+    | Ok s ->
+      let sol = s.Solver.solution in
+      Printf.printf "# cost %.6g\n# violation %.4f\n# tree %d\n# dp-states %d\n" sol.cost
+        sol.max_violation sol.tree_index sol.dp_states;
+      Printf.printf "# rung %s\n# degraded %b\n# tree-failures %d\n" s.Solver.rung
+        s.Solver.degraded
+        (List.length s.Solver.tree_failures);
+      Array.iteri (fun v leaf -> Printf.printf "%d %d\n" v leaf) sol.assignment
   in
   let term =
     Term.(
       const run $ graph_arg $ hierarchy_arg $ load_arg $ seed_arg $ ensemble $ resolution
-      $ metrics_arg)
+      $ deadline $ slack_arg $ metrics_arg)
   in
   Cmd.v (Cmd.info "solve" ~doc:"Solve HGP on a graph; prints 'vertex leaf' lines.") term
 
@@ -178,6 +221,7 @@ let solve_cmd =
 
 let compare_cmd =
   let run path hierarchy load seed slack metrics =
+    handle_errors @@ fun () ->
     with_metrics metrics @@ fun () ->
     let inst = load_instance path hierarchy load seed in
     let rng = Prng.create seed in
@@ -224,6 +268,7 @@ let validate_cmd =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"ASSIGNMENT" ~doc:"'vertex leaf' lines.")
   in
   let run path assignment_path hierarchy load seed slack =
+    handle_errors @@ fun () ->
     let inst = load_instance path hierarchy load seed in
     let p = Array.make (Instance.n inst) (-1) in
     let ic = open_in assignment_path in
@@ -259,6 +304,7 @@ let describe_cmd =
 
 let portfolio_cmd =
   let run path hierarchy load seed slack =
+    handle_errors @@ fun () ->
     let inst = load_instance path hierarchy load seed in
     let rng = Prng.create seed in
     let r = B.Portfolio.solve rng inst ~slack ~refine_passes:8 in
@@ -341,6 +387,14 @@ let simulate_cmd =
     term
 
 let () =
+  (* Arm fault injection from HGP_FAULT_PLAN before any command runs, so a
+     chaos harness can target every site including instance loading.  A
+     malformed plan is a usage error (sysexits EX_USAGE). *)
+  (match Faults.from_env () with
+   | Ok _ -> ()
+   | Error msg ->
+     Printf.eprintf "hgp_cli: invalid %s: %s\n" Faults.env_var msg;
+     exit 64);
   let info = Cmd.info "hgp_cli" ~doc:"Hierarchical graph partitioning (SPAA 2014) toolkit." in
   exit
     (Cmd.eval

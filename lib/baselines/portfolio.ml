@@ -15,8 +15,8 @@ type result = {
   entries : entry list;
 }
 
-let solve ?(solver_options = Solver.default_options) rng (inst : Instance.t) ~slack
-    ~refine_passes =
+let solve ?(solver_options = Solver.default_options) ?(include_hgp = true) rng
+    (inst : Instance.t) ~slack ~refine_passes =
   let k = Hierarchy.num_leaves inst.hierarchy in
   let capacity = slack *. Hierarchy.leaf_capacity inst.hierarchy in
   let candidates =
@@ -29,8 +29,11 @@ let solve ?(solver_options = Solver.default_options) rng (inst : Instance.t) ~sl
           in
           Mapping.optimize inst ~parts ~k );
       ("dual-recursive", fun () -> Recursive_bisection.assign rng inst ~slack);
-      ("hgp", fun () -> (Solver.solve ~options:solver_options inst).assignment);
     ]
+    @
+    if include_hgp then
+      [ ("hgp", fun () -> (Solver.solve ~options:solver_options inst).assignment) ]
+    else []
   in
   let entries =
     List.map

@@ -20,11 +20,15 @@ type result = {
   entries : entry list;  (** every candidate, sorted by cost *)
 }
 
-(** [solve ?solver_options rng inst ~slack ~refine_passes] runs the whole
-    portfolio.  When no candidate respects [slack], the lowest-violation one
-    wins instead. *)
+(** [solve ?solver_options ?include_hgp rng inst ~slack ~refine_passes] runs
+    the whole portfolio.  When no candidate respects [slack], the
+    lowest-violation one wins instead.  [include_hgp] (default [true]) also
+    runs the Theorem-1 solver; the supervised solve's degradation ladder
+    passes [false], since by the time the portfolio is a fallback the
+    pipeline has already failed. *)
 val solve :
   ?solver_options:Hgp_core.Solver.options ->
+  ?include_hgp:bool ->
   Hgp_util.Prng.t ->
   Hgp_core.Instance.t ->
   slack:float ->

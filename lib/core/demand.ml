@@ -8,6 +8,7 @@ type t = {
 }
 
 let quantize ~demands ~leaf_capacity ~resolution ~mode =
+  Hgp_resilience.Faults.fire "demand.quantize";
   if resolution < 1 then invalid_arg "Demand.quantize: resolution must be >= 1";
   if not (leaf_capacity > 0.) then invalid_arg "Demand.quantize: leaf_capacity";
   let unit_size = leaf_capacity /. float_of_int resolution in
@@ -27,6 +28,12 @@ let quantize ~demands ~leaf_capacity ~resolution ~mode =
         max 0 (min u resolution))
       demands
   in
+  (* Corrupt action: one job's units jump to a full leaf capacity — the
+     quantized instance no longer matches the float demands; downstream
+     certification against the true demands must absorb or reject it. *)
+  (match Hgp_resilience.Faults.corrupt_index "demand.quantize" ~len:(Array.length units) with
+  | Some i -> units.(i) <- resolution
+  | None -> ());
   Hgp_obs.Obs.count "demand.quantize_calls" 1;
   (* Jobs rounded to zero units vanish from the relaxed instance — the lead
      indicator that the resolution is too coarse for the demand profile. *)

@@ -1,6 +1,8 @@
 module Tree = Hgp_tree.Tree
 module Hierarchy = Hgp_hierarchy.Hierarchy
 module Obs = Hgp_obs.Obs
+module Deadline = Hgp_resilience.Deadline
+module Faults = Hgp_resilience.Faults
 
 type report = {
   assignment : int array;
@@ -10,11 +12,16 @@ type report = {
 
 let theoretical_violation_bound ~h ~eps = (1. +. eps) *. (1. +. float_of_int h)
 
-let pack t ~kappa ~demand_units ~hierarchy ~resolution =
+let pack ?(deadline = Deadline.none) t ~kappa ~demand_units ~hierarchy ~resolution =
+  Faults.fire "feasible.pack";
   Obs.span "feasible.pack" @@ fun () ->
   let h = Hierarchy.height hierarchy in
   let n = Tree.n_nodes t in
-  let per_level = Array.init (h + 1) (fun j -> Levels.components t ~kappa ~level:j) in
+  let per_level =
+    Array.init (h + 1) (fun j ->
+        Deadline.check deadline ~stage:"feasible";
+        Levels.components t ~kappa ~level:j)
+  in
   (* Leaf lists and unit demands per component, per level. *)
   let comp_leaves =
     Array.init (h + 1) (fun j ->
@@ -80,6 +87,12 @@ let pack t ~kappa ~demand_units ~hierarchy ~resolution =
   let _, n0 = per_level.(0) in
   let roots = List.filter (fun c -> comp_leaves.(0).(c) <> []) (List.init n0 (fun i -> i)) in
   place 0 0 roots;
+  (* Corrupt action: drop one leaf's placement — an incomplete assignment
+     that certification must flag ([assignment_complete = false]). *)
+  (let leaves = Tree.leaves t in
+   match Faults.corrupt_index "feasible.pack" ~len:(Array.length leaves) with
+   | Some i -> assignment.(leaves.(i)) <- -1
+   | None -> ());
   (* Violation accounting from the final assignment, in units. *)
   let level_violation_units = Array.make (h + 1) 0. in
   let total_units = Array.fold_left ( + ) 0 demand_units in

@@ -21,11 +21,15 @@ type report = {
   max_violation_units : float;
 }
 
-(** [pack t ~kappa ~demand_units ~hierarchy ~resolution] assigns every leaf
-    of [t] to a leaf of the hierarchy.  The labeling must satisfy the relaxed
-    capacities (as produced by {!Tree_dp.solve}); the packing itself never
-    fails, it only reports violations. *)
+(** [pack ?deadline t ~kappa ~demand_units ~hierarchy ~resolution] assigns
+    every leaf of [t] to a leaf of the hierarchy.  The labeling must satisfy
+    the relaxed capacities (as produced by {!Tree_dp.solve}); the packing
+    itself never fails, it only reports violations.  [deadline] is polled
+    once per hierarchy level.
+    @raise Hgp_resilience.Hgp_error.Error ([Deadline_exceeded _]) when the
+    deadline fires. *)
 val pack :
+  ?deadline:Hgp_resilience.Deadline.t ->
   Hgp_tree.Tree.t ->
   kappa:int array ->
   demand_units:int array ->

@@ -9,16 +9,26 @@
     <METIS graph text>
     v}
     Comment lines starting with ['#'] are ignored before the [graph]
-    section. *)
+    section.
+
+    All parse failures raise {!Hgp_resilience.Hgp_error.Error} with a
+    [Parse] payload carrying the 1-based line number (when attributable) and
+    the section or field in which the problem was found; file-system
+    failures in {!load}/{!save} carry an [Io_error] payload.  Fault sites
+    ["instance_io.parse"] and ["instance_io.load"] are wired in for
+    resilience testing (see [docs/ROBUSTNESS.md]). *)
 
 (** [to_string inst] renders the instance. *)
 val to_string : Instance.t -> string
 
 (** [of_string s] parses an instance.
-    @raise Failure on malformed input. *)
+    @raise Hgp_resilience.Hgp_error.Error with a [Parse] payload on
+    malformed input. *)
 val of_string : string -> Instance.t
 
-(** [save inst path] / [load path]: file variants. *)
+(** [save inst path] / [load path]: file variants.
+    @raise Hgp_resilience.Hgp_error.Error with an [Io_error] payload when
+    the OS refuses, in addition to {!of_string}'s parse errors. *)
 val save : Instance.t -> string -> unit
 
 val load : string -> Instance.t

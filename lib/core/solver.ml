@@ -5,6 +5,8 @@ module Decomposition = Hgp_racke.Decomposition
 module Ensemble = Hgp_racke.Ensemble
 module Prng = Hgp_util.Prng
 module Obs = Hgp_obs.Obs
+module Hgp_error = Hgp_resilience.Hgp_error
+module Deadline = Hgp_resilience.Deadline
 
 let log_src = Logs.Src.create "hgp.solver" ~doc:"HGP end-to-end solver"
 
@@ -76,7 +78,8 @@ let quantize_instance (inst : Instance.t) options =
 
 (* Solve the DP + conversion on one decomposition tree; returns the graph
    assignment and statistics. *)
-let run_tree (inst : Instance.t) d ~quantized ~resolution ~options =
+let run_tree ?(deadline = Deadline.none) (inst : Instance.t) d ~quantized ~resolution
+    ~options =
   let t = Decomposition.tree d in
   let n_nodes = Tree.n_nodes t in
   let demand_units = Array.make n_nodes 0 in
@@ -87,12 +90,13 @@ let run_tree (inst : Instance.t) d ~quantized ~resolution ~options =
     Tree_dp.config_of_hierarchy inst.hierarchy ~resolution ?bucketing:options.bucketing
       ?beam_width:options.beam_width ()
   in
-  match Obs.span "solver.tree_dp" (fun () -> Tree_dp.solve t ~demand_units cfg) with
+  match Obs.span "solver.tree_dp" (fun () -> Tree_dp.solve ~deadline t ~demand_units cfg) with
   | None -> None
   | Some r ->
     Obs.span "solver.feasible" @@ fun () ->
     let report =
-      Feasible.pack t ~kappa:r.kappa ~demand_units ~hierarchy:inst.hierarchy ~resolution
+      Feasible.pack ~deadline t ~kappa:r.kappa ~demand_units ~hierarchy:inst.hierarchy
+        ~resolution
     in
     let assignment = Array.make (Instance.n inst) (-1) in
     Array.iter
@@ -110,21 +114,24 @@ let finish inst assignment relaxed_tree_cost tree_index dp_states =
     dp_states;
   }
 
+let infeasible ~resolution ~retried =
+  Hgp_error.error
+    (Hgp_error.Infeasible
+       {
+         resolution;
+         retried;
+         msg = "quantized instance admits no packing on any decomposition tree";
+       })
+
 let solve_on_decomposition inst d ~options =
   let quantized, resolution = quantize_instance inst options in
   match run_tree inst d ~quantized ~resolution ~options with
   | Some (assignment, relaxed, states) -> finish inst assignment relaxed 0 states
-  | None -> failwith "Solver.solve_on_decomposition: quantized instance is infeasible"
+  | None -> infeasible ~resolution ~retried:false
 
-let solve ?(options = default_options) inst =
-  Obs.span "solver.total"
-    ~attrs:
-      [
-        ("n", string_of_int (Instance.n inst));
-        ("strategy", Ensemble.strategy_name options.strategy);
-        ("parallel", string_of_bool options.parallel);
-      ]
-  @@ fun () ->
+(* One full ensemble pass at the options' resolution; [None] when every tree
+   is infeasible after quantization. *)
+let solve_pipeline inst options =
   let quantized, resolution =
     Obs.span "solver.quantize" (fun () -> quantize_instance inst options)
   in
@@ -192,8 +199,296 @@ let solve ?(options = default_options) inst =
           (Instance.n inst)
           (Hierarchy.num_leaves inst.hierarchy)
           resolution i !total_states);
-    finish inst assignment relaxed i !total_states
-  | None -> failwith "Solver.solve: quantized instance is infeasible on every tree"
+    Some (finish inst assignment relaxed i !total_states)
+  | None -> None
+
+(* Retry policy for infeasible quantizations: one shot at a finer resolution
+   with Floor rounding.  Finer units shrink Ceil's per-job overshoot (the
+   usual cause of spurious infeasibility), and Floor never overshoots at
+   all, so a second failure means the instance is overloaded for real. *)
+let retry_options inst options =
+  let r = resolution_of inst options in
+  let r' = min 4096 (max (r + 1) (4 * r)) in
+  if r' <= r && options.rounding = Demand.Floor then None
+  else Some ({ options with resolution = Some r'; rounding = Demand.Floor }, r')
+
+let solve ?(options = default_options) inst =
+  Obs.span "solver.total"
+    ~attrs:
+      [
+        ("n", string_of_int (Instance.n inst));
+        ("strategy", Ensemble.strategy_name options.strategy);
+        ("parallel", string_of_bool options.parallel);
+      ]
+  @@ fun () ->
+  match solve_pipeline inst options with
+  | Some s -> s
+  | None -> (
+    match retry_options inst options with
+    | None -> infeasible ~resolution:(resolution_of inst options) ~retried:false
+    | Some (options', r') -> (
+      Obs.count "solver.resolution_retries" 1;
+      Log.info (fun m ->
+          m "infeasible at resolution %d; retrying at %d with floor rounding"
+            (resolution_of inst options) r');
+      match solve_pipeline inst options' with
+      | Some s -> s
+      | None -> infeasible ~resolution:r' ~retried:true))
+
+(* ---- supervised solve: fault isolation + deadline + degradation ladder ---- *)
+
+type fallback = string * (Instance.t -> int array)
+
+type supervised = {
+  solution : solution;
+  certificate : Verify.report;
+  rung : string;
+  rungs_tried : string list;
+  degraded : bool;
+  tree_failures : Hgp_error.t list;
+  errors : Hgp_error.t list;
+}
+
+(* Demand-aware least-loaded placement: ignores communication cost entirely
+   but runs in O(n (log n + k)), never raises, and keeps every leaf load
+   within one job of the balanced optimum — the ladder's bottom rung. *)
+let emergency_assignment (inst : Instance.t) =
+  let n = Instance.n inst in
+  let k = Hierarchy.num_leaves inst.hierarchy in
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> compare inst.demands.(b) inst.demands.(a)) order;
+  let loads = Array.make k 0. in
+  let assignment = Array.make n (-1) in
+  Array.iter
+    (fun v ->
+      let best = ref 0 in
+      for l = 1 to k - 1 do
+        if loads.(l) < loads.(!best) then best := l
+      done;
+      assignment.(v) <- !best;
+      loads.(!best) <- loads.(!best) +. inst.demands.(v))
+    order;
+  assignment
+
+(* The isolated ensemble pass used by the supervisor: every per-tree step
+   (decomposition build, DP, packing) is fenced, so one bad tree — or one
+   dead domain — costs ensemble diversity, never the solve. *)
+let run_ensemble_isolated inst options ~deadline ~record_tree ~record =
+  let quantized, resolution =
+    Obs.span "solver.quantize" (fun () -> quantize_instance inst options)
+  in
+  Obs.gauge "solver.resolution" (float_of_int resolution);
+  let rng = Prng.create options.seed in
+  let ensemble, build_failures =
+    Obs.span "solver.ensemble" (fun () ->
+        Ensemble.sample_isolated ~strategy:options.strategy ~deadline rng inst.graph
+          ~size:options.ensemble_size)
+  in
+  List.iter
+    (fun (i, exn) ->
+      record_tree
+        (Hgp_error.Tree_failure
+           { tree_index = i; stage = "decomposition"; msg = Hgp_error.message_of_exn exn }))
+    build_failures;
+  let n_trees = Ensemble.size ensemble in
+  let deadline_seen = ref false in
+  let record_result i = function
+    | Ok r -> Some (i, r)
+    | Error (Hgp_error.Error (Hgp_error.Deadline_exceeded _ as e)) ->
+      (* One deadline report, not one per surviving tree. *)
+      if not !deadline_seen then begin
+        deadline_seen := true;
+        record e
+      end;
+      None
+    | Error exn ->
+      record_tree
+        (Hgp_error.Tree_failure
+           { tree_index = i; stage = "dp"; msg = Hgp_error.message_of_exn exn });
+      None
+  in
+  let solve_one i =
+    try
+      Deadline.check deadline ~stage:"ensemble";
+      Ok (run_tree ~deadline inst (Ensemble.get ensemble i) ~quantized ~resolution ~options)
+    with exn -> Error exn
+  in
+  let outcomes =
+    if options.parallel && n_trees > 1 then begin
+      let budget = max 1 (Domain.recommended_domain_count () - 1) in
+      let outcomes = Array.make n_trees (Error Stdlib.Exit) in
+      let i = ref 0 in
+      while !i < n_trees do
+        let batch = min budget (n_trees - !i) in
+        let domains =
+          Array.init batch (fun b ->
+              let idx = !i + b in
+              Domain.spawn (fun () ->
+                  Obs.span ("solver.domain." ^ string_of_int idx) (fun () ->
+                      solve_one idx)))
+        in
+        (* [solve_one] already fences the work, so [join] raising means the
+           domain itself died — isolate that too. *)
+        Array.iteri
+          (fun b d ->
+            outcomes.(!i + b) <-
+              (try Domain.join d
+               with exn ->
+                 Error
+                   (Hgp_error.Error
+                      (Hgp_error.Domain_crash
+                         { tree_index = !i + b; msg = Hgp_error.message_of_exn exn }))))
+          domains;
+        i := !i + batch
+      done;
+      outcomes
+    end
+    else Array.init n_trees solve_one
+  in
+  let best = ref None in
+  let total_states = ref 0 in
+  Array.iteri
+    (fun i outcome ->
+      match record_result i outcome with
+      | None -> ()
+      | Some (_, None) -> Obs.count "solver.trees_infeasible" 1
+      | Some (_, Some (assignment, relaxed, states)) ->
+        total_states := !total_states + states;
+        let cost = Cost.assignment_cost inst assignment in
+        (match !best with
+        | Some (_, c, _, _) when c <= cost -> ()
+        | _ -> best := Some (assignment, cost, relaxed, i)))
+    outcomes;
+  match !best with
+  | Some (assignment, _, relaxed, i) ->
+    Obs.count "solver.dp_states" !total_states;
+    Some (assignment, relaxed, i, !total_states)
+  | None -> None
+
+let reduced_options options resolution =
+  {
+    options with
+    ensemble_size = 1;
+    strategy = Ensemble.Pure Decomposition.Low_diameter;
+    parallel = false;
+    beam_width = Some (match options.beam_width with Some b -> min b 64 | None -> 64);
+    resolution = Some (max 8 (resolution / 2));
+  }
+
+let solve_supervised ?(options = default_options) ?deadline_ms ?(fallbacks = []) inst =
+  Obs.span "solver.supervised"
+    ~attrs:
+      [
+        ("n", string_of_int (Instance.n inst));
+        ( "deadline_ms",
+          match deadline_ms with None -> "none" | Some ms -> Printf.sprintf "%.1f" ms );
+      ]
+  @@ fun () ->
+  let deadline = Deadline.of_budget_ms deadline_ms in
+  let errors = ref [] in
+  let tree_failures = ref [] in
+  let record e = errors := e :: !errors in
+  let record_tree e =
+    tree_failures := e :: !tree_failures;
+    record e;
+    Obs.count "supervisor.tree_failures" 1
+  in
+  let h = Hierarchy.height inst.hierarchy in
+  let bound = Feasible.theoretical_violation_bound ~h ~eps:options.eps in
+  let rungs_tried = ref [] in
+  (* Certification gate: a rung's candidate only wins if it stands on its
+     own — complete and within the Theorem-2 violation budget — checked
+     independently of how it was produced, so corrupted pipelines cannot
+     smuggle a bad answer through. *)
+  let certify_candidate ~rung assignment =
+    let cert = Verify.certify inst assignment ~eps:options.eps in
+    if cert.Verify.assignment_complete && cert.Verify.max_violation <= bound +. 1e-9 then
+      Some cert
+    else begin
+      Obs.count "supervisor.rejected_candidates" 1;
+      record
+        (Hgp_error.Internal
+           {
+             stage = rung;
+             msg =
+               Printf.sprintf
+                 "candidate failed certification (complete=%b violation=%.3f bound=%.3f)"
+                 cert.Verify.assignment_complete cert.Verify.max_violation bound;
+           });
+      None
+    end
+  in
+  (* Each rung returns [(assignment, relaxed_cost, tree_index, dp_states)]
+     or [None]; [try_rung] fences it and certifies whatever comes out. *)
+  let try_rung name f =
+    rungs_tried := name :: !rungs_tried;
+    match Obs.span ("supervisor.rung." ^ name) f with
+    | exception Hgp_error.Error e ->
+      record e;
+      None
+    | exception exn ->
+      record (Hgp_error.Internal { stage = name; msg = Hgp_error.message_of_exn exn });
+      None
+    | None -> None
+    | Some (assignment, relaxed, tree_index, states) -> (
+      match certify_candidate ~rung:name assignment with
+      | None -> None
+      | Some cert -> Some (finish inst assignment relaxed tree_index states, cert))
+  in
+  let ensemble_rung () = run_ensemble_isolated inst options ~deadline ~record_tree ~record in
+  let reduced_rung () =
+    Deadline.check deadline ~stage:"reduced";
+    let options = reduced_options options (resolution_of inst options) in
+    run_ensemble_isolated inst options ~deadline ~record_tree ~record
+  in
+  let fallback_rung name f () =
+    Deadline.check deadline ~stage:name;
+    Some (f inst, Float.nan, -1, 0)
+  in
+  (* The emergency rung carries no deadline check on purpose: it is the
+     bounded-time floor of the ladder, always allowed to run. *)
+  let emergency_rung () = Some (emergency_assignment inst, Float.nan, -1, 0) in
+  let ladder =
+    (("ensemble", ensemble_rung) :: ("reduced", reduced_rung)
+     :: List.map (fun (name, f) -> (name, fallback_rung name f)) fallbacks)
+    @ [ ("emergency", emergency_rung) ]
+  in
+  let rec descend index = function
+    | [] ->
+      Obs.count "supervisor.failures" 1;
+      Error
+        (Hgp_error.Infeasible
+           {
+             resolution = resolution_of inst options;
+             retried = false;
+             msg = "no degradation rung produced a certifiable assignment";
+           })
+    | (name, f) :: rest -> (
+      match try_rung name f with
+      | None ->
+        Obs.count "supervisor.degradations" 1;
+        descend (index + 1) rest
+      | Some (solution, certificate) ->
+        Obs.count "supervisor.solves" 1;
+        Obs.count ("supervisor.rung." ^ name ^ ".wins") 1;
+        Obs.gauge "supervisor.rung_index" (float_of_int index);
+        let degraded = index > 0 || !tree_failures <> [] in
+        Log.info (fun m ->
+            m "supervised solve: rung %s (index %d), %d tree failures%s" name index
+              (List.length !tree_failures)
+              (if degraded then " [degraded]" else ""));
+        Ok
+          {
+            solution;
+            certificate;
+            rung = name;
+            rungs_tried = List.rev !rungs_tried;
+            degraded;
+            tree_failures = List.rev !tree_failures;
+            errors = List.rev !errors;
+          })
+  in
+  descend 0 ladder
 
 let solve_tree tree ~demands hierarchy ~options =
   let n = Tree.n_nodes tree in
@@ -215,7 +510,7 @@ let solve_tree tree ~demands hierarchy ~options =
       ?beam_width:options.beam_width ()
   in
   match Tree_dp.solve lifted ~demand_units cfg with
-  | None -> failwith "Solver.solve_tree: quantized instance is infeasible"
+  | None -> infeasible ~resolution ~retried:false
   | Some r ->
     let report =
       Feasible.pack lifted ~kappa:r.kappa ~demand_units ~hierarchy ~resolution

@@ -6,7 +6,12 @@
     assignment (Theorem 5) and keep the assignment whose {e true graph cost}
     (Equation 1) is smallest.  Picking by true cost instead of by tree cost
     is a strict improvement over the paper's statement and keeps the same
-    guarantee. *)
+    guarantee.
+
+    Two entry points: {!solve} is the raw pipeline (fails fast with a
+    structured error), {!solve_supervised} wraps it in fault isolation, a
+    cooperative deadline, and a certified degradation ladder — the
+    production entry point (see [docs/ROBUSTNESS.md]). *)
 
 type options = {
   ensemble_size : int;  (** number of decomposition trees sampled *)
@@ -38,27 +43,89 @@ type solution = {
   assignment : int array;  (** vertex -> hierarchy leaf *)
   cost : float;  (** Equation-1 cost of [assignment] on the graph *)
   max_violation : float;  (** true-demand violation factor (1.0 = feasible) *)
-  relaxed_tree_cost : float;  (** DP optimum on the winning tree *)
-  tree_index : int;  (** which ensemble member won *)
+  relaxed_tree_cost : float;
+      (** DP optimum on the winning tree; [nan] when the winning rung of a
+          supervised solve was a fallback with no tree relaxation *)
+  tree_index : int;  (** which ensemble member won; [-1] for fallback rungs *)
   dp_states : int;  (** total DP table entries over all trees *)
 }
 
 (** [solve ?options inst] runs the full pipeline.  The instance's graph must
     be connected (preprocess with {!Hgp_graph.Traversal.ensure_connected}).
-    @raise Failure if the quantized instance is infeasible. *)
+
+    When the quantized instance is infeasible, the solve is retried once at
+    a finer resolution with floor rounding (finer units shrink the rounding
+    overshoot that causes spurious infeasibility — most often with
+    [Demand.Ceil]); only then is the failure surfaced.
+    @raise Hgp_resilience.Hgp_error.Error with an [Infeasible] payload
+    ([retried = true] when the retry also failed). *)
 val solve : ?options:options -> Instance.t -> solution
 
 (** [solve_on_decomposition inst d ~options] solves on one given tree;
-    exposed for ensemble ablations. *)
+    exposed for ensemble ablations.
+    @raise Hgp_resilience.Hgp_error.Error ([Infeasible _]) — no retry. *)
 val solve_on_decomposition :
   Instance.t -> Hgp_racke.Decomposition.t -> options:options -> solution
+
+(** {1 Supervised solving} *)
+
+(** A named degradation rung supplied by the caller (e.g. the portfolio or
+    recursive-bisection baselines, which live above this library).  It
+    receives the instance and returns a vertex->leaf assignment; anything it
+    raises is recorded and the ladder steps past it. *)
+type fallback = string * (Instance.t -> int array)
+
+type supervised = {
+  solution : solution;
+  certificate : Verify.report;  (** independent re-certification of the answer *)
+  rung : string;  (** which ladder rung produced the answer *)
+  rungs_tried : string list;  (** in descent order, including [rung] *)
+  degraded : bool;
+      (** true when any tree failed or a rung below "ensemble" won *)
+  tree_failures : Hgp_resilience.Hgp_error.t list;
+      (** per-tree isolation events ([Tree_failure] / [Domain_crash]) *)
+  errors : Hgp_resilience.Hgp_error.t list;  (** everything recorded, including the above *)
+}
+
+(** [solve_supervised ?options ?deadline_ms ?fallbacks inst] is the
+    resilient entry point:
+
+    - {b fault isolation}: each ensemble member's decomposition build, DP
+      and packing run behind a fence; a raising tree (or a crashed domain in
+      [parallel] mode) is recorded and skipped, and the solve proceeds on
+      the survivors — a Räcke ensemble is a distribution over trees, so
+      losing members costs diversity, never correctness;
+    - {b deadline}: [deadline_ms] starts a cooperative token checked in the
+      ensemble loop, the DP merge loop, and the packer; on expiry the
+      current rung aborts within microseconds and the ladder descends;
+    - {b degradation ladder}: rung 0 is the full ensemble; rung 1 retries
+      with a single tree, a narrow beam and halved resolution; then each
+      [fallbacks] entry in order; the final rung is a least-loaded
+      demand-balancing placement that cannot fail and takes
+      [O(n (log n + k))].  Every rung's candidate is re-checked with
+      {!Verify.certify} and must be complete and within the Theorem-2
+      violation budget [(1+eps)(1+h)] to win.
+
+    Returns [Error _] only when {e no} rung — including the emergency
+    placement — certifies, i.e. the instance is overloaded beyond the
+    violation budget.  Never raises; never leaves a domain unjoined.
+    Telemetry: [supervisor.*] counters and the [supervisor.rung_index]
+    gauge (see [docs/OBSERVABILITY.md]). *)
+val solve_supervised :
+  ?options:options ->
+  ?deadline_ms:float ->
+  ?fallbacks:fallback list ->
+  Instance.t ->
+  (supervised, Hgp_resilience.Hgp_error.t) result
 
 (** [solve_tree tree ~demands hierarchy ~options] solves the HGPT problem
     where the communication graph is itself the tree [tree] and {e every
     node} is a job with the given demand (the paper's dummy-leaf reduction is
     applied internally).  Returns the assignment indexed by original tree
     node, its Equation-1 cost (edges of [tree] as the communication edges),
-    the relaxed DP lower bound, and the violation factor. *)
+    the relaxed DP lower bound, and the violation factor.
+    @raise Hgp_resilience.Hgp_error.Error ([Infeasible _]) when the
+    quantized instance admits no packing. *)
 val solve_tree :
   Hgp_tree.Tree.t ->
   demands:float array ->

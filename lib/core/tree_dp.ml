@@ -1,6 +1,8 @@
 module Tree = Hgp_tree.Tree
 module Hierarchy = Hgp_hierarchy.Hierarchy
 module Obs = Hgp_obs.Obs
+module Deadline = Hgp_resilience.Deadline
+module Faults = Hgp_resilience.Faults
 
 type config = {
   cm : float array;
@@ -90,9 +92,11 @@ let beam_truncate beam tbl =
       out
     end
 
-let solve t ~demand_units cfg =
+let solve ?(deadline = Deadline.none) t ~demand_units cfg =
+  Faults.fire "tree_dp.solve";
   let h = validate_config cfg in
   let n = Tree.n_nodes t in
+  let dl_tick = ref 0 in
   if Array.length demand_units <> n then invalid_arg "Tree_dp.solve: demand_units length";
   Array.iteri
     (fun v d ->
@@ -120,6 +124,7 @@ let solve t ~demand_units cfg =
     let infeasible_leaf = ref false in
     Array.iter
       (fun v ->
+        Deadline.check deadline ~stage:"tree_dp";
         if Tree.is_leaf t v then begin
           let tbl = Hashtbl.create 1 in
           (match Signature.of_leaf space demand_units.(v) with
@@ -159,6 +164,7 @@ let solve t ~demand_units cfg =
                 (fun (ka, costa, a_orig) ->
                   List.iter
                     (fun (kc, costc, cvec) ->
+                      Deadline.tick deadline ~stage:"tree_dp" ~count:dl_tick ~mask:0xFF;
                       Array.blit a_orig 0 a 0 h;
                       (* j2 = 0: child closes entirely; accumulator unchanged. *)
                       consider ka (costa +. costc +. pay w cfg.cm.(0)) ka kc 0;
@@ -242,6 +248,11 @@ let solve t ~demand_units cfg =
             k := prev_key
           done
         done;
+        (* Corrupt action: zero one edge label — a plausible-looking but
+           non-optimal labeling whose assignment re-prices downstream. *)
+        (match Faults.corrupt_index "tree_dp.solve" ~len:n with
+        | Some i -> kappa.(i) <- 0
+        | None -> ());
         Some
           {
             cost;

@@ -65,11 +65,23 @@ type result = {
   states_explored : int;  (** total table entries created, a work measure *)
 }
 
-(** [solve t ~demand_units config] runs the DP.  [demand_units.(v)] must be
-    [0] for internal nodes.  Returns [None] when the instance is infeasible:
-    a single job exceeds a leaf capacity, or the total demand exceeds
-    [CP(0)]. *)
-val solve : Hgp_tree.Tree.t -> demand_units:int array -> config -> result option
+(** [solve ?deadline t ~demand_units config] runs the DP.  [demand_units.(v)]
+    must be [0] for internal nodes.  Returns [None] when the instance is
+    infeasible: a single job exceeds a leaf capacity, or the total demand
+    exceeds [CP(0)].
+
+    [deadline] (default {!Hgp_resilience.Deadline.none}) is polled once per
+    tree node and every 256 state considerations inside the merge loop — the
+    pipeline's hottest loop — so an expired or cancelled token aborts the DP
+    within microseconds at the cost of one branch per iteration.
+    @raise Hgp_resilience.Hgp_error.Error ([Deadline_exceeded _]) when the
+    deadline fires. *)
+val solve :
+  ?deadline:Hgp_resilience.Deadline.t ->
+  Hgp_tree.Tree.t ->
+  demand_units:int array ->
+  config ->
+  result option
 
 (** [brute_force t ~demand_units config] enumerates all [(h+1)^(n-1)] edge
     labelings — ground truth for testing, trees with at most ~12 edges. *)

@@ -110,6 +110,10 @@ let count name n =
         | Some r -> r := !r + n
         | None -> Hashtbl.replace counter_tbl name (ref n))
 
+let counter_value name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt counter_tbl name with Some r -> !r | None -> 0)
+
 let gauge name v =
   if Atomic.get enabled_flag then
     with_lock (fun () ->

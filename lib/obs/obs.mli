@@ -46,6 +46,11 @@ val span : string -> ?attrs:attrs -> (unit -> 'a) -> 'a
 (** [count name n] adds [n] to the named counter (created at 0). *)
 val count : string -> int -> unit
 
+(** [counter_value name] reads the named counter's current value ([0] when
+    it has never been counted).  Works regardless of the collection switch —
+    used by the resilience tests to assert which fault sites fired. *)
+val counter_value : string -> int
+
 (** [gauge name v] sets the named gauge to [v]. *)
 val gauge : string -> float -> unit
 

@@ -120,6 +120,7 @@ let of_spanning_shape g ~parents =
 let build ?(strategy = Low_diameter) rng g =
   if not (Hgp_graph.Traversal.is_connected g) then
     invalid_arg "Decomposition.build: graph must be connected";
+  Hgp_resilience.Faults.fire "decomposition.build";
   Obs.span "decomposition.build" ~attrs:[ ("strategy", strategy_name strategy) ]
   @@ fun () ->
   let d =
@@ -136,6 +137,19 @@ let build ?(strategy = Low_diameter) rng g =
   in
   Obs.count "decomposition.trees_built" 1;
   Obs.count "decomposition.tree_nodes" (Tree.n_nodes d.tree);
+  (* Corrupt action: silently swap the leaves of two graph vertices.  The
+     tree stays structurally valid but its cut weights no longer describe the
+     mapped vertices — exactly the kind of wrong-but-plausible data only
+     end-to-end certification catches. *)
+  (match Hgp_resilience.Faults.corrupt_index "decomposition.build" ~len:(Graph.n g) with
+  | Some i when Graph.n g >= 2 ->
+    let j = (i + 1) mod Graph.n g in
+    let li = d.leaf_of_vertex.(i) and lj = d.leaf_of_vertex.(j) in
+    d.leaf_of_vertex.(i) <- lj;
+    d.leaf_of_vertex.(j) <- li;
+    d.vertex_of_leaf.(li) <- j;
+    d.vertex_of_leaf.(lj) <- i
+  | _ -> ());
   d
 
 let tree d = d.tree

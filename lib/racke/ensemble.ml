@@ -30,6 +30,37 @@ let sample ?(strategy = Pure Decomposition.Low_diameter) rng g ~size =
   Obs.count "ensemble.trees_sampled" size;
   { trees }
 
+let sample_isolated ?(strategy = Pure Decomposition.Low_diameter)
+    ?(deadline = Hgp_resilience.Deadline.none) rng g ~size =
+  if size < 1 then invalid_arg "Ensemble.sample_isolated: size must be >= 1";
+  let shape_of i =
+    match strategy with
+    | Pure s -> s
+    | Mixed -> mixed_cycle.(i mod Array.length mixed_cycle)
+  in
+  let failures = ref [] in
+  let trees = ref [] in
+  let i = ref 0 in
+  while !i < size && not (Hgp_resilience.Deadline.expired deadline) do
+    (* Split before trying: slot [i] consumes its RNG stream whether or not
+       the build survives, keeping later trees deterministic. *)
+    let rng' = Hgp_util.Prng.split rng in
+    let shape = shape_of !i in
+    (try
+       let d =
+         Obs.span ("ensemble.build." ^ Decomposition.strategy_name shape) (fun () ->
+             Decomposition.build ~strategy:shape rng' g)
+       in
+       trees := d :: !trees
+     with exn ->
+       Obs.count "ensemble.build_failures" 1;
+       failures := (!i, exn) :: !failures);
+    incr i
+  done;
+  let trees = Array.of_list (List.rev !trees) in
+  Obs.count "ensemble.trees_sampled" (Array.length trees);
+  ({ trees }, List.rev !failures)
+
 let size e = Array.length e.trees
 let get e i = e.trees.(i)
 let to_list e = Array.to_list e.trees

@@ -24,6 +24,24 @@ val strategy_name : strategy -> string
 val sample :
   ?strategy:strategy -> Hgp_util.Prng.t -> Hgp_graph.Graph.t -> size:int -> t
 
+(** [sample_isolated ?strategy ?deadline rng g ~size] is {!sample} with
+    per-tree fault isolation: a tree whose decomposition build raises is
+    skipped (counted under [ensemble.build_failures]) and reported as
+    [(original_index, exn)]; the survivors form the ensemble.  Losing a tree
+    only costs diversity — a Räcke ensemble is a distribution over trees, so
+    any member alone still upper-bounds every cut (Proposition 1).  The RNG
+    stream is split per slot {e before} building, so surviving trees are
+    bit-identical to the same slots of {!sample}.  When [deadline] expires,
+    sampling stops early and the partial ensemble is returned; the ensemble
+    may therefore be empty. *)
+val sample_isolated :
+  ?strategy:strategy ->
+  ?deadline:Hgp_resilience.Deadline.t ->
+  Hgp_util.Prng.t ->
+  Hgp_graph.Graph.t ->
+  size:int ->
+  t * (int * exn) list
+
 (** [size e] is the number of trees. *)
 val size : t -> int
 

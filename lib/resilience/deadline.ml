@@ -1,0 +1,55 @@
+module Obs = Hgp_obs.Obs
+
+type t = {
+  start_ns : int64;
+  budget_ns : int64 option;
+  flag : bool Atomic.t;  (** explicit cancellation *)
+}
+
+let none = { start_ns = 0L; budget_ns = None; flag = Atomic.make false }
+
+let of_ms budget =
+  {
+    start_ns = Obs.now_ns ();
+    budget_ns = Some (Int64.of_float (Float.max 0. budget *. 1e6));
+    flag = Atomic.make false;
+  }
+
+let of_budget_ms = function None -> none | Some ms -> of_ms ms
+let cancel t = Atomic.set t.flag true
+let cancelled t = Atomic.get t.flag
+
+let elapsed_ms t =
+  match t.budget_ns with
+  | None -> 0.
+  | Some _ -> Int64.to_float (Int64.sub (Obs.now_ns ()) t.start_ns) /. 1e6
+
+let budget_ms t = Option.map (fun ns -> Int64.to_float ns /. 1e6) t.budget_ns
+
+let remaining_ms t =
+  match t.budget_ns with
+  | None -> None
+  | Some b -> Some ((Int64.to_float b /. 1e6) -. elapsed_ms t)
+
+let expired t =
+  Atomic.get t.flag
+  ||
+  match t.budget_ns with
+  | None -> false
+  | Some b -> Int64.sub (Obs.now_ns ()) t.start_ns >= b
+
+let check t ~stage =
+  if expired t then begin
+    Obs.count "deadline.hits" 1;
+    Hgp_error.error
+      (Hgp_error.Deadline_exceeded
+         {
+           budget_ms = Option.value ~default:0. (budget_ms t);
+           elapsed_ms = elapsed_ms t;
+           stage;
+         })
+  end
+
+let tick t ~stage ~count ~mask =
+  incr count;
+  if !count land mask = 0 then check t ~stage

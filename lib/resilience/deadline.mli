@@ -1,0 +1,53 @@
+(** Cooperative deadlines and cancellation.
+
+    A token couples a monotonic start time, an optional wall-clock budget and
+    an explicit cancellation flag.  It is immutable except for the flag (an
+    [Atomic.t]), so one token can be shared by every domain of a parallel
+    ensemble solve: cancelling it (or the budget running out) is observed by
+    all of them at their next check point.
+
+    Checking is {e cooperative}: nothing is pre-empted.  Long-running loops
+    call {!check} (or the strided {!tick}) at natural boundaries; the solver
+    does so between ensemble trees, per DP node, and inside the DP merge
+    loop. *)
+
+type t
+
+(** A token that never expires and is never cancelled.  {!check} on it is a
+    single atomic load — safe in hot loops. *)
+val none : t
+
+(** [of_ms budget] starts the clock now; the token expires [budget]
+    milliseconds later.  [budget <= 0] expires immediately. *)
+val of_ms : float -> t
+
+(** [of_budget_ms opt] is {!none} for [None] and {!of_ms} for [Some]. *)
+val of_budget_ms : float option -> t
+
+(** [cancel t] trips the token by hand (e.g. a sibling rung already
+    produced an answer).  Idempotent; visible across domains. *)
+val cancel : t -> unit
+
+val cancelled : t -> bool
+
+(** [expired t] is true once the budget has run out {e or} the token was
+    cancelled. *)
+val expired : t -> bool
+
+val budget_ms : t -> float option
+
+(** [elapsed_ms t] is time since the token was created (0 for {!none}). *)
+val elapsed_ms : t -> float
+
+(** [remaining_ms t] is [None] when unlimited, otherwise the (possibly
+    negative) milliseconds left. *)
+val remaining_ms : t -> float option
+
+(** [check t ~stage] raises {!Hgp_error.Error}
+    ([Deadline_exceeded {stage; _}]) if [t] is expired, else returns. *)
+val check : t -> stage:string -> unit
+
+(** [tick t ~stage ~count ~mask] increments [count] and runs {!check} only
+    when [!count land mask = 0] — the hot-loop form: one increment and one
+    branch on most iterations, a clock read every [mask + 1] iterations. *)
+val tick : t -> stage:string -> count:int ref -> mask:int -> unit

@@ -1,0 +1,57 @@
+(** Structured error taxonomy for the solve pipeline.
+
+    Every failure a caller can meaningfully react to is a variant of {!t}
+    instead of a stringly [Failure]: parse errors carry line numbers, deadline
+    errors carry the budget and the stage that blew it, per-tree failures
+    carry the ensemble index.  The taxonomy is the contract between the
+    pipeline and the {e supervisor} ([Solver.solve_supervised]), which turns
+    recoverable variants into degradation-ladder steps, and between the CLI
+    and its callers, which see one documented exit code per class (see
+    [docs/ROBUSTNESS.md]). *)
+
+type t =
+  | Parse of { line : int option; context : string; msg : string }
+      (** malformed instance/graph text; [line] is 1-based when known,
+          [context] names the section or field ("hierarchy", "demands",
+          "graph", "instance") *)
+  | Io_error of { path : string; msg : string }
+      (** the OS said no: missing file, permission, short read *)
+  | Infeasible of { resolution : int; retried : bool; msg : string }
+      (** the quantized instance admits no packing; [retried] is set once the
+          higher-resolution retry has also failed, so the instance is
+          overloaded beyond rounding artifacts *)
+  | Deadline_exceeded of { budget_ms : float; elapsed_ms : float; stage : string }
+      (** a cooperative cancellation point fired; [stage] names the loop that
+          noticed ("tree_dp", "ensemble", ...) *)
+  | Tree_failure of { tree_index : int; stage : string; msg : string }
+      (** one ensemble member failed (decomposition build or DP); the solve
+          can proceed on the survivors *)
+  | Domain_crash of { tree_index : int; msg : string }
+      (** an OCaml 5 domain running one ensemble member died; isolated the
+          same way as {!Tree_failure} *)
+  | Fault_injected of { site : string; msg : string }
+      (** a {!Faults} crash action fired at the named site (testing only) *)
+  | Internal of { stage : string; msg : string }
+      (** an unexpected exception captured at a supervision boundary *)
+
+exception Error of t
+
+(** [error e] raises {!Error}[ e]. *)
+val error : t -> 'a
+
+(** [label e] is a stable kebab-case class name ("parse", "io", "infeasible",
+    "deadline", "tree-failure", "domain-crash", "fault", "internal") used in
+    telemetry counters and logs. *)
+val label : t -> string
+
+(** [exit_code e] is the documented CLI exit code for the class (sysexits
+    flavored): parse 65, io 66, infeasible 69, internal-ish 70, deadline
+    75. *)
+val exit_code : t -> int
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** [message_of_exn exn] renders any exception for embedding into a variant's
+    [msg] field ({!Error} payloads render via {!to_string}). *)
+val message_of_exn : exn -> string

@@ -116,13 +116,15 @@ let test_instance_io_file () =
       Alcotest.(check int) "n" 4 (Instance.n inst'))
 
 let test_instance_io_malformed () =
+  (* Every malformed input must surface as a structured [Parse] error — the
+     taxonomy contract of Instance_io (details in test_resilience.ml). *)
   List.iter
     (fun s ->
-      Alcotest.(check bool) "rejected" true
+      Alcotest.(check bool) "rejected with a Parse error" true
         (try
            ignore (Instance_io.of_string s);
            false
-         with Failure _ | Invalid_argument _ -> true))
+         with Hgp_resilience.Hgp_error.Error (Hgp_resilience.Hgp_error.Parse _) -> true))
     [
       "";
       "graph\n2 1\n2\n1\n";
