@@ -12,6 +12,7 @@ module Tree = Hgp_tree.Tree
 module Instance = Hgp_core.Instance
 module Cost = Hgp_core.Cost
 module Solver = Hgp_core.Solver
+module Pipeline = Hgp_core.Pipeline
 module Tree_dp = Hgp_core.Tree_dp
 module Feasible = Hgp_core.Feasible
 module Demand = Hgp_core.Demand
@@ -739,6 +740,77 @@ let e15_resilience () =
     ~header:[ "fault plan"; "rung"; "tree failures"; "cost"; "violation" ]
     fault_rows
 
+(* ------------------------------------------------------------------ *)
+(* E16 — artifact reuse: cold vs warm latency, cache hit rate over a   *)
+(* repeated solve / a portfolio rerun / an eps sweep                   *)
+(* (docs/ARCHITECTURE.md).                                             *)
+
+let e16_artifact_reuse () =
+  let hy = H.Presets.dual_socket in
+  let rng = Prng.create 1600 in
+  let g = Gen.gnp_connected rng 200 0.03 in
+  let inst = Instance.uniform_demands g hy ~load_factor:0.7 in
+  let options = { Solver.default_options with ensemble_size = 2; seed = 16 } in
+  let combined () =
+    List.fold_left
+      (fun (h, m) (_, st) ->
+        (h + st.Hgp_util.Lru.hits, m + st.Hgp_util.Lru.misses))
+      (0, 0) (Pipeline.cache_stats ())
+  in
+  let pct h m = Printf.sprintf "%.0f%%" (100. *. float_of_int h /. float_of_int (max 1 (h + m))) in
+  (* (a) Repeated solve: one cold, three warm.  The warm runs must be served
+     from the packed cache, bit-identical to the cold answer. *)
+  Pipeline.clear_caches ();
+  Pipeline.reset_cache_stats ();
+  let cold, t_cold = time (fun () -> Solver.solve ~options inst) in
+  let warms = List.init 3 (fun _ -> time (fun () -> Solver.solve ~options inst)) in
+  let t_warm = List.fold_left (fun acc (_, t) -> acc +. t) 0. warms /. 3. in
+  let identical =
+    List.for_all (fun ((w : Solver.solution), _) -> w.assignment = cold.Solver.assignment) warms
+  in
+  let a_hits, a_misses = combined () in
+  (* (b) The same portfolio run twice: the second run's hgp candidate reuses
+     both artifacts. *)
+  Pipeline.clear_caches ();
+  Pipeline.reset_cache_stats ();
+  let solve_portfolio () =
+    B.Portfolio.solve ~solver_options:options (Prng.create 16) inst ~slack:1.25
+      ~refine_passes:1
+  in
+  let _, t_p1 = time solve_portfolio in
+  let _, t_p2 = time solve_portfolio in
+  let b_hits, b_misses = combined () in
+  (* (c) An eps sweep re-packs per eps (the prepared key digests eps) but
+     never re-samples the embedding (the ensemble key does not). *)
+  Pipeline.reset_cache_stats ();
+  let _, t_sweep =
+    time (fun () ->
+        List.iter
+          (fun eps -> ignore (Solver.solve ~options:{ options with eps } inst))
+          [ 0.2; 0.3; 0.4; 0.5 ])
+  in
+  let e_st = List.assoc "ensemble" (Pipeline.cache_stats ()) in
+  let rows =
+    [
+      [ "repeated solve (1 cold + 3 warm)"; Printf.sprintf "%.3f" t_cold;
+        Printf.sprintf "%.4f" t_warm; Printf.sprintf "%.0fx" (t_cold /. Float.max 1e-9 t_warm);
+        Printf.sprintf "%d/%d" a_hits (a_hits + a_misses); pct a_hits a_misses ];
+      [ "portfolio rerun"; Printf.sprintf "%.3f" t_p1; Printf.sprintf "%.3f" t_p2;
+        Printf.sprintf "%.1fx" (t_p1 /. Float.max 1e-9 t_p2);
+        Printf.sprintf "%d/%d" b_hits (b_hits + b_misses); pct b_hits b_misses ];
+      [ "eps sweep x4 (embed reuse)"; Printf.sprintf "%.3f" t_sweep; "-"; "-";
+        Printf.sprintf "ens %d/%d" e_st.Hgp_util.Lru.hits
+          (e_st.Hgp_util.Lru.hits + e_st.Hgp_util.Lru.misses);
+        pct e_st.Hgp_util.Lru.hits e_st.Hgp_util.Lru.misses ];
+    ]
+  in
+  Tablefmt.print
+    ~title:
+      (Printf.sprintf
+         "E16  artifact reuse on n=200 gnp/dual_socket (warm bit-identical: %b)" identical)
+    ~header:[ "scenario"; "cold (s)"; "warm (s)"; "speedup"; "cache hits"; "hit rate" ]
+    rows
+
 let run_all () =
   let experiments =
     [
@@ -757,6 +829,7 @@ let run_all () =
       ("E13", e13_pipeline_scaling);
       ("E14", e14_dynamic_churn);
       ("E15", e15_resilience);
+      ("E16", e16_artifact_reuse);
     ]
   in
   List.iter

@@ -46,6 +46,7 @@ let () =
         ("E13", Experiments.e13_pipeline_scaling);
         ("E14", Experiments.e14_dynamic_churn);
         ("E15", Experiments.e15_resilience);
+        ("E16", Experiments.e16_artifact_reuse);
         ("micro", Microbench.run);
       ]
     in

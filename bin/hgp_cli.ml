@@ -15,6 +15,8 @@ module Hierarchy = Hgp_hierarchy.Hierarchy
 module Instance = Hgp_core.Instance
 module Cost = Hgp_core.Cost
 module Solver = Hgp_core.Solver
+module Pipeline = Hgp_core.Pipeline
+module Lru = Hgp_util.Lru
 module B = Hgp_baselines
 module Prng = Hgp_util.Prng
 module Tablefmt = Hgp_util.Tablefmt
@@ -178,13 +180,38 @@ let solve_cmd =
              degrades through cheaper rungs instead of failing (see \
              docs/ROBUSTNESS.md).")
   in
-  let run path hierarchy load seed ensemble resolution deadline_ms slack metrics =
+  let repeat =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ]
+          ~doc:
+            "Solve $(docv) times in-process; repeats after the first are served \
+             from the artifact caches (pair with --cache-stats).")
+  in
+  let cache_stats =
+    Arg.(
+      value & flag
+      & info [ "cache-stats" ]
+          ~doc:
+            "After solving, print artifact-cache hit/miss statistics and \
+             cumulative per-stage timings to stderr (see docs/ARCHITECTURE.md).")
+  in
+  let run path hierarchy load seed ensemble resolution deadline_ms slack metrics repeat
+      cache_stats =
     handle_errors @@ fun () ->
     with_metrics metrics @@ fun () ->
     let inst = load_instance path hierarchy load seed in
     let options =
       { Solver.default_options with ensemble_size = ensemble; seed; resolution }
     in
+    (* Satellite of ISSUE: surface the silent tractability clamp.  When eps
+       stops binding the default resolution, say so once on stderr. *)
+    if Solver.resolution_clamped inst options then
+      Printf.eprintf
+        "hgp_cli: note: demand resolution clamped at %d (tractability cap; \
+         eps=%g no longer binds — pass --resolution to override)\n"
+        (Solver.resolution_of inst options)
+        options.Solver.eps;
     (* Ladder rungs below the core pipeline: the refined heuristic portfolio
        (sans the hgp candidate — it just failed above us), then plain dual
        recursive bisection.  Each gets a fresh deterministic rng. *)
@@ -199,21 +226,39 @@ let solve_cmd =
           fun inst -> B.Recursive_bisection.assign (Prng.create seed) inst ~slack );
       ]
     in
-    match Solver.solve_supervised ~options ?deadline_ms ~fallbacks inst with
-    | Error e -> Hgp_error.error e
-    | Ok s ->
-      let sol = s.Solver.solution in
-      Printf.printf "# cost %.6g\n# violation %.4f\n# tree %d\n# dp-states %d\n" sol.cost
-        sol.max_violation sol.tree_index sol.dp_states;
-      Printf.printf "# rung %s\n# degraded %b\n# tree-failures %d\n" s.Solver.rung
-        s.Solver.degraded
-        (List.length s.Solver.tree_failures);
-      Array.iteri (fun v leaf -> Printf.printf "%d %d\n" v leaf) sol.assignment
+    let solve_once () =
+      match Solver.solve_supervised ~options ?deadline_ms ~fallbacks inst with
+      | Error e -> Hgp_error.error e
+      | Ok s -> s
+    in
+    let s = ref (solve_once ()) in
+    for _ = 2 to max 1 repeat do
+      s := solve_once ()
+    done;
+    let s = !s in
+    let sol = s.Solver.solution in
+    Printf.printf "# cost %.6g\n# violation %.4f\n# tree %d\n# dp-states %d\n" sol.cost
+      sol.max_violation sol.tree_index sol.dp_states;
+    Printf.printf "# cached-dp-states %d\n" sol.cached_dp_states;
+    Printf.printf "# rung %s\n# degraded %b\n# tree-failures %d\n" s.Solver.rung
+      s.Solver.degraded
+      (List.length s.Solver.tree_failures);
+    Array.iteri (fun v leaf -> Printf.printf "%d %d\n" v leaf) sol.assignment;
+    if cache_stats then begin
+      List.iter
+        (fun (name, (st : Lru.stats)) ->
+          Printf.eprintf "cache %-8s hits=%d misses=%d evictions=%d entries=%d\n" name
+            st.Lru.hits st.Lru.misses st.Lru.evictions st.Lru.entries)
+        (Pipeline.cache_stats ());
+      List.iter
+        (fun (stage, ms) -> Printf.eprintf "stage %-8s %10.3f ms\n" stage ms)
+        (Pipeline.stage_timings ())
+    end
   in
   let term =
     Term.(
       const run $ graph_arg $ hierarchy_arg $ load_arg $ seed_arg $ ensemble $ resolution
-      $ deadline $ slack_arg $ metrics_arg)
+      $ deadline $ slack_arg $ metrics_arg $ repeat $ cache_stats)
   in
   Cmd.v (Cmd.info "solve" ~doc:"Solve HGP on a graph; prints 'vertex leaf' lines.") term
 

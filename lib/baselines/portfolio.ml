@@ -2,6 +2,7 @@ module Hierarchy = Hgp_hierarchy.Hierarchy
 module Instance = Hgp_core.Instance
 module Cost = Hgp_core.Cost
 module Solver = Hgp_core.Solver
+module Obs = Hgp_obs.Obs
 
 type entry = {
   name : string;
@@ -38,6 +39,7 @@ let solve ?(solver_options = Solver.default_options) ?(include_hgp = true) rng
   let entries =
     List.map
       (fun (name, f) ->
+        Obs.span ("portfolio.candidate." ^ name) @@ fun () ->
         let raw = f () in
         let repaired, _ = Local_search.repair inst raw ~slack in
         let refined, _ =

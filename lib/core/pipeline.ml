@@ -1,0 +1,518 @@
+module Graph = Hgp_graph.Graph
+module Hierarchy = Hgp_hierarchy.Hierarchy
+module Tree = Hgp_tree.Tree
+module Decomposition = Hgp_racke.Decomposition
+module Ensemble = Hgp_racke.Ensemble
+module Ensemble_cache = Hgp_racke.Ensemble_cache
+module Fingerprint = Hgp_util.Fingerprint
+module Lru = Hgp_util.Lru
+module Domain_pool = Hgp_util.Domain_pool
+module Obs = Hgp_obs.Obs
+module Hgp_error = Hgp_resilience.Hgp_error
+module Deadline = Hgp_resilience.Deadline
+module Faults = Hgp_resilience.Faults
+
+let log_src = Logs.Src.create "hgp.pipeline" ~doc:"HGP staged solve pipeline"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type options = {
+  ensemble_size : int;
+  eps : float;
+  resolution : int option;
+  rounding : Demand.mode;
+  bucketing : float option;
+  beam_width : int option;
+  strategy : Ensemble.strategy;
+  parallel : bool;
+  seed : int;
+}
+
+let default_max_resolution = 24
+
+let default_options =
+  {
+    ensemble_size = 4;
+    eps = 0.25;
+    resolution = None;
+    rounding = Demand.Floor;
+    bucketing = None;
+    beam_width = Some 512;
+    strategy = Ensemble.Mixed;
+    parallel = false;
+    seed = 42;
+  }
+
+type solution = {
+  assignment : int array;
+  cost : float;
+  max_violation : float;
+  relaxed_tree_cost : float;
+  tree_index : int;
+  dp_states : int;
+  cached_dp_states : int;
+}
+
+type supervision = {
+  deadline : Deadline.t;
+  record_tree : Hgp_error.t -> unit;
+  record : Hgp_error.t -> unit;
+}
+
+(* ---- stage timing (always on, independent of Obs) ---- *)
+
+let stage_names = [| "prepare"; "embed"; "relax"; "pack" |]
+let stage_ns = Array.make (Array.length stage_names) 0L
+let stage_lock = Mutex.create ()
+
+let stage_timings () =
+  Mutex.lock stage_lock;
+  let out =
+    Array.to_list
+      (Array.mapi (fun i name -> (name, Int64.to_float stage_ns.(i) /. 1e6)) stage_names)
+  in
+  Mutex.unlock stage_lock;
+  out
+
+let reset_timings () =
+  Mutex.lock stage_lock;
+  Array.fill stage_ns 0 (Array.length stage_ns) 0L;
+  Mutex.unlock stage_lock
+
+(* Wraps a stage in its [pipeline.stage.*] span and charges its wall time to
+   the always-on accumulator (so [--cache-stats] has timings even with
+   telemetry off). *)
+let stage idx f =
+  let t0 = Obs.now_ns () in
+  let charge () =
+    let dur = Int64.sub (Obs.now_ns ()) t0 in
+    Mutex.lock stage_lock;
+    stage_ns.(idx) <- Int64.add stage_ns.(idx) dur;
+    Mutex.unlock stage_lock
+  in
+  match Obs.span ("pipeline.stage." ^ stage_names.(idx)) f with
+  | v ->
+    charge ();
+    v
+  | exception e ->
+    charge ();
+    raise e
+
+(* ---- Prepared ---- *)
+
+type prepared = {
+  inst : Instance.t;
+  options : options;
+  quantized : Demand.t;
+  resolution : int;
+  clamped : bool;
+  p_key : Fingerprint.t;
+}
+
+(* Default resolution: the paper's n/eps capped for tractability, but never
+   so coarse that the mean demand rounds to zero units (which would make the
+   quantized instance degenerate).  [clamped] reports when the 4096 cap — and
+   not eps or the mean-demand floor — decided the value. *)
+let resolution_spec ~n ~total_demand ~leaf_capacity (options : options) =
+  match options.resolution with
+  | Some r -> (r, false)
+  | None ->
+    let paper = Demand.resolution_for_eps ~n ~eps:options.eps in
+    let mean_d = Float.max 1e-12 (total_demand /. float_of_int n) in
+    (* Target >= 4 units for the mean job so floor rounding stays within
+       ~25% per job. *)
+    let needed = int_of_float (ceil (4. *. leaf_capacity /. mean_d)) in
+    let uncapped = min paper (max default_max_resolution needed) in
+    let r = min 4096 uncapped in
+    (r, r < uncapped)
+
+let resolution_spec_of (inst : Instance.t) options =
+  resolution_spec ~n:(Instance.n inst) ~total_demand:(Instance.total_demand inst)
+    ~leaf_capacity:(Hierarchy.leaf_capacity inst.hierarchy)
+    options
+
+let resolution_of inst options = fst (resolution_spec_of inst options)
+let resolution_clamped inst options = snd (resolution_spec_of inst options)
+
+let resolution_for ~n ~total_demand ~leaf_capacity options =
+  fst (resolution_spec ~n ~total_demand ~leaf_capacity options)
+
+(* Everything [prepare] consumes: graph + demands + hierarchy shape, plus the
+   option fields that shape quantization.  [eps] is digested even though only
+   the derived resolution feeds the DP, so changing eps is always a cache
+   miss — the conservative reading of the key contract. *)
+let prepared_key (inst : Instance.t) options ~resolution =
+  Graph.fingerprint inst.graph
+  |> Fun.flip Fingerprint.add_float_array inst.demands
+  |> Fun.flip Fingerprint.combine (Hierarchy.fingerprint inst.hierarchy)
+  |> Fun.flip Fingerprint.add_float options.eps
+  |> Fun.flip Fingerprint.add_int resolution
+  |> Fun.flip Fingerprint.add_bool (options.rounding = Demand.Ceil)
+
+let prepare (inst : Instance.t) options =
+  stage 0 @@ fun () ->
+  let resolution, clamped = resolution_spec_of inst options in
+  if clamped then Obs.count "solver.resolution_clamped" 1;
+  let quantized =
+    Obs.span "solver.quantize" (fun () ->
+        Demand.quantize ~demands:inst.demands
+          ~leaf_capacity:(Hierarchy.leaf_capacity inst.hierarchy)
+          ~resolution ~mode:options.rounding)
+  in
+  Obs.gauge "solver.resolution" (float_of_int resolution);
+  { inst; options; quantized; resolution; clamped; p_key = prepared_key inst options ~resolution }
+
+(* ---- Embedded ---- *)
+
+type embedded = {
+  prepared : prepared;
+  ensemble : Ensemble.t;
+  e_key : Fingerprint.t;
+  complete : bool;  (** no build failures, no deadline expiry — cache-legal *)
+}
+
+let embed ?supervision (p : prepared) =
+  stage 1 @@ fun () ->
+  let { inst; options; _ } = p in
+  let e_key =
+    Ensemble_cache.key inst.Instance.graph ~strategy:options.strategy ~seed:options.seed
+      ~size:options.ensemble_size
+  in
+  let ensemble, failures =
+    Obs.span "solver.ensemble" (fun () ->
+        match supervision with
+        | None ->
+          let e, _from_cache =
+            Ensemble_cache.sample ~strategy:options.strategy ~seed:options.seed
+              inst.Instance.graph ~size:options.ensemble_size
+          in
+          (e, [])
+        | Some sv ->
+          let (e, failures), _from_cache =
+            Ensemble_cache.sample_isolated ~strategy:options.strategy ~deadline:sv.deadline
+              ~seed:options.seed inst.Instance.graph ~size:options.ensemble_size
+          in
+          (e, failures))
+  in
+  (match supervision with
+  | Some sv ->
+    List.iter
+      (fun (i, exn) ->
+        sv.record_tree
+          (Hgp_error.Tree_failure
+             { tree_index = i; stage = "decomposition"; msg = Hgp_error.message_of_exn exn }))
+      failures
+  | None -> ());
+  let complete = failures = [] && Ensemble.size ensemble = options.ensemble_size in
+  { prepared = p; ensemble; e_key; complete }
+
+(* ---- Relaxed ---- *)
+
+type tree_relaxed = { demand_units : int array; dp : Tree_dp.result }
+
+(* DP on one decomposition tree; [None] when the quantized instance does not
+   fit that tree. *)
+let relax_tree ?(deadline = Deadline.none) (p : prepared) d =
+  let t = Decomposition.tree d in
+  let n_nodes = Tree.n_nodes t in
+  let demand_units = Array.make n_nodes 0 in
+  Array.iter
+    (fun l ->
+      demand_units.(l) <- p.quantized.Demand.units.(Decomposition.vertex_of_leaf d l))
+    (Tree.leaves t);
+  let cfg =
+    Tree_dp.config_of_hierarchy p.inst.Instance.hierarchy ~resolution:p.resolution
+      ?bucketing:p.options.bucketing ?beam_width:p.options.beam_width ()
+  in
+  match Obs.span "solver.tree_dp" (fun () -> Tree_dp.solve ~deadline t ~demand_units cfg) with
+  | None -> None
+  | Some r -> Some { demand_units; dp = r }
+
+(* Per-tree DP over the whole ensemble.  Fail-fast without supervision; with
+   it every slot is fenced and an [Error] marks a lost tree.  The parallel
+   path reuses the shared domain pool instead of spawning per solve; a slot
+   whose error escaped the fence means the worker itself died mid-task and is
+   surfaced as [Domain_crash], exactly like a failed [Domain.join] before. *)
+let relax ?supervision (e : embedded) =
+  stage 2 @@ fun () ->
+  let p = e.prepared in
+  let n_trees = Ensemble.size e.ensemble in
+  let solve_one i =
+    match supervision with
+    | None -> Ok (relax_tree p (Ensemble.get e.ensemble i))
+    | Some sv -> (
+      try
+        Deadline.check sv.deadline ~stage:"ensemble";
+        Ok (relax_tree ~deadline:sv.deadline p (Ensemble.get e.ensemble i))
+      with exn -> Error exn)
+  in
+  if p.options.parallel && n_trees > 1 then begin
+    let tasks =
+      Array.init n_trees (fun i () ->
+          (* Pool workers have an empty span stack between tasks, so the
+             per-tree span is a root: per-domain timings stay visible
+             instead of folding into solver.total. *)
+          Obs.span ("solver.domain." ^ string_of_int i) (fun () -> solve_one i))
+    in
+    let slots = Domain_pool.run_batch (Domain_pool.shared ()) tasks in
+    Array.mapi
+      (fun i slot ->
+        match slot with
+        | Ok outcome -> outcome
+        | Error exn -> (
+          match supervision with
+          | Some _ ->
+            Error
+              (Hgp_error.Error
+                 (Hgp_error.Domain_crash
+                    { tree_index = i; msg = Hgp_error.message_of_exn exn }))
+          | None -> raise exn))
+      slots
+  end
+  else Array.init n_trees solve_one
+
+(* ---- Packed ---- *)
+
+(* Theorem-5 conversion of one relaxed tree back to a hierarchy assignment
+   on the original vertices. *)
+let pack_tree ?(deadline = Deadline.none) (p : prepared) d (tr : tree_relaxed) =
+  let t = Decomposition.tree d in
+  Obs.span "solver.feasible" @@ fun () ->
+  let report =
+    Feasible.pack ~deadline t ~kappa:tr.dp.Tree_dp.kappa ~demand_units:tr.demand_units
+      ~hierarchy:p.inst.Instance.hierarchy ~resolution:p.resolution
+  in
+  let assignment = Array.make (Instance.n p.inst) (-1) in
+  Array.iter
+    (fun l ->
+      assignment.(Decomposition.vertex_of_leaf d l) <- report.Feasible.assignment.(l))
+    (Tree.leaves t);
+  assignment
+
+let finish inst assignment relaxed_tree_cost tree_index dp_states =
+  {
+    assignment;
+    cost = Cost.assignment_cost inst assignment;
+    max_violation = Cost.max_violation inst assignment;
+    relaxed_tree_cost;
+    tree_index;
+    dp_states;
+    cached_dp_states = 0;
+  }
+
+(* Pack every surviving tree, then keep the assignment with the smallest
+   {e true} graph cost (Equation 1) — a strict improvement over the paper's
+   pick-by-tree-cost that preserves the guarantee.  Returns the solution and
+   whether any tree was lost in this stage or earlier ones. *)
+let pack_and_select ?supervision ~deadline_seen ~lost (e : embedded) outcomes =
+  stage 3 @@ fun () ->
+  let p = e.prepared in
+  let record_deadline sv err =
+    (* One deadline report per run, not one per surviving tree. *)
+    if not !deadline_seen then begin
+      deadline_seen := true;
+      sv.record err
+    end
+  in
+  let packed =
+    Array.mapi
+      (fun i outcome ->
+        match outcome with
+        | Error (Hgp_error.Error (Hgp_error.Deadline_exceeded _ as err)) ->
+          (match supervision with Some sv -> record_deadline sv err | None -> ());
+          None
+        | Error exn ->
+          lost := true;
+          (match supervision with
+          | Some sv ->
+            sv.record_tree
+              (Hgp_error.Tree_failure
+                 { tree_index = i; stage = "dp"; msg = Hgp_error.message_of_exn exn })
+          | None -> ());
+          None
+        | Ok None ->
+          Obs.count "solver.trees_infeasible" 1;
+          Log.debug (fun m -> m "tree %d: infeasible after quantization" i);
+          None
+        | Ok (Some tr) -> (
+          let d = Ensemble.get e.ensemble i in
+          match supervision with
+          | None -> Some (pack_tree p d tr, tr.dp.Tree_dp.cost, tr.dp.Tree_dp.states_explored)
+          | Some sv -> (
+            try
+              Some
+                ( pack_tree ~deadline:sv.deadline p d tr,
+                  tr.dp.Tree_dp.cost,
+                  tr.dp.Tree_dp.states_explored )
+            with
+            | Hgp_error.Error (Hgp_error.Deadline_exceeded _ as err) ->
+              record_deadline sv err;
+              None
+            | exn ->
+              lost := true;
+              sv.record_tree
+                (Hgp_error.Tree_failure
+                   { tree_index = i; stage = "pack"; msg = Hgp_error.message_of_exn exn });
+              None)))
+      outcomes
+  in
+  Obs.span "solver.select" @@ fun () ->
+  let best = ref None in
+  let total_states = ref 0 in
+  Array.iteri
+    (fun i result ->
+      match result with
+      | None -> ()
+      | Some (assignment, relaxed, states) ->
+        total_states := !total_states + states;
+        let cost = Cost.assignment_cost p.inst assignment in
+        Log.debug (fun m ->
+            m "tree %d: relaxed=%.6g cost=%.6g states=%d" i relaxed cost states);
+        (match !best with
+        | Some (_, c, _, _) when c <= cost -> ()
+        | _ -> best := Some (assignment, cost, relaxed, i)))
+    packed;
+  match !best with
+  | Some (assignment, _, relaxed, i) ->
+    Obs.count "solver.dp_states" !total_states;
+    if supervision = None then Obs.count "solver.solves" 1;
+    Log.info (fun m ->
+        m "solved n=%d k=%d resolution=%d: winning tree %d, %d DP states"
+          (Instance.n p.inst)
+          (Hierarchy.num_leaves p.inst.Instance.hierarchy)
+          p.resolution i !total_states);
+    Some (finish p.inst assignment relaxed i !total_states)
+  | None -> None
+
+(* ---- packed-solution cache ---- *)
+
+(* Packed solutions are small (one int per vertex); a larger capacity than
+   the ensemble cache covers whole eps/strategy sweeps. *)
+let packed_capacity = 64
+
+let packed_cache : (Fingerprint.t, solution) Lru.t = Lru.create ~capacity:packed_capacity
+let packed_lock = Mutex.create ()
+let caching = Atomic.make true
+
+let set_caching b =
+  Atomic.set caching b;
+  Ensemble_cache.set_enabled b
+
+let clear_caches () =
+  Mutex.lock packed_lock;
+  Lru.clear packed_cache;
+  Mutex.unlock packed_lock;
+  Ensemble_cache.clear ()
+
+let cache_stats () =
+  Mutex.lock packed_lock;
+  let p = Lru.stats packed_cache in
+  Mutex.unlock packed_lock;
+  [ ("ensemble", Ensemble_cache.stats ()); ("packed", p) ]
+
+let reset_cache_stats () =
+  Mutex.lock packed_lock;
+  Lru.reset_stats packed_cache;
+  Mutex.unlock packed_lock;
+  Ensemble_cache.reset_stats ()
+
+(* [parallel] is deliberately not digested: the sequential and parallel
+   paths produce bit-identical solutions (same trees, same per-tree DP, same
+   selection order), so they legally share cache entries. *)
+let packed_key (p : prepared) ~e_key =
+  Fingerprint.combine p.p_key e_key
+  |> Fun.flip (Fingerprint.add_option Fingerprint.add_float) p.options.bucketing
+  |> Fun.flip (Fingerprint.add_option Fingerprint.add_int) p.options.beam_width
+
+let cache_active () = Atomic.get caching && Faults.armed () = None
+
+let packed_find key =
+  if not (cache_active ()) then None
+  else begin
+    Mutex.lock packed_lock;
+    let r = Lru.find packed_cache key in
+    Mutex.unlock packed_lock;
+    (match r with
+    | Some _ ->
+      Obs.count "cache.hit" 1;
+      Obs.count "cache.packed.hit" 1
+    | None ->
+      Obs.count "cache.miss" 1;
+      Obs.count "cache.packed.miss" 1);
+    (* Both ends deep-copy the assignment: cached arrays must never alias
+       caller-visible ones (Local_search.repair mutates in place). *)
+    Option.map
+      (fun sol ->
+        {
+          sol with
+          assignment = Array.copy sol.assignment;
+          dp_states = 0;
+          cached_dp_states = sol.dp_states + sol.cached_dp_states;
+        })
+      r
+  end
+
+let packed_add key sol =
+  if cache_active () then begin
+    Mutex.lock packed_lock;
+    let before = (Lru.stats packed_cache).Lru.evictions in
+    Lru.add packed_cache key { sol with assignment = Array.copy sol.assignment };
+    let evicted = (Lru.stats packed_cache).Lru.evictions - before in
+    Mutex.unlock packed_lock;
+    if evicted > 0 then begin
+      Obs.count "cache.evict" evicted;
+      Obs.count "cache.packed.evict" evicted
+    end
+  end
+
+(* ---- the full pipeline ---- *)
+
+let run ?supervision inst options =
+  let p = prepare inst options in
+  let key =
+    packed_key p
+      ~e_key:
+        (Ensemble_cache.key inst.Instance.graph ~strategy:options.strategy
+           ~seed:options.seed ~size:options.ensemble_size)
+  in
+  match packed_find key with
+  | Some sol ->
+    (* Work counters reflect work actually performed by this solve: zero DP
+       states, one solve.  The inherited work is visible in
+       [sol.cached_dp_states] and the [solver.dp_states_cached] counter. *)
+    Obs.count "solver.dp_states" 0;
+    Obs.count "solver.dp_states_cached" sol.cached_dp_states;
+    if supervision = None then Obs.count "solver.solves" 1;
+    Log.debug (fun m -> m "packed cache hit (%s)" (Fingerprint.to_hex key));
+    Some sol
+  | None ->
+    let deadline_seen = ref false in
+    let lost = ref false in
+    let e = embed ?supervision p in
+    if not e.complete then lost := true;
+    let outcomes = relax ?supervision e in
+    let result = pack_and_select ?supervision ~deadline_seen ~lost e outcomes in
+    (match result with
+    | Some sol when (not !lost) && not !deadline_seen ->
+      (* Only healthy, complete runs are cacheable: a degraded solution is
+         correct but not bit-identical to what a fresh solve would return. *)
+      packed_add key sol
+    | _ -> ());
+    result
+
+let infeasible ~resolution ~retried =
+  Hgp_error.error
+    (Hgp_error.Infeasible
+       {
+         resolution;
+         retried;
+         msg = "quantized instance admits no packing on any decomposition tree";
+       })
+
+let solve_on_decomposition inst d ~options =
+  let p = prepare inst options in
+  match relax_tree p d with
+  | None -> infeasible ~resolution:p.resolution ~retried:false
+  | Some tr ->
+    let assignment = pack_tree p d tr in
+    finish inst assignment tr.dp.Tree_dp.cost 0 tr.dp.Tree_dp.states_explored

@@ -1,0 +1,151 @@
+(** The Theorem-1 solve as an explicit staged pipeline with memoizable,
+    content-addressed artifacts.
+
+    {v
+      Instance × options
+        │  prepare     (validate, pick resolution, quantize demands)
+        ▼
+      Prepared ──────────────────────────── key: instance ⊕ eps ⊕
+        │  embed       (sample Räcke ensemble;      resolution ⊕ rounding
+        ▼               memoized in Ensemble_cache)
+      Embedded ─────────────────────────── key: graph ⊕ strategy ⊕ seed ⊕ size
+        │  relax       (per-tree DP, Theorems 2–4; domain pool when parallel)
+        ▼
+      Relaxed  (per-tree kappa labelings + work counts)
+        │  pack        (Theorem-5 conversion per tree, best by true cost)
+        ▼
+      Packed   ─────────────────────────── key: prepared ⊕ embedded ⊕
+                                                bucketing ⊕ beam width
+    v}
+
+    Each stage is a pure function of its inputs, every input is captured by
+    the stage's fingerprint key, and the two expensive artifacts (ensembles,
+    packed solutions) are cached process-wide: a repeated solve, the 4×
+    infeasibility retry (same ensemble key — only the resolution changed),
+    every [Portfolio.solve] candidate sweep and every supervised-rung descent
+    reuse them instead of re-sampling.  [parallel] is deliberately absent
+    from every key: the parallel and sequential paths are bit-identical by
+    construction (tested), so they may share artifacts.  The reuse-legality
+    argument and the full key table live in [docs/ARCHITECTURE.md].
+
+    Fault-injection interplay: while a fault plan is armed, {e all} caches
+    are bypassed (reads and writes), so every [HGP_FAULT_PLAN] site still
+    fires at its stage boundary and no faulted artifact is ever retained.
+
+    This module owns {!options} / {!solution}; {!Solver} re-exports them, so
+    existing code and tests compile unchanged against [Solver.*]. *)
+
+type options = {
+  ensemble_size : int;  (** number of decomposition trees sampled *)
+  eps : float;  (** rounding accuracy; drives resolution unless set *)
+  resolution : int option;
+      (** demand units per leaf capacity; default caps the paper's
+          [n / eps] at {!default_max_resolution} to keep the DP practical
+          (the cap is a documented substitution) *)
+  rounding : Demand.mode;
+  bucketing : float option;
+  beam_width : int option;
+      (** DP state budget per table (see {!Tree_dp.config}); [Some 512] by
+          default — exact on small frontiers, graceful on large ones *)
+  strategy : Hgp_racke.Ensemble.strategy;
+      (** decomposition-tree shapes; [Mixed] (default) round-robins
+          low-diameter / BFS-bisection / Gomory–Hu shapes for diversity *)
+  parallel : bool;
+      (** solve ensemble trees on the shared worker-domain pool (per-tree
+          work is independent and shares only immutable data); off by
+          default *)
+  seed : int;
+}
+
+val default_options : options
+
+(** The resolution cap applied when [resolution = None]. *)
+val default_max_resolution : int
+
+type solution = {
+  assignment : int array;  (** vertex -> hierarchy leaf *)
+  cost : float;  (** Equation-1 cost of [assignment] on the graph *)
+  max_violation : float;  (** true-demand violation factor (1.0 = feasible) *)
+  relaxed_tree_cost : float;
+      (** DP optimum on the winning tree; [nan] when the winning rung of a
+          supervised solve was a fallback with no tree relaxation *)
+  tree_index : int;  (** which ensemble member won; [-1] for fallback rungs *)
+  dp_states : int;
+      (** DP table entries explored by {e this} solve (0 when the whole
+          solution came from the packed cache) *)
+  cached_dp_states : int;
+      (** DP work inherited from the packed-solution cache — the states the
+          producing solve explored; [dp_states + cached_dp_states] is the
+          total work the answer embodies, without double-counting *)
+}
+
+(** [resolution_of inst options] is the effective resolution the prepare
+    stage will use. *)
+val resolution_of : Instance.t -> options -> int
+
+(** The same computation from raw quantities (used by the HGPT special case,
+    which has no {!Instance.t}). *)
+val resolution_for :
+  n:int -> total_demand:float -> leaf_capacity:float -> options -> int
+
+(** [resolution_clamped inst options] is true when the 4096 tractability cap
+    engaged — i.e. eps stopped binding the resolution (satellite of ISSUE 3;
+    also counted under [solver.resolution_clamped]). *)
+val resolution_clamped : Instance.t -> options -> bool
+
+(** {1 Supervision hooks}
+
+    The supervised solve threads fault isolation through the stage
+    boundaries: per-tree failures are recorded and skipped rather than
+    raised, and an expired deadline aborts the current stage. *)
+
+type supervision = {
+  deadline : Hgp_resilience.Deadline.t;
+  record_tree : Hgp_resilience.Hgp_error.t -> unit;
+      (** called with [Tree_failure _] / [Domain_crash _] per lost tree *)
+  record : Hgp_resilience.Hgp_error.t -> unit;
+      (** called for non-tree events (one deduplicated deadline report) *)
+}
+
+(** [run ?supervision inst options] executes prepare → embed → relax → pack
+    and returns the best feasible assignment by true graph cost, or [None]
+    when every tree is infeasible after quantization.
+
+    Without [supervision] this is the fail-fast path: any error propagates.
+    With it, per-tree faults are recorded via the hooks and survivors carry
+    the solve.
+
+    Telemetry: [pipeline.stage.*] spans, [cache.{hit,miss,evict}] counters
+    (plus [cache.{ensemble,packed}.*] breakdowns), and the pre-existing
+    [solver.*] span/counter names, unchanged. *)
+val run : ?supervision:supervision -> Instance.t -> options -> solution option
+
+(** [solve_on_decomposition inst d ~options] runs relax + pack on one given
+    tree (no ensemble, no caching); exposed for ensemble ablations.
+    @raise Hgp_resilience.Hgp_error.Error ([Infeasible _]) — no retry. *)
+val solve_on_decomposition :
+  Instance.t -> Hgp_racke.Decomposition.t -> options:options -> solution
+
+(** {1 Cache control and introspection} *)
+
+(** Packed-solution caching is on by default; [set_caching false] disables
+    the packed cache {e and} the ensemble cache (tests use this to force
+    cold solves). *)
+val set_caching : bool -> unit
+
+(** Drop all cached artifacts (both caches); stats histories survive. *)
+val clear_caches : unit -> unit
+
+(** [("ensemble", stats); ("packed", stats)]. *)
+val cache_stats : unit -> (string * Hgp_util.Lru.stats) list
+
+(** Zero both caches' hit/miss/eviction counters. *)
+val reset_cache_stats : unit -> unit
+
+(** Cumulative wall-clock per stage since process start (or {!reset_timings}),
+    as [(stage, milliseconds)] in pipeline order.  Always on — independent
+    of [Obs] being enabled — so [--cache-stats] can print stage timing lines
+    without paying for full telemetry. *)
+val stage_timings : unit -> (string * float) list
+
+val reset_timings : unit -> unit

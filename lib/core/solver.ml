@@ -1,9 +1,7 @@
-module Graph = Hgp_graph.Graph
 module Hierarchy = Hgp_hierarchy.Hierarchy
 module Tree = Hgp_tree.Tree
 module Decomposition = Hgp_racke.Decomposition
 module Ensemble = Hgp_racke.Ensemble
-module Prng = Hgp_util.Prng
 module Obs = Hgp_obs.Obs
 module Hgp_error = Hgp_resilience.Hgp_error
 module Deadline = Hgp_resilience.Deadline
@@ -12,7 +10,11 @@ let log_src = Logs.Src.create "hgp.solver" ~doc:"HGP end-to-end solver"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-type options = {
+(* The staged pipeline (prepare -> embed -> relax -> pack) owns the artifact
+   types and the caches; this module keeps the public entry points: retry
+   policy, the supervised degradation ladder, and the HGPT special case. *)
+
+type options = Pipeline.options = {
   ensemble_size : int;
   eps : float;
   resolution : int option;
@@ -24,95 +26,21 @@ type options = {
   seed : int;
 }
 
-let default_max_resolution = 24
+let default_max_resolution = Pipeline.default_max_resolution
+let default_options = Pipeline.default_options
 
-let default_options =
-  {
-    ensemble_size = 4;
-    eps = 0.25;
-    resolution = None;
-    rounding = Demand.Floor;
-    bucketing = None;
-    beam_width = Some 512;
-    strategy = Ensemble.Mixed;
-    parallel = false;
-    seed = 42;
-  }
-
-type solution = {
+type solution = Pipeline.solution = {
   assignment : int array;
   cost : float;
   max_violation : float;
   relaxed_tree_cost : float;
   tree_index : int;
   dp_states : int;
+  cached_dp_states : int;
 }
 
-(* Default resolution: the paper's n/eps capped for tractability, but never
-   so coarse that the mean demand rounds to zero units (which would make the
-   quantized instance degenerate). *)
-let resolution_for ~n ~total_demand ~leaf_capacity options =
-  match options.resolution with
-  | Some r -> r
-  | None ->
-    let paper = Demand.resolution_for_eps ~n ~eps:options.eps in
-    let mean_d = Float.max 1e-12 (total_demand /. float_of_int n) in
-    (* Target >= 4 units for the mean job so floor rounding stays within
-       ~25% per job. *)
-    let needed = int_of_float (ceil (4. *. leaf_capacity /. mean_d)) in
-    min paper (min 4096 (max default_max_resolution needed))
-
-let resolution_of (inst : Instance.t) options =
-  resolution_for ~n:(Instance.n inst) ~total_demand:(Instance.total_demand inst)
-    ~leaf_capacity:(Hierarchy.leaf_capacity inst.hierarchy)
-    options
-
-let quantize_instance (inst : Instance.t) options =
-  let resolution = resolution_of inst options in
-  let q =
-    Demand.quantize ~demands:inst.demands
-      ~leaf_capacity:(Hierarchy.leaf_capacity inst.hierarchy)
-      ~resolution ~mode:options.rounding
-  in
-  (q, resolution)
-
-(* Solve the DP + conversion on one decomposition tree; returns the graph
-   assignment and statistics. *)
-let run_tree ?(deadline = Deadline.none) (inst : Instance.t) d ~quantized ~resolution
-    ~options =
-  let t = Decomposition.tree d in
-  let n_nodes = Tree.n_nodes t in
-  let demand_units = Array.make n_nodes 0 in
-  Array.iter
-    (fun l -> demand_units.(l) <- quantized.Demand.units.(Decomposition.vertex_of_leaf d l))
-    (Tree.leaves t);
-  let cfg =
-    Tree_dp.config_of_hierarchy inst.hierarchy ~resolution ?bucketing:options.bucketing
-      ?beam_width:options.beam_width ()
-  in
-  match Obs.span "solver.tree_dp" (fun () -> Tree_dp.solve ~deadline t ~demand_units cfg) with
-  | None -> None
-  | Some r ->
-    Obs.span "solver.feasible" @@ fun () ->
-    let report =
-      Feasible.pack ~deadline t ~kappa:r.kappa ~demand_units ~hierarchy:inst.hierarchy
-        ~resolution
-    in
-    let assignment = Array.make (Instance.n inst) (-1) in
-    Array.iter
-      (fun l -> assignment.(Decomposition.vertex_of_leaf d l) <- report.Feasible.assignment.(l))
-      (Tree.leaves t);
-    Some (assignment, r.cost, r.states_explored)
-
-let finish inst assignment relaxed_tree_cost tree_index dp_states =
-  {
-    assignment;
-    cost = Cost.assignment_cost inst assignment;
-    max_violation = Cost.max_violation inst assignment;
-    relaxed_tree_cost;
-    tree_index;
-    dp_states;
-  }
+let resolution_of = Pipeline.resolution_of
+let resolution_clamped = Pipeline.resolution_clamped
 
 let infeasible ~resolution ~retried =
   Hgp_error.error
@@ -123,89 +51,14 @@ let infeasible ~resolution ~retried =
          msg = "quantized instance admits no packing on any decomposition tree";
        })
 
-let solve_on_decomposition inst d ~options =
-  let quantized, resolution = quantize_instance inst options in
-  match run_tree inst d ~quantized ~resolution ~options with
-  | Some (assignment, relaxed, states) -> finish inst assignment relaxed 0 states
-  | None -> infeasible ~resolution ~retried:false
-
-(* One full ensemble pass at the options' resolution; [None] when every tree
-   is infeasible after quantization. *)
-let solve_pipeline inst options =
-  let quantized, resolution =
-    Obs.span "solver.quantize" (fun () -> quantize_instance inst options)
-  in
-  Obs.gauge "solver.resolution" (float_of_int resolution);
-  let rng = Prng.create options.seed in
-  let ensemble =
-    Obs.span "solver.ensemble" (fun () ->
-        Ensemble.sample ~strategy:options.strategy rng inst.graph
-          ~size:options.ensemble_size)
-  in
-  let n_trees = Ensemble.size ensemble in
-  (* Per-tree solves are independent (all shared state is immutable), so they
-     can run on separate domains when requested. *)
-  let solve_one i =
-    run_tree inst (Ensemble.get ensemble i) ~quantized ~resolution ~options
-  in
-  let results =
-    if options.parallel && n_trees > 1 then begin
-      let budget = max 1 (Domain.recommended_domain_count () - 1) in
-      let results = Array.make n_trees None in
-      let i = ref 0 in
-      while !i < n_trees do
-        let batch = min budget (n_trees - !i) in
-        let domains =
-          Array.init batch (fun b ->
-              let idx = !i + b in
-              (* A spawned domain has a fresh span stack, so the per-tree
-                 span is a root: per-domain timings stay visible instead of
-                 folding into solver.total. *)
-              Domain.spawn (fun () ->
-                  Obs.span ("solver.domain." ^ string_of_int idx) (fun () ->
-                      solve_one idx)))
-        in
-        Array.iteri (fun b d -> results.(!i + b) <- Domain.join d) domains;
-        i := !i + batch
-      done;
-      results
-    end
-    else Array.init n_trees solve_one
-  in
-  Obs.span "solver.select" @@ fun () ->
-  let best = ref None in
-  let total_states = ref 0 in
-  Array.iteri
-    (fun i result ->
-      match result with
-      | None ->
-        Obs.count "solver.trees_infeasible" 1;
-        Log.debug (fun m -> m "tree %d: infeasible after quantization" i)
-      | Some (assignment, relaxed, states) ->
-        total_states := !total_states + states;
-        let cost = Cost.assignment_cost inst assignment in
-        Log.debug (fun m ->
-            m "tree %d: relaxed=%.6g cost=%.6g states=%d" i relaxed cost states);
-        (match !best with
-        | Some (_, c, _, _) when c <= cost -> ()
-        | _ -> best := Some (assignment, cost, relaxed, i)))
-    results;
-  match !best with
-  | Some (assignment, _, relaxed, i) ->
-    Obs.count "solver.solves" 1;
-    Obs.count "solver.dp_states" !total_states;
-    Log.info (fun m ->
-        m "solved n=%d k=%d resolution=%d: winning tree %d, %d DP states"
-          (Instance.n inst)
-          (Hierarchy.num_leaves inst.hierarchy)
-          resolution i !total_states);
-    Some (finish inst assignment relaxed i !total_states)
-  | None -> None
+let solve_on_decomposition = Pipeline.solve_on_decomposition
 
 (* Retry policy for infeasible quantizations: one shot at a finer resolution
    with Floor rounding.  Finer units shrink Ceil's per-job overshoot (the
    usual cause of spurious infeasibility), and Floor never overshoots at
-   all, so a second failure means the instance is overloaded for real. *)
+   all, so a second failure means the instance is overloaded for real.  The
+   ensemble is keyed on (graph, strategy, seed, size) only, so the retry
+   reuses the already-sampled trees. *)
 let retry_options inst options =
   let r = resolution_of inst options in
   let r' = min 4096 (max (r + 1) (4 * r)) in
@@ -221,7 +74,7 @@ let solve ?(options = default_options) inst =
         ("parallel", string_of_bool options.parallel);
       ]
   @@ fun () ->
-  match solve_pipeline inst options with
+  match Pipeline.run inst options with
   | Some s -> s
   | None -> (
     match retry_options inst options with
@@ -231,7 +84,7 @@ let solve ?(options = default_options) inst =
       Log.info (fun m ->
           m "infeasible at resolution %d; retrying at %d with floor rounding"
             (resolution_of inst options) r');
-      match solve_pipeline inst options' with
+      match Pipeline.run inst options' with
       | Some s -> s
       | None -> infeasible ~resolution:r' ~retried:true))
 
@@ -270,101 +123,6 @@ let emergency_assignment (inst : Instance.t) =
     order;
   assignment
 
-(* The isolated ensemble pass used by the supervisor: every per-tree step
-   (decomposition build, DP, packing) is fenced, so one bad tree — or one
-   dead domain — costs ensemble diversity, never the solve. *)
-let run_ensemble_isolated inst options ~deadline ~record_tree ~record =
-  let quantized, resolution =
-    Obs.span "solver.quantize" (fun () -> quantize_instance inst options)
-  in
-  Obs.gauge "solver.resolution" (float_of_int resolution);
-  let rng = Prng.create options.seed in
-  let ensemble, build_failures =
-    Obs.span "solver.ensemble" (fun () ->
-        Ensemble.sample_isolated ~strategy:options.strategy ~deadline rng inst.graph
-          ~size:options.ensemble_size)
-  in
-  List.iter
-    (fun (i, exn) ->
-      record_tree
-        (Hgp_error.Tree_failure
-           { tree_index = i; stage = "decomposition"; msg = Hgp_error.message_of_exn exn }))
-    build_failures;
-  let n_trees = Ensemble.size ensemble in
-  let deadline_seen = ref false in
-  let record_result i = function
-    | Ok r -> Some (i, r)
-    | Error (Hgp_error.Error (Hgp_error.Deadline_exceeded _ as e)) ->
-      (* One deadline report, not one per surviving tree. *)
-      if not !deadline_seen then begin
-        deadline_seen := true;
-        record e
-      end;
-      None
-    | Error exn ->
-      record_tree
-        (Hgp_error.Tree_failure
-           { tree_index = i; stage = "dp"; msg = Hgp_error.message_of_exn exn });
-      None
-  in
-  let solve_one i =
-    try
-      Deadline.check deadline ~stage:"ensemble";
-      Ok (run_tree ~deadline inst (Ensemble.get ensemble i) ~quantized ~resolution ~options)
-    with exn -> Error exn
-  in
-  let outcomes =
-    if options.parallel && n_trees > 1 then begin
-      let budget = max 1 (Domain.recommended_domain_count () - 1) in
-      let outcomes = Array.make n_trees (Error Stdlib.Exit) in
-      let i = ref 0 in
-      while !i < n_trees do
-        let batch = min budget (n_trees - !i) in
-        let domains =
-          Array.init batch (fun b ->
-              let idx = !i + b in
-              Domain.spawn (fun () ->
-                  Obs.span ("solver.domain." ^ string_of_int idx) (fun () ->
-                      solve_one idx)))
-        in
-        (* [solve_one] already fences the work, so [join] raising means the
-           domain itself died — isolate that too. *)
-        Array.iteri
-          (fun b d ->
-            outcomes.(!i + b) <-
-              (try Domain.join d
-               with exn ->
-                 Error
-                   (Hgp_error.Error
-                      (Hgp_error.Domain_crash
-                         { tree_index = !i + b; msg = Hgp_error.message_of_exn exn }))))
-          domains;
-        i := !i + batch
-      done;
-      outcomes
-    end
-    else Array.init n_trees solve_one
-  in
-  let best = ref None in
-  let total_states = ref 0 in
-  Array.iteri
-    (fun i outcome ->
-      match record_result i outcome with
-      | None -> ()
-      | Some (_, None) -> Obs.count "solver.trees_infeasible" 1
-      | Some (_, Some (assignment, relaxed, states)) ->
-        total_states := !total_states + states;
-        let cost = Cost.assignment_cost inst assignment in
-        (match !best with
-        | Some (_, c, _, _) when c <= cost -> ()
-        | _ -> best := Some (assignment, cost, relaxed, i)))
-    outcomes;
-  match !best with
-  | Some (assignment, _, relaxed, i) ->
-    Obs.count "solver.dp_states" !total_states;
-    Some (assignment, relaxed, i, !total_states)
-  | None -> None
-
 let reduced_options options resolution =
   {
     options with
@@ -373,6 +131,19 @@ let reduced_options options resolution =
     parallel = false;
     beam_width = Some (match options.beam_width with Some b -> min b 64 | None -> 64);
     resolution = Some (max 8 (resolution / 2));
+  }
+
+(* A fallback rung carries no tree relaxation; its solution is costed
+   directly on the graph. *)
+let heuristic_solution inst assignment =
+  {
+    assignment;
+    cost = Cost.assignment_cost inst assignment;
+    max_violation = Cost.max_violation inst assignment;
+    relaxed_tree_cost = Float.nan;
+    tree_index = -1;
+    dp_states = 0;
+    cached_dp_states = 0;
   }
 
 let solve_supervised ?(options = default_options) ?deadline_ms ?(fallbacks = []) inst =
@@ -393,6 +164,7 @@ let solve_supervised ?(options = default_options) ?deadline_ms ?(fallbacks = [])
     record e;
     Obs.count "supervisor.tree_failures" 1
   in
+  let supervision = { Pipeline.deadline; record_tree; record } in
   let h = Hierarchy.height inst.hierarchy in
   let bound = Feasible.theoretical_violation_bound ~h ~eps:options.eps in
   let rungs_tried = ref [] in
@@ -418,8 +190,8 @@ let solve_supervised ?(options = default_options) ?deadline_ms ?(fallbacks = [])
       None
     end
   in
-  (* Each rung returns [(assignment, relaxed_cost, tree_index, dp_states)]
-     or [None]; [try_rung] fences it and certifies whatever comes out. *)
+  (* Each rung returns a [solution option]; [try_rung] fences it and
+     certifies whatever comes out. *)
   let try_rung name f =
     rungs_tried := name :: !rungs_tried;
     match Obs.span ("supervisor.rung." ^ name) f with
@@ -430,24 +202,24 @@ let solve_supervised ?(options = default_options) ?deadline_ms ?(fallbacks = [])
       record (Hgp_error.Internal { stage = name; msg = Hgp_error.message_of_exn exn });
       None
     | None -> None
-    | Some (assignment, relaxed, tree_index, states) -> (
-      match certify_candidate ~rung:name assignment with
+    | Some solution -> (
+      match certify_candidate ~rung:name solution.assignment with
       | None -> None
-      | Some cert -> Some (finish inst assignment relaxed tree_index states, cert))
+      | Some cert -> Some (solution, cert))
   in
-  let ensemble_rung () = run_ensemble_isolated inst options ~deadline ~record_tree ~record in
+  let ensemble_rung () = Pipeline.run ~supervision inst options in
   let reduced_rung () =
     Deadline.check deadline ~stage:"reduced";
     let options = reduced_options options (resolution_of inst options) in
-    run_ensemble_isolated inst options ~deadline ~record_tree ~record
+    Pipeline.run ~supervision inst options
   in
   let fallback_rung name f () =
     Deadline.check deadline ~stage:name;
-    Some (f inst, Float.nan, -1, 0)
+    Some (heuristic_solution inst (f inst))
   in
   (* The emergency rung carries no deadline check on purpose: it is the
      bounded-time floor of the ladder, always allowed to run. *)
-  let emergency_rung () = Some (emergency_assignment inst, Float.nan, -1, 0) in
+  let emergency_rung () = Some (heuristic_solution inst (emergency_assignment inst)) in
   let ladder =
     (("ensemble", ensemble_rung) :: ("reduced", reduced_rung)
      :: List.map (fun (name, f) -> (name, fallback_rung name f)) fallbacks)
@@ -495,7 +267,7 @@ let solve_tree tree ~demands hierarchy ~options =
   if Array.length demands <> n then invalid_arg "Solver.solve_tree: demands length";
   let lifted, job_leaf = Tree.lift_internal_jobs tree in
   let resolution =
-    resolution_for ~n ~total_demand:(Array.fold_left ( +. ) 0. demands)
+    Pipeline.resolution_for ~n ~total_demand:(Array.fold_left ( +. ) 0. demands)
       ~leaf_capacity:(Hierarchy.leaf_capacity hierarchy)
       options
   in

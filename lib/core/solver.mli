@@ -8,12 +8,20 @@
     is a strict improvement over the paper's statement and keeps the same
     guarantee.
 
+    The execution engine is {!Pipeline}: an explicit staged pipeline
+    (prepare → embed → relax → pack) whose expensive artifacts — sampled
+    ensembles and packed solutions — are content-addressed and cached
+    process-wide, so repeated solves, the infeasibility retry, supervised
+    rungs and portfolio candidates reuse them (see [docs/ARCHITECTURE.md]).
+    This module re-exports the pipeline's {!options} / {!solution} types, so
+    [Solver.default_options] and friends work as before.
+
     Two entry points: {!solve} is the raw pipeline (fails fast with a
     structured error), {!solve_supervised} wraps it in fault isolation, a
     cooperative deadline, and a certified degradation ladder — the
     production entry point (see [docs/ROBUSTNESS.md]). *)
 
-type options = {
+type options = Pipeline.options = {
   ensemble_size : int;  (** number of decomposition trees sampled *)
   eps : float;  (** rounding accuracy; drives resolution unless set *)
   resolution : int option;
@@ -29,8 +37,9 @@ type options = {
       (** decomposition-tree shapes; [Mixed] (default) round-robins
           low-diameter / BFS-bisection / Gomory–Hu shapes for diversity *)
   parallel : bool;
-      (** solve ensemble trees on separate OCaml 5 domains (per-tree work is
-          independent and shares only immutable data); off by default *)
+      (** solve ensemble trees on the shared worker-domain pool (per-tree
+          work is independent and shares only immutable data); off by
+          default *)
   seed : int;
 }
 
@@ -39,7 +48,7 @@ val default_options : options
 (** The resolution cap applied when [resolution = None]. *)
 val default_max_resolution : int
 
-type solution = {
+type solution = Pipeline.solution = {
   assignment : int array;  (** vertex -> hierarchy leaf *)
   cost : float;  (** Equation-1 cost of [assignment] on the graph *)
   max_violation : float;  (** true-demand violation factor (1.0 = feasible) *)
@@ -47,8 +56,23 @@ type solution = {
       (** DP optimum on the winning tree; [nan] when the winning rung of a
           supervised solve was a fallback with no tree relaxation *)
   tree_index : int;  (** which ensemble member won; [-1] for fallback rungs *)
-  dp_states : int;  (** total DP table entries over all trees *)
+  dp_states : int;
+      (** DP table entries explored by {e this} solve over all trees
+          (0 when the whole solution was served from the packed cache) *)
+  cached_dp_states : int;
+      (** DP work inherited from the packed-solution cache (the producing
+          solve's states); totals never double-count *)
 }
+
+(** [resolution_of inst options] is the effective demand resolution the
+    prepare stage will use (either [options.resolution] or the capped
+    default derived from eps). *)
+val resolution_of : Instance.t -> options -> int
+
+(** [resolution_clamped inst options] reports whether the default-resolution
+    rule would hit its 4096 tractability cap — i.e. eps stopped binding.
+    Also counted under [solver.resolution_clamped]; the CLI prints a note. *)
+val resolution_clamped : Instance.t -> options -> bool
 
 (** [solve ?options inst] runs the full pipeline.  The instance's graph must
     be connected (preprocess with {!Hgp_graph.Traversal.ensure_connected}).
@@ -56,7 +80,8 @@ type solution = {
     When the quantized instance is infeasible, the solve is retried once at
     a finer resolution with floor rounding (finer units shrink the rounding
     overshoot that causes spurious infeasibility — most often with
-    [Demand.Ceil]); only then is the failure surfaced.
+    [Demand.Ceil]); the retry reuses the cached ensemble, since the ensemble
+    key does not involve the resolution; only then is the failure surfaced.
     @raise Hgp_resilience.Hgp_error.Error with an [Infeasible] payload
     ([retried = true] when the retry also failed). *)
 val solve : ?options:options -> Instance.t -> solution
@@ -91,10 +116,10 @@ type supervised = {
     resilient entry point:
 
     - {b fault isolation}: each ensemble member's decomposition build, DP
-      and packing run behind a fence; a raising tree (or a crashed domain in
-      [parallel] mode) is recorded and skipped, and the solve proceeds on
-      the survivors — a Räcke ensemble is a distribution over trees, so
-      losing members costs diversity, never correctness;
+      and packing run behind a fence; a raising tree (or a crashed pool
+      worker in [parallel] mode) is recorded and skipped, and the solve
+      proceeds on the survivors — a Räcke ensemble is a distribution over
+      trees, so losing members costs diversity, never correctness;
     - {b deadline}: [deadline_ms] starts a cooperative token checked in the
       ensemble loop, the DP merge loop, and the packer; on expiry the
       current rung aborts within microseconds and the ladder descends;
@@ -106,9 +131,13 @@ type supervised = {
       {!Verify.certify} and must be complete and within the Theorem-2
       violation budget [(1+eps)(1+h)] to win.
 
+    Degraded results (lost trees, expired deadlines) are never written to
+    the pipeline's caches, and any armed fault plan bypasses them entirely,
+    so supervision composes with artifact reuse without retaining damage.
+
     Returns [Error _] only when {e no} rung — including the emergency
     placement — certifies, i.e. the instance is overloaded beyond the
-    violation budget.  Never raises; never leaves a domain unjoined.
+    violation budget.  Never raises; never leaves a pool task unjoined.
     Telemetry: [supervisor.*] counters and the [supervisor.rung_index]
     gauge (see [docs/OBSERVABILITY.md]). *)
 val solve_supervised :

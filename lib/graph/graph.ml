@@ -157,5 +157,14 @@ let contract g partition ~n_parts =
     g;
   Builder.build b
 
+let fingerprint g =
+  let open Hgp_util.Fingerprint in
+  (* The CSR triple determines the graph completely (edge_list and total_w
+     are derived from it at build time). *)
+  seed |> Fun.flip add_int g.n
+  |> Fun.flip add_int_array g.xadj
+  |> Fun.flip add_int_array g.adjncy
+  |> Fun.flip add_float_array g.adjw
+
 let pp ppf g =
   Format.fprintf ppf "graph(n=%d, m=%d, W=%g)" g.n (m g) g.total_w

@@ -72,5 +72,11 @@ val induced : t -> int array -> t * int array
     [partition.(v)] is the part of [v], in [0..n_parts-1]. *)
 val contract : t -> int array -> n_parts:int -> t
 
+(** [fingerprint g] is a content fingerprint of the full CSR structure
+    (vertex count, adjacency, weights) — two graphs that compare equal
+    edge-for-edge share it.  Used as the graph component of solver cache
+    keys (see [docs/ARCHITECTURE.md]). *)
+val fingerprint : t -> Hgp_util.Fingerprint.t
+
 (** [pp] prints a short description ["graph(n=…, m=…, W=…)"]. *)
 val pp : Format.formatter -> t -> unit

@@ -87,6 +87,14 @@ let leaves_of t ~level idx =
   let span = leaves_under t level in
   (idx * span, (idx * span) + span - 1)
 
+let fingerprint t =
+  let open Hgp_util.Fingerprint in
+  (* degs + cm + leaf_capacity determine the hierarchy (leaves_under is
+     derived). *)
+  seed |> Fun.flip add_int_array t.degs
+  |> Fun.flip add_float_array t.cm
+  |> Fun.flip add_float t.leaf_capacity
+
 let pp ppf t =
   let degs_s =
     String.concat "x" (Array.to_list (Array.map string_of_int t.degs))

@@ -74,6 +74,11 @@ val children_of : t -> level:int -> int -> int * int
     node [idx] at [level]. *)
 val leaves_of : t -> level:int -> int -> int * int
 
+(** [fingerprint t] is a content fingerprint of the hierarchy shape
+    (degrees, cost multipliers, leaf capacity) — the hierarchy component of
+    solver cache keys (see [docs/ARCHITECTURE.md]). *)
+val fingerprint : t -> Hgp_util.Fingerprint.t
+
 (** [pp] prints a one-line description. *)
 val pp : Format.formatter -> t -> unit
 

@@ -11,6 +11,7 @@ let known_sites =
     "instance_io.load";
     "demand.quantize";
     "decomposition.build";
+    "ensemble_cache.lookup";
     "tree_dp.solve";
     "feasible.pack";
   ]

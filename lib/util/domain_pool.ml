@@ -1,0 +1,133 @@
+type t = {
+  limit : int;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  batch_progress : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable workers : unit Domain.t list;
+  mutable stopping : bool;
+}
+
+(* True on pool-worker domains: an inner [run_batch] issued from a task must
+   execute inline — queuing it behind the very workers that are blocked on
+   its completion would deadlock. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let create ~size =
+  if size < 0 then invalid_arg "Domain_pool.create: negative size";
+  {
+    limit = size;
+    mutex = Mutex.create ();
+    work_available = Condition.create ();
+    batch_progress = Condition.create ();
+    queue = Queue.create ();
+    workers = [];
+    stopping = false;
+  }
+
+let size t = t.limit
+let spawned t = List.length t.workers
+
+let worker_loop t () =
+  Domain.DLS.set in_worker true;
+  let rec next () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.work_available t.mutex
+    done;
+    match Queue.take_opt t.queue with
+    | None ->
+      (* stopping and drained *)
+      Mutex.unlock t.mutex;
+      ()
+    | Some task ->
+      Mutex.unlock t.mutex;
+      task ();
+      next ()
+  in
+  next ()
+
+(* Called with [t.mutex] held.  Spawn failure (domain limit reached) is not
+   fatal: the pool just runs with fewer workers, or the caller falls back to
+   inline execution when none could be spawned at all. *)
+let ensure_workers t wanted =
+  let wanted = min wanted t.limit in
+  let ok = ref true in
+  while !ok && List.length t.workers < wanted do
+    match Domain.spawn (worker_loop t) with
+    | d -> t.workers <- d :: t.workers
+    | exception _ -> ok := false
+  done
+
+let run_inline tasks =
+  Array.map (fun task -> try Ok (task ()) with exn -> Error exn) tasks
+
+let run_batch t tasks =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else if t.limit = 0 || Domain.DLS.get in_worker then run_inline tasks
+  else begin
+    Mutex.lock t.mutex;
+    if t.stopping then begin
+      Mutex.unlock t.mutex;
+      run_inline tasks
+    end
+    else begin
+      ensure_workers t n;
+      if t.workers = [] then begin
+        Mutex.unlock t.mutex;
+        run_inline tasks
+      end
+      else begin
+        let results = Array.make n None in
+        let remaining = ref n in
+        let slot i () =
+          let r = try Ok (tasks.(i) ()) with exn -> Error exn in
+          Mutex.lock t.mutex;
+          results.(i) <- Some r;
+          decr remaining;
+          if !remaining = 0 then Condition.broadcast t.batch_progress;
+          Mutex.unlock t.mutex
+        in
+        for i = 0 to n - 1 do
+          Queue.add (slot i) t.queue
+        done;
+        Condition.broadcast t.work_available;
+        while !remaining > 0 do
+          Condition.wait t.batch_progress t.mutex
+        done;
+        Mutex.unlock t.mutex;
+        Array.map
+          (function
+            | Some r -> r
+            | None -> Error (Failure "Domain_pool.run_batch: slot never completed"))
+          results
+      end
+    end
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let workers = t.workers in
+  t.stopping <- true;
+  t.workers <- [];
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join workers
+
+let shared_pool = ref None
+let shared_mutex = Mutex.create ()
+
+let shared () =
+  Mutex.lock shared_mutex;
+  let t =
+    match !shared_pool with
+    | Some t -> t
+    | None ->
+      let t = create ~size:(max 1 (Domain.recommended_domain_count () - 1)) in
+      shared_pool := Some t;
+      at_exit (fun () -> shutdown t);
+      t
+  in
+  Mutex.unlock shared_mutex;
+  t

@@ -1,0 +1,54 @@
+(** A reusable pool of worker domains for per-solve task batches.
+
+    [Domain.spawn] costs hundreds of microseconds (thread + minor heap + GC
+    registration); paying it for every ensemble member of every solve is
+    wasteful once solves repeat.  A pool spawns its workers once — lazily, on
+    the first batch — and reuses them for the life of the process.
+
+    Semantics are tailored to the solver's needs:
+
+    - {b per-slot fault capture}: a task that raises fills its slot with
+      [Error exn]; other slots are unaffected — the per-tree isolation
+      contract of the supervised solve.
+    - {b caller blocks}: [run_batch] returns only when every slot is filled,
+      so no task of a batch ever outlives the call (the "never leaves a
+      domain unjoined" guarantee moves here).
+    - {b re-entrancy}: a task that itself calls [run_batch] (any pool) runs
+      that inner batch inline on its own domain instead of deadlocking on
+      the queue.
+    - {b span isolation}: tasks run on worker domains whose telemetry span
+      stack (domain-local) is empty between tasks, so a task's outermost
+      span is a root — the same visibility as a freshly spawned domain.
+
+    Workers never hold results or task closures between batches, so nothing
+    is retained after [run_batch] returns. *)
+
+type t
+
+(** [create ~size] makes an independent pool of at most [size] workers
+    ([size >= 0]; a pool of size 0 runs every batch inline). Workers are
+    spawned on demand, never eagerly. *)
+val create : size:int -> t
+
+(** The process-wide pool sized [max 1 (recommended_domain_count () - 1)] —
+    the same concurrency budget the solver previously applied per solve.
+    Created on first use; joined automatically at process exit. *)
+val shared : unit -> t
+
+(** Maximum number of workers (the [size] given to {!create}). *)
+val size : t -> int
+
+(** Workers actually spawned so far. *)
+val spawned : t -> int
+
+(** [run_batch t tasks] runs every task to completion and returns one
+    [Ok result] or [Error exn] per slot, in order.  At most [size t] tasks
+    run concurrently; the caller blocks (it does not steal work, so its own
+    domain-local state never leaks into task telemetry).  Falls back to
+    inline sequential execution when called from inside a pool worker, when
+    the pool has size 0, or when domain spawning fails. *)
+val run_batch : t -> (unit -> 'a) array -> ('a, exn) result array
+
+(** [shutdown t] stops and joins all workers; the pool runs inline
+    afterwards.  Idempotent.  Called automatically for {!shared} at exit. *)
+val shutdown : t -> unit

@@ -1,0 +1,44 @@
+type t = int64
+
+let seed = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let add_byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+
+let add_int64 h x =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := add_byte !h (Int64.to_int (Int64.shift_right_logical x (8 * shift)))
+  done;
+  !h
+
+(* Tag bytes keep field types from aliasing (e.g. int 1 vs float 1.0 vs
+   Some 1); every [add_*] below leads with its tag. *)
+let tag h b = add_byte h b
+
+let add_int h x = add_int64 (tag h 0x01) (Int64.of_int x)
+let add_float h x = add_int64 (tag h 0x02) (Int64.bits_of_float x)
+let add_bool h x = add_byte (tag h 0x03) (if x then 1 else 0)
+
+let add_string h s =
+  let h = ref (add_int64 (tag h 0x04) (Int64.of_int (String.length s))) in
+  String.iter (fun c -> h := add_byte !h (Char.code c)) s;
+  !h
+
+let add_int_array h a =
+  let h = ref (add_int64 (tag h 0x05) (Int64.of_int (Array.length a))) in
+  Array.iter (fun x -> h := add_int64 !h (Int64.of_int x)) a;
+  !h
+
+let add_float_array h a =
+  let h = ref (add_int64 (tag h 0x06) (Int64.of_int (Array.length a))) in
+  Array.iter (fun x -> h := add_int64 !h (Int64.bits_of_float x)) a;
+  !h
+
+let add_option f h = function
+  | None -> tag h 0x07
+  | Some x -> f (tag h 0x08) x
+
+let combine h h' = add_int64 (tag h 0x09) h'
+
+let to_hex h = Printf.sprintf "%016Lx" h

@@ -1,0 +1,43 @@
+(** Content fingerprints for cache keys (FNV-1a, 64-bit).
+
+    A fingerprint is an immutable accumulator: feed it the fields that define
+    an artifact and use the final value as a content-addressed cache key.
+    Distinct field {e types} are domain-separated with a tag byte, so e.g.
+    [add_int h 1] and [add_float h 1.0] diverge, as do [add_option f h None]
+    and [add_option f h (Some x)] for any [x].
+
+    FNV-1a is not cryptographic — collisions are possible in principle — but
+    over 64 bits they are vanishingly unlikely for the handful of live cache
+    entries these keys index, and the function is allocation-free and fast
+    over the large CSR arrays it must digest. *)
+
+type t = int64
+
+(** The FNV-1a offset basis — the empty fingerprint. *)
+val seed : t
+
+val add_int : t -> int -> t
+val add_int64 : t -> int64 -> t
+val add_bool : t -> bool -> t
+
+(** Digests the IEEE-754 bit pattern, so [-0.] <> [0.] and [nan]s are stable. *)
+val add_float : t -> float -> t
+
+val add_string : t -> string -> t
+
+(** Arrays are length-prefixed, so [[|1|]; [|2|]] and [[|1; 2|]; [||]]
+    digest differently. *)
+val add_int_array : t -> int array -> t
+
+val add_float_array : t -> float array -> t
+
+(** [add_option f h o] domain-separates [None] from [Some] before applying
+    [f] to the payload. *)
+val add_option : (t -> 'a -> t) -> t -> 'a option -> t
+
+(** [combine h h'] folds a finished fingerprint into another (tagged, so it
+    is not equivalent to hashing the concatenated inputs). *)
+val combine : t -> t -> t
+
+(** 16-digit lowercase hex, for logs and [--cache-stats] output. *)
+val to_hex : t -> string

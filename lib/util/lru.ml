@@ -1,0 +1,72 @@
+type ('k, 'v) entry = { value : 'v; mutable stamp : int }
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  {
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.stamp <- t.clock
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | Some e ->
+    t.hits <- t.hits + 1;
+    touch t e;
+    Some e.value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let evict_oldest t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, s) when s <= e.stamp -> ()
+      | _ -> victim := Some (k, e.stamp))
+    t.table;
+  match !victim with
+  | None -> ()
+  | Some (k, _) ->
+    Hashtbl.remove t.table k;
+    t.evictions <- t.evictions + 1
+
+let add t k v =
+  (match Hashtbl.find_opt t.table k with
+  | Some _ -> Hashtbl.remove t.table k
+  | None -> if Hashtbl.length t.table >= t.capacity then evict_oldest t);
+  let e = { value = v; stamp = 0 } in
+  touch t e;
+  Hashtbl.replace t.table k e
+
+let mem t k = Hashtbl.mem t.table k
+let length t = Hashtbl.length t.table
+let capacity t = t.capacity
+let clear t = Hashtbl.reset t.table
+
+let stats (t : (_, _) t) =
+  { hits = t.hits; misses = t.misses; evictions = t.evictions; entries = Hashtbl.length t.table }
+
+let reset_stats (t : (_, _) t) =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0
