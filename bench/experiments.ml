@@ -811,6 +811,83 @@ let e16_artifact_reuse () =
     ~header:[ "scenario"; "cold (s)"; "warm (s)"; "speedup"; "cache hits"; "hit rate" ]
     rows
 
+(* ------------------------------------------------------------------ *)
+(* E17 — batch solve service: 32 requests (8 distinct x 4 duplicates)  *)
+(* through the sharded scheduler over 4 workers, versus solving each   *)
+(* request one-shot with cold caches.  Responses must be bit-identical *)
+(* to the one-shot answers (docs/SERVING.md).                          *)
+
+module Protocol = Hgp_server.Protocol
+module Server = Hgp_server.Server
+
+let e17_batch_service () =
+  let hy = H.Presets.dual_socket in
+  let distinct = 8 and dups = 4 and workers = 4 in
+  let insts =
+    Array.init distinct (fun i ->
+        let rng = Prng.create (1700 + i) in
+        Instance.uniform_demands (Gen.gnp_connected rng 150 0.04) hy ~load_factor:0.7)
+  in
+  let options i = { Solver.default_options with ensemble_size = 2; seed = 1700 + i } in
+  (* Sequential one-shot: every request solved in isolation, nothing shared
+     (caches cleared per request, as separate processes would behave). *)
+  let reference = Array.make distinct [||] in
+  let (), t_seq =
+    time (fun () ->
+        for d = 0 to dups - 1 do
+          for i = 0 to distinct - 1 do
+            Pipeline.clear_caches ();
+            let s = Solver.solve ~options:(options i) insts.(i) in
+            if d = 0 then reference.(i) <- s.Solver.assignment
+          done
+        done)
+  in
+  (* The same 32 requests as one batch over the service. *)
+  Pipeline.clear_caches ();
+  let server = Server.create ~config:{ Server.workers; queue_limit = 64; slack = 1.25 } () in
+  let identical = ref true in
+  let responses = ref [] in
+  let (), t_batch =
+    time (fun () ->
+        for d = 0 to dups - 1 do
+          for i = 0 to distinct - 1 do
+            match
+              Server.submit server
+                (Protocol.inline_request
+                   ~id:(Printf.sprintf "i%d-d%d" i d)
+                   ~trees:2 ~seed:(1700 + i) insts.(i))
+            with
+            | `Admitted -> ()
+            | `Rejected r -> failwith ("E17: rejected " ^ Protocol.response_to_line r)
+          done
+        done;
+        responses := Server.drain server)
+  in
+  List.iter
+    (fun (r : Protocol.response) ->
+      match r.Protocol.outcome with
+      | Protocol.Solved s ->
+        let i = Scanf.sscanf r.Protocol.id "i%d-d%d" (fun i _ -> i) in
+        if s.Protocol.assignment <> reference.(i) then identical := false
+      | Protocol.Failed e ->
+        failwith ("E17: " ^ r.Protocol.id ^ " failed: " ^ Hgp_resilience.Hgp_error.to_string e))
+    !responses;
+  let st = Server.stats server in
+  ignore (Server.shutdown server);
+  Tablefmt.print
+    ~title:
+      (Printf.sprintf
+         "E17  batch service: %d reqs (%dx%d) on %d workers (bit-identical: %b)"
+         (distinct * dups) distinct dups workers !identical)
+    ~header:[ "mode"; "total (s)"; "speedup"; "coalesced"; "cache hits"; "steals" ]
+    [
+      [ "sequential one-shot"; Printf.sprintf "%.3f" t_seq; "1.0x"; "-"; "-"; "-" ];
+      [ "batch service"; Printf.sprintf "%.3f" t_batch;
+        Printf.sprintf "%.1fx" (t_seq /. Float.max 1e-9 t_batch);
+        string_of_int st.Server.coalesced; string_of_int st.Server.cache_hits;
+        string_of_int st.Server.steals ];
+    ]
+
 let run_all () =
   let experiments =
     [
@@ -830,6 +907,7 @@ let run_all () =
       ("E14", e14_dynamic_churn);
       ("E15", e15_resilience);
       ("E16", e16_artifact_reuse);
+      ("E17", e17_batch_service);
     ]
   in
   List.iter

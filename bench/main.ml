@@ -47,6 +47,7 @@ let () =
         ("E14", Experiments.e14_dynamic_churn);
         ("E15", Experiments.e15_resilience);
         ("E16", Experiments.e16_artifact_reuse);
+        ("E17", Experiments.e17_batch_service);
         ("micro", Microbench.run);
       ]
     in

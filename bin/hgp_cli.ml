@@ -5,6 +5,8 @@
      solve      read a graph, solve HGP, print the assignment
      compare    run the solver against every baseline
      validate   check an assignment file against an instance
+     serve      batch solve service on stdin/stdout (JSON lines)
+     batch      solve a JSON-lines request file as one batch
 
    Hierarchies are given as "degs@cms", e.g. "2x4x2@100,30,8,0". *)
 
@@ -16,8 +18,9 @@ module Instance = Hgp_core.Instance
 module Cost = Hgp_core.Cost
 module Solver = Hgp_core.Solver
 module Pipeline = Hgp_core.Pipeline
-module Lru = Hgp_util.Lru
 module B = Hgp_baselines
+module Server = Hgp_server.Server
+module Protocol = Hgp_server.Protocol
 module Prng = Hgp_util.Prng
 module Tablefmt = Hgp_util.Tablefmt
 module Obs = Hgp_obs.Obs
@@ -244,16 +247,7 @@ let solve_cmd =
       s.Solver.degraded
       (List.length s.Solver.tree_failures);
     Array.iteri (fun v leaf -> Printf.printf "%d %d\n" v leaf) sol.assignment;
-    if cache_stats then begin
-      List.iter
-        (fun (name, (st : Lru.stats)) ->
-          Printf.eprintf "cache %-8s hits=%d misses=%d evictions=%d entries=%d\n" name
-            st.Lru.hits st.Lru.misses st.Lru.evictions st.Lru.entries)
-        (Pipeline.cache_stats ());
-      List.iter
-        (fun (stage, ms) -> Printf.eprintf "stage %-8s %10.3f ms\n" stage ms)
-        (Pipeline.stage_timings ())
-    end
+    if cache_stats then prerr_string (Pipeline.render_cache_stats ())
   in
   let term =
     Term.(
@@ -431,6 +425,148 @@ let simulate_cmd =
        ~doc:"Generate a stream workload, place it, and simulate its execution.")
     term
 
+(* ---- batch / serve ---- *)
+
+let workers_arg =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.workers
+    & info [ "workers" ] ~doc:"Worker domains (= scheduler shards).")
+
+let queue_limit_arg =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.queue_limit
+    & info [ "queue-limit" ]
+        ~doc:
+          "Bounded admission queue; once full, further requests are rejected \
+           with a structured 'overloaded' response (exit is still 0 — the \
+           rejection is per-request).")
+
+let server_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "server-stats" ]
+        ~doc:"Print the cumulative server statistics line to stderr on exit.")
+
+let parse_error_response ~lineno msg =
+  {
+    Protocol.id = Printf.sprintf "line-%d" lineno;
+    outcome =
+      Protocol.Failed (Hgp_error.Parse { line = Some lineno; context = "request"; msg });
+    queue_ms = 0.;
+    solve_ms = 0.;
+  }
+
+(* Submit a window of [(lineno, raw-line)] pairs, drain, and emit one response
+   line per request in input order — rejections (parse, overloaded, resolve)
+   are merged back among the drained responses. *)
+let run_window server window =
+  let rejects = ref [] in
+  let admitted = ref [] in
+  List.iter
+    (fun (lineno, raw) ->
+      match Protocol.parse_request raw with
+      | Error msg -> rejects := (lineno, parse_error_response ~lineno msg) :: !rejects
+      | Ok req -> (
+        match Server.submit server req with
+        | `Admitted -> admitted := lineno :: !admitted
+        | `Rejected r -> rejects := (lineno, r) :: !rejects))
+    window;
+  let drained = Server.drain server in
+  List.combine (List.rev !admitted) drained @ !rejects
+  |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+  |> List.iter (fun (_, r) -> print_endline (Protocol.response_to_line r));
+  flush stdout
+
+let mk_server workers queue_limit slack =
+  Server.create ~config:{ Server.workers; queue_limit; slack } ()
+
+let finish server server_stats =
+  List.iter (fun r -> print_endline (Protocol.response_to_line r)) (Server.shutdown server);
+  if server_stats then prerr_endline (Server.render_stats (Server.stats server))
+
+let serve_cmd =
+  let run workers queue_limit slack metrics server_stats =
+    handle_errors @@ fun () ->
+    with_metrics metrics @@ fun () ->
+    let server = mk_server workers queue_limit slack in
+    let rec loop window lineno =
+      match input_line stdin with
+      | exception End_of_file -> run_window server (List.rev window)
+      | line ->
+        let lineno = lineno + 1 in
+        if String.trim line = "" then begin
+          (* Blank line = flush: drain the window and answer it before
+             reading on. *)
+          run_window server (List.rev window);
+          loop [] lineno
+        end
+        else loop ((lineno, line) :: window) lineno
+    in
+    loop [] 0;
+    finish server server_stats
+  in
+  let term =
+    Term.(
+      const run $ workers_arg $ queue_limit_arg $ slack_arg $ metrics_arg $ server_stats_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Batch solve service: read JSON-lines requests from stdin, answer on \
+          stdout.  A blank line drains the pending window; EOF drains and shuts \
+          down gracefully.  See docs/SERVING.md.")
+    term
+
+let batch_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REQUESTS" ~doc:"JSON-lines request file ('-' for stdin).")
+  in
+  let run workers queue_limit slack metrics server_stats path =
+    handle_errors @@ fun () ->
+    with_metrics metrics @@ fun () ->
+    let ic, close =
+      if path = "-" then (stdin, Fun.id)
+      else begin
+        if not (Sys.file_exists path) then
+          Hgp_error.error (Hgp_error.Io_error { path; msg = "no such file" });
+        let ic = open_in path in
+        (ic, fun () -> close_in ic)
+      end
+    in
+    let window = ref [] in
+    let lineno = ref 0 in
+    Fun.protect
+      ~finally:(fun () -> close ())
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            incr lineno;
+            if String.trim line <> "" then window := (!lineno, line) :: !window
+          done
+        with End_of_file -> ());
+    let server = mk_server workers queue_limit slack in
+    run_window server (List.rev !window);
+    finish server server_stats
+  in
+  let term =
+    Term.(
+      const run $ workers_arg $ queue_limit_arg $ slack_arg $ metrics_arg
+      $ server_stats_arg $ file_arg)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Solve a file of JSON-lines requests as one batch over the sharded \
+          scheduler; one response line per request, in request order.  See \
+          docs/SERVING.md.")
+    term
+
 let () =
   (* Arm fault injection from HGP_FAULT_PLAN before any command runs, so a
      chaos harness can target every site including instance loading.  A
@@ -446,5 +582,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; solve_cmd; compare_cmd; validate_cmd; describe_cmd; portfolio_cmd;
-            simulate_cmd;
+            simulate_cmd; serve_cmd; batch_cmd;
           ]))

@@ -32,7 +32,15 @@ let in_context ~line ~context f =
 
 let of_string s =
   Faults.fire "instance_io.parse";
-  let lines = String.split_on_char '\n' s in
+  let lines =
+    (* Accept CRLF input (files written on Windows, or piped through tools
+       that rewrite line endings): a carriage return before the newline is
+       never meaningful in this format. *)
+    String.split_on_char '\n' s
+    |> List.map (fun l ->
+           let len = String.length l in
+           if len > 0 && l.[len - 1] = '\r' then String.sub l 0 (len - 1) else l)
+  in
   (* [parse] walks the header section; returns the graph section's starting
      line number along with its lines. *)
   let rec parse lines lineno hierarchy demands =

@@ -416,6 +416,20 @@ let reset_cache_stats () =
   Mutex.unlock packed_lock;
   Ensemble_cache.reset_stats ()
 
+let render_cache_stats () =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (name, (st : Lru.stats)) ->
+      Buffer.add_string b
+        (Printf.sprintf "cache %-8s hits=%d misses=%d evictions=%d entries=%d\n" name
+           st.Lru.hits st.Lru.misses st.Lru.evictions st.Lru.entries))
+    (cache_stats ());
+  List.iter
+    (fun (stage, ms) ->
+      Buffer.add_string b (Printf.sprintf "stage %-8s %10.3f ms\n" stage ms))
+    (stage_timings ());
+  Buffer.contents b
+
 (* [parallel] is deliberately not digested: the sequential and parallel
    paths produce bit-identical solutions (same trees, same per-tree DP, same
    selection order), so they legally share cache entries. *)

@@ -142,6 +142,11 @@ val cache_stats : unit -> (string * Hgp_util.Lru.stats) list
 (** Zero both caches' hit/miss/eviction counters. *)
 val reset_cache_stats : unit -> unit
 
+(** The [--cache-stats] rendering: one ["cache NAME hits=…"] line per cache,
+    then one ["stage NAME … ms"] line per stage — shared by the CLI and the
+    golden tests so the snapshot cannot drift from the implementation. *)
+val render_cache_stats : unit -> string
+
 (** Cumulative wall-clock per stage since process start (or {!reset_timings}),
     as [(stage, milliseconds)] in pipeline order.  Always on — independent
     of [Obs] being enabled — so [--cache-stats] can print stage timing lines

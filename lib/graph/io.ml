@@ -15,8 +15,10 @@ let to_string g =
   Buffer.contents buf
 
 let tokens_of_line line =
+  (* '\r' is a separator so CRLF files parse identically to LF files. *)
   String.split_on_char ' ' line
   |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\r')
   |> List.filter (fun s -> s <> "")
 
 let of_string s =

@@ -6,6 +6,7 @@ type t =
   | Tree_failure of { tree_index : int; stage : string; msg : string }
   | Domain_crash of { tree_index : int; msg : string }
   | Fault_injected of { site : string; msg : string }
+  | Overloaded of { queued : int; limit : int }
   | Internal of { stage : string; msg : string }
 
 exception Error of t
@@ -20,6 +21,7 @@ let label = function
   | Tree_failure _ -> "tree-failure"
   | Domain_crash _ -> "domain-crash"
   | Fault_injected _ -> "fault"
+  | Overloaded _ -> "overloaded"
   | Internal _ -> "internal"
 
 let exit_code = function
@@ -27,7 +29,7 @@ let exit_code = function
   | Io_error _ -> 66
   | Infeasible _ -> 69
   | Tree_failure _ | Domain_crash _ | Fault_injected _ | Internal _ -> 70
-  | Deadline_exceeded _ -> 75
+  | Deadline_exceeded _ | Overloaded _ -> 75
 
 let to_string = function
   | Parse { line; context; msg } ->
@@ -46,6 +48,9 @@ let to_string = function
   | Domain_crash { tree_index; msg } ->
     Printf.sprintf "domain for ensemble tree %d crashed: %s" tree_index msg
   | Fault_injected { site; msg } -> Printf.sprintf "injected fault at %s: %s" site msg
+  | Overloaded { queued; limit } ->
+    Printf.sprintf "server overloaded: %d requests queued (admission limit %d)" queued
+      limit
   | Internal { stage; msg } -> Printf.sprintf "internal error in %s: %s" stage msg
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)

@@ -31,6 +31,10 @@ type t =
           same way as {!Tree_failure} *)
   | Fault_injected of { site : string; msg : string }
       (** a {!Faults} crash action fired at the named site (testing only) *)
+  | Overloaded of { queued : int; limit : int }
+      (** the batch server's bounded admission queue is full; the request was
+          rejected without being scheduled — retry later (see
+          [docs/SERVING.md]) *)
   | Internal of { stage : string; msg : string }
       (** an unexpected exception captured at a supervision boundary *)
 
@@ -40,13 +44,14 @@ exception Error of t
 val error : t -> 'a
 
 (** [label e] is a stable kebab-case class name ("parse", "io", "infeasible",
-    "deadline", "tree-failure", "domain-crash", "fault", "internal") used in
-    telemetry counters and logs. *)
+    "deadline", "tree-failure", "domain-crash", "fault", "overloaded",
+    "internal") used in telemetry counters, batch-response error fields and
+    logs. *)
 val label : t -> string
 
 (** [exit_code e] is the documented CLI exit code for the class (sysexits
-    flavored): parse 65, io 66, infeasible 69, internal-ish 70, deadline
-    75. *)
+    flavored): parse 65, io 66, infeasible 69, internal-ish 70, deadline and
+    overloaded 75 (both are EX_TEMPFAIL: retry later). *)
 val exit_code : t -> int
 
 val to_string : t -> string

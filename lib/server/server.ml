@@ -1,0 +1,375 @@
+module Fingerprint = Hgp_util.Fingerprint
+module Domain_pool = Hgp_util.Domain_pool
+module Prng = Hgp_util.Prng
+module Obs = Hgp_obs.Obs
+module Hgp_error = Hgp_resilience.Hgp_error
+module Solver = Hgp_core.Solver
+module B = Hgp_baselines
+
+let log_src = Logs.Src.create "hgp.server" ~doc:"HGP batch solve service"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = { workers : int; queue_limit : int; slack : float }
+
+let default_config =
+  {
+    workers = max 1 (Domain.recommended_domain_count () - 1);
+    queue_limit = 256;
+    slack = 1.25;
+  }
+
+type stats = {
+  submitted : int;
+  admitted : int;
+  rejected_overloaded : int;
+  rejected_resolve : int;
+  deadline_expired : int;
+  coalesced : int;
+  ok : int;
+  errors : int;
+  degraded : int;
+  cache_hits : int;
+  steals : int;
+  batches : int;
+}
+
+let zero_stats =
+  {
+    submitted = 0;
+    admitted = 0;
+    rejected_overloaded = 0;
+    rejected_resolve = 0;
+    deadline_expired = 0;
+    coalesced = 0;
+    ok = 0;
+    errors = 0;
+    degraded = 0;
+    cache_hits = 0;
+    steals = 0;
+    batches = 0;
+  }
+
+type pending = { resolved : Protocol.resolved; submit_ns : int64; index : int }
+
+type t = {
+  config : config;
+  pool : Domain_pool.t;
+  mutex : Mutex.t;
+  mutable queue : pending list;  (* newest first *)
+  mutable queued : int;
+  mutable next_index : int;
+  mutable stopping : bool;
+  mutable stats : stats;
+  coalesced_live : int Atomic.t;  (* bumped on worker domains, folded in [stats] *)
+}
+
+let create ?(config = default_config) () =
+  if config.workers < 1 then invalid_arg "Server.create: workers must be >= 1";
+  if config.queue_limit < 1 then invalid_arg "Server.create: queue_limit must be >= 1";
+  {
+    config;
+    pool = Domain_pool.create ~size:config.workers;
+    mutex = Mutex.create ();
+    queue = [];
+    queued = 0;
+    next_index = 0;
+    stopping = false;
+    stats = zero_stats;
+    coalesced_live = Atomic.make 0;
+  }
+
+let config t = t.config
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let pending t = with_lock t (fun () -> t.queued)
+
+let stats t =
+  with_lock t (fun () -> { t.stats with coalesced = Atomic.get t.coalesced_live })
+
+let render_stats (s : stats) =
+  Printf.sprintf
+    "submitted=%d admitted=%d overloaded=%d resolve_rejects=%d deadline=%d \
+     coalesced=%d ok=%d errors=%d degraded=%d cache_hits=%d steals=%d batches=%d"
+    s.submitted s.admitted s.rejected_overloaded s.rejected_resolve s.deadline_expired
+    s.coalesced s.ok s.errors s.degraded s.cache_hits s.steals s.batches
+
+(* The same degradation ladder the CLI's one-shot solve installs: the refined
+   heuristic portfolio (sans the hgp candidate — it just failed above), then
+   plain dual recursive bisection; each with a fresh deterministic rng so a
+   request's answer does not depend on its neighbours. *)
+let ladder_fallbacks ~slack ~seed =
+  [
+    ( "portfolio",
+      fun inst ->
+        (B.Portfolio.solve ~include_hgp:false (Prng.create seed) inst ~slack
+           ~refine_passes:2)
+          .best
+          .B.Portfolio.assignment );
+    ( "recursive-bisection",
+      fun inst -> B.Recursive_bisection.assign (Prng.create seed) inst ~slack );
+  ]
+
+(* ---- admission ---- *)
+
+let rejected_response (req : Protocol.request) e =
+  { Protocol.id = req.Protocol.id; outcome = Protocol.Failed e; queue_ms = 0.; solve_ms = 0. }
+
+let submit t (req : Protocol.request) =
+  Obs.count "server.requests" 1;
+  let verdict =
+    with_lock t (fun () ->
+        t.stats <- { t.stats with submitted = t.stats.submitted + 1 };
+        if t.stopping || t.queued >= t.config.queue_limit then begin
+          t.stats <- { t.stats with rejected_overloaded = t.stats.rejected_overloaded + 1 };
+          `Full t.queued
+        end
+        else begin
+          (* Reserve the slot now; the (possibly expensive) instance parse
+             happens outside the lock. *)
+          t.queued <- t.queued + 1;
+          let index = t.next_index in
+          t.next_index <- index + 1;
+          `Reserved index
+        end)
+  in
+  match verdict with
+  | `Full queued ->
+    Obs.count "server.rejected.overloaded" 1;
+    `Rejected
+      (rejected_response req (Hgp_error.Overloaded { queued; limit = t.config.queue_limit }))
+  | `Reserved index -> (
+    let submit_ns = Obs.now_ns () in
+    match Protocol.resolve req with
+    | Error e ->
+      with_lock t (fun () ->
+          t.queued <- t.queued - 1;
+          t.stats <- { t.stats with rejected_resolve = t.stats.rejected_resolve + 1 });
+      Obs.count "server.rejected.resolve" 1;
+      `Rejected (rejected_response req e)
+    | Ok resolved ->
+      with_lock t (fun () ->
+          t.queue <- { resolved; submit_ns; index } :: t.queue;
+          t.stats <- { t.stats with admitted = t.stats.admitted + 1 });
+      Obs.count "server.admitted" 1;
+      `Admitted)
+
+(* ---- dispatch ---- *)
+
+type group = { key : Fingerprint.t; members : pending list; priority : int }
+
+(* Runs on a shard worker.  Answers every member of one coalesced group:
+   queue-expired members get their structured deadline error, the survivors
+   share a single supervised solve under the leader's remaining budget. *)
+let handle t group =
+  let dispatch_ns = Obs.now_ns () in
+  let queue_ms p = Int64.to_float (Int64.sub dispatch_ns p.submit_ns) /. 1e6 in
+  List.iter
+    (fun p -> Obs.gauge_max "server.queue_wait_max_ms" (queue_ms p))
+    group.members;
+  let expired, alive =
+    List.partition
+      (fun p ->
+        match p.resolved.Protocol.request.Protocol.deadline_ms with
+        | Some d -> queue_ms p >= d
+        | None -> false)
+      group.members
+  in
+  let expired_responses =
+    List.map
+      (fun p ->
+        let req = p.resolved.Protocol.request in
+        let budget = Option.value ~default:0. req.Protocol.deadline_ms in
+        ( p.index,
+          {
+            Protocol.id = req.Protocol.id;
+            outcome =
+              Protocol.Failed
+                (Hgp_error.Deadline_exceeded
+                   { budget_ms = budget; elapsed_ms = queue_ms p; stage = "queue" });
+            queue_ms = queue_ms p;
+            solve_ms = 0.;
+          } ))
+      expired
+  in
+  match alive with
+  | [] -> expired_responses
+  | leader :: followers ->
+    if followers <> [] then begin
+      Atomic.fetch_and_add t.coalesced_live (List.length followers) |> ignore;
+      Obs.count "server.coalesced" (List.length followers)
+    end;
+    let { Protocol.inst; options; request; _ } = leader.resolved in
+    let remaining =
+      Option.map (fun d -> d -. queue_ms leader) request.Protocol.deadline_ms
+    in
+    let t0 = Obs.now_ns () in
+    let result =
+      Obs.span "server.solve" (fun () ->
+          try
+            Solver.solve_supervised ~options ?deadline_ms:remaining
+              ~fallbacks:(ladder_fallbacks ~slack:t.config.slack ~seed:options.Solver.seed)
+              inst
+          with exn ->
+            (* [solve_supervised] promises not to raise; fence anyway so a
+               broken promise poisons one response, not the batch. *)
+            Error
+              (Hgp_error.Internal
+                 { stage = "server.solve"; msg = Hgp_error.message_of_exn exn }))
+    in
+    let solve_ms = Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e6 in
+    let outcome_of ~follower =
+      match result with
+      | Ok s ->
+        let sol = s.Solver.solution in
+        Protocol.Solved
+          {
+            cost = sol.Solver.cost;
+            violation = sol.Solver.max_violation;
+            rung = s.Solver.rung;
+            degraded = s.Solver.degraded;
+            tree_failures = List.length s.Solver.tree_failures;
+            cache_hit =
+              follower || (sol.Solver.dp_states = 0 && sol.Solver.cached_dp_states > 0);
+            dp_states = sol.Solver.dp_states;
+            cached_dp_states = sol.Solver.cached_dp_states;
+            assignment = sol.Solver.assignment;
+          }
+      | Error e -> Protocol.Failed e
+    in
+    ( leader.index,
+      {
+        Protocol.id = request.Protocol.id;
+        outcome = outcome_of ~follower:false;
+        queue_ms = queue_ms leader;
+        solve_ms;
+      } )
+    :: List.map
+         (fun p ->
+           ( p.index,
+             {
+               Protocol.id = p.resolved.Protocol.request.Protocol.id;
+               outcome = outcome_of ~follower:true;
+               queue_ms = queue_ms p;
+               solve_ms = 0.;
+             } ))
+         followers
+    @ expired_responses
+
+let tally t (responses : Protocol.response list) steals =
+  with_lock t (fun () ->
+      let s = ref { t.stats with steals = t.stats.steals + steals } in
+      List.iter
+        (fun (r : Protocol.response) ->
+          match r.Protocol.outcome with
+          | Protocol.Solved sol ->
+            s := { !s with ok = !s.ok + 1 };
+            if sol.Protocol.degraded then s := { !s with degraded = !s.degraded + 1 };
+            if sol.Protocol.cache_hit then s := { !s with cache_hits = !s.cache_hits + 1 }
+          | Protocol.Failed (Hgp_error.Deadline_exceeded _) ->
+            s :=
+              { !s with errors = !s.errors + 1; deadline_expired = !s.deadline_expired + 1 }
+          | Protocol.Failed _ -> s := { !s with errors = !s.errors + 1 })
+        responses;
+      t.stats <- !s);
+  List.iter
+    (fun (r : Protocol.response) ->
+      match r.Protocol.outcome with
+      | Protocol.Solved sol ->
+        Obs.count "server.responses.ok" 1;
+        if sol.Protocol.degraded then Obs.count "server.degraded" 1;
+        if sol.Protocol.cache_hit then Obs.count "server.cache_hits" 1
+      | Protocol.Failed (Hgp_error.Deadline_exceeded _) ->
+        Obs.count "server.responses.error" 1;
+        Obs.count "server.deadline_expired" 1
+      | Protocol.Failed _ -> Obs.count "server.responses.error" 1)
+    responses
+
+let drain t =
+  let batch =
+    with_lock t (fun () ->
+        let grabbed = List.rev t.queue in
+        t.queue <- [];
+        t.queued <- t.queued - List.length grabbed;
+        grabbed)
+  in
+  match batch with
+  | [] -> []
+  | _ ->
+    with_lock t (fun () -> t.stats <- { t.stats with batches = t.stats.batches + 1 });
+    Obs.count "server.batches" 1;
+    Obs.gauge "server.queue_depth" (float_of_int (List.length batch));
+    Obs.span "server.drain" @@ fun () ->
+    (* Coalesce by affinity key, preserving first-seen order so the response
+       order and the shard layout are both deterministic. *)
+    let tbl : (Fingerprint.t, pending list ref) Hashtbl.t = Hashtbl.create 32 in
+    let order = ref [] in
+    List.iter
+      (fun p ->
+        let k = p.resolved.Protocol.key in
+        match Hashtbl.find_opt tbl k with
+        | None ->
+          Hashtbl.add tbl k (ref [ p ]);
+          order := k :: !order
+        | Some r -> r := p :: !r)
+      batch;
+    let groups =
+      !order
+      |> List.rev_map (fun k ->
+             let members = List.rev !(Hashtbl.find tbl k) in
+             let priority =
+               List.fold_left
+                 (fun a p -> max a p.resolved.Protocol.request.Protocol.priority)
+                 min_int members
+             in
+             { key = k; members; priority })
+      |> List.rev
+      |> Array.of_list
+    in
+    Log.info (fun m ->
+        m "drain: %d requests in %d groups over %d workers" (List.length batch)
+          (Array.length groups) t.config.workers);
+    let results, sstats =
+      Scheduler.run ~pool:t.pool ~shards:t.config.workers
+        ~shard_of:(fun g -> g.key)
+        ~priority_of:(fun g -> g.priority)
+        ~f:(handle t) groups
+    in
+    let responses = ref [] in
+    Array.iteri
+      (fun gi slot ->
+        match slot with
+        | Ok rs -> responses := rs @ !responses
+        | Error exn ->
+          (* The per-group fence failed — answer every member structurally
+             rather than dropping them. *)
+          let msg = Hgp_error.message_of_exn exn in
+          List.iter
+            (fun p ->
+              responses :=
+                ( p.index,
+                  {
+                    Protocol.id = p.resolved.Protocol.request.Protocol.id;
+                    outcome =
+                      Protocol.Failed
+                        (Hgp_error.Internal { stage = "server.dispatch"; msg });
+                    queue_ms = 0.;
+                    solve_ms = 0.;
+                  } )
+                :: !responses)
+            groups.(gi).members)
+      results;
+    let ordered =
+      List.sort (fun (a, _) (b, _) -> compare a b) !responses |> List.map snd
+    in
+    tally t ordered sstats.Scheduler.steals;
+    ordered
+
+let shutdown t =
+  with_lock t (fun () -> t.stopping <- true);
+  let rest = drain t in
+  Domain_pool.shutdown t.pool;
+  rest

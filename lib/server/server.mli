@@ -1,0 +1,89 @@
+(** Long-running batch solve service over the artifact caches.
+
+    The service model is {e windowed batching}: requests are admitted into a
+    bounded queue ({!submit}) and dispatched as a batch ({!drain}) onto a
+    dedicated worker-domain pool through the cache-affine {!Scheduler}.  The
+    process-wide [Ensemble_cache] and packed-solution LRUs are shared by the
+    whole fleet, so a graph that has been embedded once is never embedded
+    again, no matter which request — or which worker — asks next.
+
+    Guarantees (see [docs/SERVING.md] for the full contract):
+
+    - {b bounded admission}: once [queue_limit] requests are pending, further
+      submits are rejected with a structured
+      [Hgp_error.Overloaded] response — load sheds at the front door, never
+      by falling over mid-solve;
+    - {b per-request deadlines}: a request whose budget expired while it
+      waited in the queue is answered with a [Deadline_exceeded] error
+      without being solved; one that reaches a worker solves under its
+      {e remaining} budget via the supervised degradation ladder, so late
+      requests degrade per-request instead of failing the batch;
+    - {b coalescing}: requests with equal affinity keys (same instance and
+      solve-determining options) in one drain are solved once; followers
+      receive the same outcome marked [cache_hit] — duplicate in-flight
+      requests are bit-identical by construction, not by luck;
+    - {b isolation}: a request that fails — injected fault, infeasible
+      instance, poisoned input — produces an error {e response}; the server,
+      its workers, and every other request keep going;
+    - {b graceful drain}: {!shutdown} stops admission, flushes everything
+      already admitted, and joins the pool; nothing admitted is ever dropped.
+
+    Telemetry: [server.*] counters/spans (see [docs/OBSERVABILITY.md]). *)
+
+type config = {
+  workers : int;  (** worker domains = scheduler shards *)
+  queue_limit : int;  (** bounded admission queue *)
+  slack : float;  (** capacity slack for the heuristic fallback rungs *)
+}
+
+(** [{workers = max 1 (recommended_domain_count () - 1); queue_limit = 256;
+     slack = 1.25}] *)
+val default_config : config
+
+type stats = {
+  submitted : int;
+  admitted : int;
+  rejected_overloaded : int;
+  rejected_resolve : int;  (** parse / io failures at admission *)
+  deadline_expired : int;  (** budget ran out while queued *)
+  coalesced : int;  (** followers served by an identical in-flight solve *)
+  ok : int;
+  errors : int;
+  degraded : int;
+  cache_hits : int;  (** packed-cache hits + coalesced followers *)
+  steals : int;
+  batches : int;
+}
+
+type t
+
+(** [create ?config ()] — the pool is created immediately but its domains
+    spawn lazily on the first drain. *)
+val create : ?config:config -> unit -> t
+
+val config : t -> config
+
+(** Requests admitted but not yet drained. *)
+val pending : t -> int
+
+(** [submit t req] resolves the request (parsing the embedded instance,
+    computing the affinity key) and admits it, or returns the ready-to-send
+    rejection response ([overloaded], [parse], [io], ...).  The queue-wait
+    clock starts here. *)
+val submit : t -> Protocol.request -> [ `Admitted | `Rejected of Protocol.response ]
+
+(** [drain t] dispatches every pending request and returns their responses in
+    submission order.  Blocks until the batch completes.  Never raises on
+    request failures — those become error responses. *)
+val drain : t -> Protocol.response list
+
+(** [shutdown t] stops admission (subsequent submits are rejected as
+    overloaded), drains what is pending, joins the pool, and returns the
+    final responses.  Idempotent on an already-stopped server. *)
+val shutdown : t -> Protocol.response list
+
+(** Cumulative since {!create}. *)
+val stats : t -> stats
+
+(** One [key=value] summary line for operators ("submitted=… ok=… …"). *)
+val render_stats : stats -> string

@@ -1,0 +1,262 @@
+(* Golden-file tests for the CLI's machine-readable output schemas:
+   --metrics=json, --cache-stats, and the batch service's response lines.
+
+   Each scenario runs the real hgp_cli binary, normalizes the volatile
+   fields (wall-clock milliseconds, steal counts), and compares against a
+   snapshot under test/golden/.  To (re)record snapshots:
+
+     dune build && HGP_GOLDEN_PROMOTE=1 ./_build/default/test/test_golden.exe
+
+   (or set HGP_GOLDEN_DIR to write them somewhere else).  A schema change
+   that shows up here is an interface change for every downstream consumer
+   of these streams — promote deliberately. *)
+
+module Gen = Hgp_graph.Generators
+module H = Hgp_hierarchy.Hierarchy
+module Instance = Hgp_core.Instance
+module Instance_io = Hgp_core.Instance_io
+module Prng = Hgp_util.Prng
+module Protocol = Hgp_server.Protocol
+
+(* ---- locations ---- *)
+
+let base_dir =
+  let d = Filename.dirname Sys.executable_name in
+  if Filename.is_relative d then Filename.concat (Sys.getcwd ()) d else d
+
+let cli = Filename.concat base_dir (Filename.concat ".." (Filename.concat "bin" "hgp_cli.exe"))
+let build_golden_dir = Filename.concat base_dir "golden"
+
+let find_substring hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i =
+    if i + nl > hl then None
+    else if String.sub hay i nl = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* .../_build/default/test -> .../test (where the committed goldens live). *)
+let source_golden_dir () =
+  match Sys.getenv_opt "HGP_GOLDEN_DIR" with
+  | Some d -> d
+  | None -> (
+    let marker = "_build/default/" in
+    match find_substring base_dir marker with
+    | Some i ->
+      let src =
+        String.sub base_dir 0 i
+        ^ String.sub base_dir
+            (i + String.length marker)
+            (String.length base_dir - i - String.length marker)
+      in
+      Filename.concat src "golden"
+    | None -> build_golden_dir)
+
+let promote = Sys.getenv_opt "HGP_GOLDEN_PROMOTE" <> None
+
+(* ---- small io helpers ---- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+(* [run_cli args] returns (exit code, stdout, stderr). *)
+let run_cli args =
+  let out = Filename.temp_file "hgp_golden" ".out" in
+  let err = Filename.temp_file "hgp_golden" ".err" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove out;
+      Sys.remove err)
+    (fun () ->
+      let cmd =
+        Printf.sprintf "%s %s > %s 2> %s" (Filename.quote cli)
+          (String.concat " " (List.map Filename.quote args))
+          (Filename.quote out) (Filename.quote err)
+      in
+      let code = Sys.command cmd in
+      (code, read_file out, read_file err))
+
+(* ---- normalization ---- *)
+
+(* Replace the value of every ["field":<scalar>] with ["field":"<X>"]. *)
+let normalize_json_field field s =
+  let pat = "\"" ^ field ^ "\":" in
+  let b = Buffer.create (String.length s) in
+  let n = String.length s and pn = String.length pat in
+  let i = ref 0 in
+  while !i < n do
+    if !i + pn <= n && String.sub s !i pn = pat then begin
+      Buffer.add_string b pat;
+      Buffer.add_string b "\"<X>\"";
+      i := !i + pn;
+      while !i < n && s.[!i] <> ',' && s.[!i] <> '}' && s.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+(* Replace the value of every [key=<token>] with [key=<X>]. *)
+let normalize_kv key s =
+  let pat = key ^ "=" in
+  let b = Buffer.create (String.length s) in
+  let n = String.length s and pn = String.length pat in
+  let i = ref 0 in
+  while !i < n do
+    if !i + pn <= n && String.sub s !i pn = pat then begin
+      Buffer.add_string b pat;
+      Buffer.add_string b "<X>";
+      i := !i + pn;
+      while !i < n && s.[!i] <> ' ' && s.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let map_lines f s =
+  String.split_on_char '\n' s |> List.map f |> String.concat "\n"
+
+(* "stage embed     12.345 ms" -> "stage embed    <MS> ms" *)
+let normalize_stage_line line =
+  if String.length line >= 6 && String.sub line 0 6 = "stage " then
+    match
+      String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+    with
+    | [ "stage"; name; _ms; "ms" ] -> Printf.sprintf "stage %-8s <MS> ms" name
+    | _ -> line
+  else line
+
+let normalize_metrics_json s =
+  List.fold_left
+    (fun s f -> normalize_json_field f s)
+    s
+    [ "total_ms"; "self_ms"; "max_ms" ]
+  |> map_lines (fun line ->
+         match find_substring line "\"type\":\"gauge\"" with
+         | Some _ -> normalize_json_field "value" line
+         | None -> line)
+
+let normalize_cache_stats s = map_lines normalize_stage_line s
+
+let normalize_batch_stdout s =
+  normalize_json_field "queue_ms" (normalize_json_field "solve_ms" s)
+
+let normalize_server_stats s = normalize_kv "steals" s
+
+(* ---- golden comparison ---- *)
+
+let mkdir_if_missing d = if not (Sys.file_exists d) then Sys.mkdir d 0o755
+
+let check_golden name actual =
+  let file = name ^ ".golden" in
+  if promote then begin
+    let dir = source_golden_dir () in
+    mkdir_if_missing dir;
+    write_file (Filename.concat dir file) actual;
+    Printf.printf "promoted %s\n" (Filename.concat dir file)
+  end
+  else begin
+    let path = Filename.concat build_golden_dir file in
+    if not (Sys.file_exists path) then
+      Alcotest.failf
+        "missing golden %s — record it with:\n\
+        \  dune build && HGP_GOLDEN_PROMOTE=1 ./_build/default/test/test_golden.exe"
+        file;
+    let expected = read_file path in
+    if expected <> actual then
+      Alcotest.failf
+        "golden mismatch for %s\n---- expected ----\n%s\n---- actual ----\n%s\n\
+         (re-record with HGP_GOLDEN_PROMOTE=1 if the change is intended)"
+        file expected actual
+  end
+
+(* ---- fixtures ---- *)
+
+let fixture_instance () =
+  let rng = Prng.create 7 in
+  let g = Gen.gnp_connected rng 20 0.3 in
+  Instance.uniform_demands g
+    (H.create ~degs:[| 2; 2 |] ~cm:[| 10.; 3.; 0. |] ~leaf_capacity:1.0)
+    ~load_factor:0.6
+
+let with_fixture_file f =
+  let path = Filename.temp_file "hgp_golden_inst" ".hgp" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Instance_io.save (fixture_instance ()) path;
+      f path)
+
+(* ---- scenarios ---- *)
+
+let test_cache_stats_schema () =
+  with_fixture_file @@ fun inst ->
+  let code, _out, err =
+    run_cli [ "solve"; inst; "--seed"; "3"; "--trees"; "2"; "--repeat"; "2"; "--cache-stats" ]
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_golden "solve_cache_stats" (normalize_cache_stats err)
+
+let test_metrics_json_schema () =
+  with_fixture_file @@ fun inst ->
+  let code, _out, err =
+    run_cli [ "solve"; inst; "--seed"; "3"; "--trees"; "2"; "--metrics=json" ]
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_golden "solve_metrics_json" (normalize_metrics_json err)
+
+let test_batch_response_schema () =
+  with_fixture_file @@ fun inst ->
+  let req ~id ~seed = Protocol.request ~id ~trees:2 ~seed (Protocol.Path inst) in
+  let requests =
+    [
+      Protocol.request_to_line (req ~id:"a1" ~seed:11);
+      Protocol.request_to_line (req ~id:"a2" ~seed:11);
+      Protocol.request_to_line (req ~id:"b1" ~seed:12);
+      Protocol.request_to_line (req ~id:"a3" ~seed:11);
+      "this line is not json";
+      Protocol.request_to_line (req ~id:"c1" ~seed:13);
+    ]
+  in
+  let reqfile = Filename.temp_file "hgp_golden_reqs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove reqfile)
+    (fun () ->
+      write_file reqfile (String.concat "\n" requests ^ "\n");
+      let code, out, err =
+        run_cli
+          [
+            "batch"; reqfile; "--workers"; "2"; "--queue-limit"; "4"; "--server-stats";
+          ]
+      in
+      Alcotest.(check int) "exit 0" 0 code;
+      check_golden "batch_responses" (normalize_batch_stdout out);
+      check_golden "batch_server_stats" (normalize_server_stats err))
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "schemas",
+        [
+          Alcotest.test_case "--cache-stats" `Quick test_cache_stats_schema;
+          Alcotest.test_case "--metrics=json" `Quick test_metrics_json_schema;
+          Alcotest.test_case "batch responses" `Quick test_batch_response_schema;
+        ] );
+    ]

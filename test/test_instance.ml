@@ -115,6 +115,35 @@ let test_instance_io_file () =
       let inst' = Instance_io.load path in
       Alcotest.(check int) "n" 4 (Instance.n inst'))
 
+let test_instance_io_crlf () =
+  (* A CRLF-converted instance file (plus trailing blank lines) must load to
+     the same instance as the LF original — demands bit-identical, graph
+     weights intact. *)
+  let rng = Prng.create 11 in
+  let g = Gen.gnp_connected rng 10 0.4 in
+  let inst = Instance.random_demands rng g (hy ()) ~load_factor:0.5 in
+  let crlf =
+    (String.split_on_char '\n' (Instance_io.to_string inst) |> String.concat "\r\n")
+    ^ "\r\n\r\n"
+  in
+  let inst' = Instance_io.of_string crlf in
+  Alcotest.(check int) "n" (Instance.n inst) (Instance.n inst');
+  Alcotest.(check bool) "demands bit-identical" true (inst.demands = inst'.demands);
+  let p = Array.init (Instance.n inst) (fun v -> v mod 4) in
+  Test_support.check_close "cost preserved"
+    (Hgp_core.Cost.assignment_cost inst p)
+    (Hgp_core.Cost.assignment_cost inst' p);
+  (* And through a file, exercising [Instance_io.load]. *)
+  let path = Filename.temp_file "hgp_crlf" ".hgp" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc crlf;
+      close_out oc;
+      let inst'' = Instance_io.load path in
+      Alcotest.(check bool) "load accepts crlf" true (inst.demands = inst''.demands))
+
 let test_instance_io_malformed () =
   (* Every malformed input must surface as a structured [Parse] error — the
      taxonomy contract of Instance_io (details in test_resilience.ml). *)
@@ -175,6 +204,7 @@ let () =
           Alcotest.test_case "capacity units" `Quick test_capacity_units;
           Alcotest.test_case "instance io roundtrip" `Quick test_instance_io_roundtrip;
           Alcotest.test_case "instance io file" `Quick test_instance_io_file;
+          Alcotest.test_case "instance io crlf" `Quick test_instance_io_crlf;
           Alcotest.test_case "instance io malformed" `Quick test_instance_io_malformed;
         ] );
       ("property", [ prop_floor_le_ceil; prop_rounding_error ]);

@@ -52,6 +52,17 @@ let test_file_roundtrip () =
       let g' = Io.load path in
       Alcotest.(check bool) "file roundtrip" true (graphs_equal g g'))
 
+(* CRLF line endings (and a trailing blank line) must parse identically to
+   the LF original. *)
+let to_crlf s =
+  String.split_on_char '\n' s |> String.concat "\r\n"
+
+let test_crlf_parse () =
+  let g = Graph.of_edges 4 [ (0, 1, 1.5); (1, 2, 2.); (2, 3, 0.5); (0, 3, 4.) ] in
+  let s = to_crlf (Io.to_string g) ^ "\r\n\r\n" in
+  Alcotest.(check bool) "crlf parses to same graph" true
+    (graphs_equal g (Io.of_string s))
+
 let test_edge_list_roundtrip () =
   let g = Graph.of_edges 5 [ (0, 4, 2.); (1, 2, 3.) ] in
   let g' = Io.of_edge_list_string (Io.to_edge_list_string g) in
@@ -84,6 +95,7 @@ let () =
           Alcotest.test_case "comments" `Quick test_comments_ignored;
           Alcotest.test_case "malformed" `Quick test_malformed;
           Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "crlf parse" `Quick test_crlf_parse;
           Alcotest.test_case "edge list roundtrip" `Quick test_edge_list_roundtrip;
         ] );
       ("property", [ prop_metis_roundtrip; prop_edge_list_roundtrip ]);
