@@ -888,6 +888,98 @@ let e17_batch_service () =
         string_of_int st.Server.steals ];
     ]
 
+(* ------------------------------------------------------------------ *)
+(* E18 — flat DP kernel: the workspace/arena rewrite of Tree_dp.solve  *)
+(* against the Hashtbl reference implementation it replaced (kept as   *)
+(* the differential oracle in test/support).  Same instance as the     *)
+(* tree_dp.solve_large microbench: n=256, uniform 4^3 hierarchy,       *)
+(* resolution 8, beam 512.  Cold = fresh workspace per solve; warm =   *)
+(* one lease reused across solves (the pipeline's steady state).       *)
+
+module Ref_dp = Test_support.Tree_dp_reference
+module Workspace = Hgp_util.Workspace
+
+let e18_dp_kernel () =
+  let rng = Prng.create 1800 in
+  let g = Gen.randomize_weights rng (Gen.gnp_connected rng 256 0.05) ~lo:1.0 ~hi:5.0 in
+  let d = Hgp_racke.Decomposition.build (Prng.create 2) g in
+  let tree = Hgp_racke.Decomposition.tree d in
+  let demand_units = Array.make (Tree.n_nodes tree) 0 in
+  Array.iter (fun l -> demand_units.(l) <- 1) (Tree.leaves tree);
+  let cfg =
+    Tree_dp.config_of_hierarchy
+      (H.Presets.uniform ~branching:4 ~height:3)
+      ~resolution:8 ~beam_width:512 ()
+  in
+  let iters = 5 in
+  (* Median wall time and mean allocation over [iters] runs of [f]. *)
+  let measure f =
+    let samples =
+      List.init iters (fun _ ->
+          let b0 = Gc.allocated_bytes () in
+          let r, dt = time f in
+          (r, dt, Gc.allocated_bytes () -. b0))
+    in
+    let times = List.map (fun (_, dt, _) -> dt) samples |> List.sort compare in
+    let med = List.nth times (iters / 2) in
+    let bytes =
+      List.fold_left (fun acc (_, _, b) -> acc +. b) 0. samples /. float_of_int iters
+    in
+    let r, _, _ = List.hd samples in
+    (r, med, bytes)
+  in
+  let ref_r, t_ref, b_ref = measure (fun () -> Ref_dp.solve tree ~demand_units cfg) in
+  let cold_r, t_cold, b_cold =
+    measure (fun () ->
+        (* a private fresh workspace: every arena starts at seed capacity *)
+        let lease = { Workspace.workspace = Workspace.create (); slot = None } in
+        Tree_dp.solve ~workspace:lease tree ~demand_units cfg)
+  in
+  let warm_lease = Workspace.acquire () in
+  let warm_r, t_warm, b_warm =
+    measure (fun () -> Tree_dp.solve ~workspace:warm_lease tree ~demand_units cfg)
+  in
+  Workspace.release warm_lease;
+  let cost = function
+    | Some (r : Tree_dp.result) -> r.cost
+    | None -> nan
+  in
+  let identical =
+    match (ref_r, cold_r, warm_r) with
+    | Some a, Some b, Some c ->
+      Float.equal a.Tree_dp.cost b.Tree_dp.cost
+      && Float.equal a.Tree_dp.cost c.Tree_dp.cost
+      && a.Tree_dp.kappa = b.Tree_dp.kappa
+      && a.Tree_dp.kappa = c.Tree_dp.kappa
+      && a.Tree_dp.states_explored = b.Tree_dp.states_explored
+    | _ -> false
+  in
+  (* Recorded in BENCH_obs.jsonl (bench/main.ml dumps the registry at
+     exit) so the kernel's before/after is tracked alongside counters. *)
+  Hgp_obs.Obs.gauge "e18.reference_ms" (t_ref *. 1000.);
+  Hgp_obs.Obs.gauge "e18.cold_ms" (t_cold *. 1000.);
+  Hgp_obs.Obs.gauge "e18.warm_ms" (t_warm *. 1000.);
+  Hgp_obs.Obs.gauge "e18.reference_bytes" b_ref;
+  Hgp_obs.Obs.gauge "e18.cold_bytes" b_cold;
+  Hgp_obs.Obs.gauge "e18.warm_bytes" b_warm;
+  let mb b = Printf.sprintf "%.2f" (b /. 1e6) in
+  let row name t b r =
+    [ name; Printf.sprintf "%.4f" t; mb b; Printf.sprintf "%.1fx" (t_ref /. Float.max 1e-9 t);
+      Printf.sprintf "%.1fx" (b_ref /. Float.max 1. b);
+      fmt (cost r) ]
+  in
+  Tablefmt.print
+    ~title:
+      (Printf.sprintf
+         "E18  flat DP kernel vs Hashtbl reference, n=256 beam=512 (bit-identical: %b)"
+         identical)
+    ~header:[ "variant"; "time (s)"; "alloc MB/solve"; "speedup"; "alloc ratio"; "cost" ]
+    [
+      row "reference (Hashtbl)" t_ref b_ref ref_r;
+      row "flat kernel, cold ws" t_cold b_cold cold_r;
+      row "flat kernel, warm ws" t_warm b_warm warm_r;
+    ]
+
 let run_all () =
   let experiments =
     [
@@ -908,6 +1000,7 @@ let run_all () =
       ("E15", e15_resilience);
       ("E16", e16_artifact_reuse);
       ("E17", e17_batch_service);
+      ("E18", e18_dp_kernel);
     ]
   in
   List.iter

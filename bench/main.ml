@@ -48,6 +48,7 @@ let () =
         ("E15", Experiments.e15_resilience);
         ("E16", Experiments.e16_artifact_reuse);
         ("E17", Experiments.e17_batch_service);
+        ("E18", Experiments.e18_dp_kernel);
         ("micro", Microbench.run);
       ]
     in

@@ -30,6 +30,48 @@ let tests () =
       (Staged.stage (fun () -> Hgp_racke.Decomposition.build (Prng.create 7) g));
     Test.make ~name:"tree_dp.solve"
       (Staged.stage (fun () -> Hgp_core.Tree_dp.solve tree ~demand_units cfg));
+    (let rng = Prng.create 777 in
+     let g_large =
+       Gen.randomize_weights rng (Gen.gnp_connected rng 256 0.05) ~lo:1.0 ~hi:5.0
+     in
+     let d_large = Hgp_racke.Decomposition.build (Prng.create 2) g_large in
+     let tree_large = Hgp_racke.Decomposition.tree d_large in
+     let demand_large = Array.make (Tree.n_nodes tree_large) 0 in
+     Array.iter (fun l -> demand_large.(l) <- 1) (Tree.leaves tree_large);
+     (* 256 units against CP(0) = 8 * 64 = 512 on uniform 4^3. *)
+     let cfg_large =
+       Hgp_core.Tree_dp.config_of_hierarchy
+         (H.Presets.uniform ~branching:4 ~height:3)
+         ~resolution:8 ~beam_width:512 ()
+     in
+     Test.make ~name:"tree_dp.solve_large"
+       (Staged.stage (fun () ->
+            Hgp_core.Tree_dp.solve tree_large ~demand_units:demand_large cfg_large)));
+    (* Arena kernels in isolation: the merge table's insert/probe cycle and
+       the sorted-prune permutation pass. *)
+    (let tbl = Hgp_util.Arena.Table.create ~capacity:1024 () in
+     Test.make ~name:"arena.table_upsert"
+       (Staged.stage (fun () ->
+            Hgp_util.Arena.Table.clear tbl;
+            for i = 0 to 511 do
+              ignore
+                (Hgp_util.Arena.Table.upsert tbl ((i * 7919) land 4095)
+                   (float_of_int (i land 63))
+                   i (i + 1) 0)
+            done;
+            Hgp_util.Arena.Table.size tbl)));
+    (let rng = Prng.create 99 in
+     let m = 512 in
+     let costs = Array.init m (fun _ -> float_of_int (Prng.int rng 1000)) in
+     let keys = Array.init m (fun _ -> Prng.int rng 100_000) in
+     let perm = Array.make m 0 in
+     Test.make ~name:"arena.sort_perm"
+       (Staged.stage (fun () ->
+            for i = 0 to m - 1 do
+              perm.(i) <- i
+            done;
+            Hgp_util.Arena.sort_perm_by_cost_key perm 0 m costs keys;
+            perm.(0))));
     Test.make ~name:"cost.assignment"
       (Staged.stage (fun () -> Hgp_core.Cost.assignment_cost inst assignment));
     Test.make ~name:"cost.mirror"

@@ -39,7 +39,9 @@ let create hierarchy config =
   {
     hierarchy;
     config;
-    tasks = Array.make 16 { alive = false; demand = 0.; leaf = -1; edges = [] };
+    (* Array.init, not Array.make with a record literal: the latter would
+       alias ONE mutable placeholder into every slot. *)
+    tasks = Array.init 16 (fun _ -> { alive = false; demand = 0.; leaf = -1; edges = [] });
     n_tasks = 0;
     loads = Array.make (Hierarchy.num_leaves hierarchy) 0.;
     events = 0;
@@ -206,7 +208,8 @@ let add_task t ~demand ~edges =
   let id = t.n_tasks in
   if id = Array.length t.tasks then begin
     let bigger =
-      Array.make (2 * id) { alive = false; demand = 0.; leaf = -1; edges = [] }
+      (* distinct placeholder records per slot, see [create] *)
+      Array.init (2 * id) (fun _ -> { alive = false; demand = 0.; leaf = -1; edges = [] })
     in
     Array.blit t.tasks 0 bigger 0 id;
     t.tasks <- bigger

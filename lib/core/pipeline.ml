@@ -7,6 +7,7 @@ module Ensemble_cache = Hgp_racke.Ensemble_cache
 module Fingerprint = Hgp_util.Fingerprint
 module Lru = Hgp_util.Lru
 module Domain_pool = Hgp_util.Domain_pool
+module Workspace = Hgp_util.Workspace
 module Obs = Hgp_obs.Obs
 module Hgp_error = Hgp_resilience.Hgp_error
 module Deadline = Hgp_resilience.Deadline
@@ -212,7 +213,7 @@ type tree_relaxed = { demand_units : int array; dp : Tree_dp.result }
 
 (* DP on one decomposition tree; [None] when the quantized instance does not
    fit that tree. *)
-let relax_tree ?(deadline = Deadline.none) (p : prepared) d =
+let relax_tree ?(deadline = Deadline.none) ?workspace (p : prepared) d =
   let t = Decomposition.tree d in
   let n_nodes = Tree.n_nodes t in
   let demand_units = Array.make n_nodes 0 in
@@ -224,7 +225,10 @@ let relax_tree ?(deadline = Deadline.none) (p : prepared) d =
     Tree_dp.config_of_hierarchy p.inst.Instance.hierarchy ~resolution:p.resolution
       ?bucketing:p.options.bucketing ?beam_width:p.options.beam_width ()
   in
-  match Obs.span "solver.tree_dp" (fun () -> Tree_dp.solve ~deadline t ~demand_units cfg) with
+  match
+    Obs.span "solver.tree_dp" (fun () ->
+        Tree_dp.solve ~deadline ?workspace t ~demand_units cfg)
+  with
   | None -> None
   | Some r -> Some { demand_units; dp = r }
 
@@ -237,13 +241,13 @@ let relax ?supervision (e : embedded) =
   stage 2 @@ fun () ->
   let p = e.prepared in
   let n_trees = Ensemble.size e.ensemble in
-  let solve_one i =
+  let solve_one ?workspace i =
     match supervision with
-    | None -> Ok (relax_tree p (Ensemble.get e.ensemble i))
+    | None -> Ok (relax_tree ?workspace p (Ensemble.get e.ensemble i))
     | Some sv -> (
       try
         Deadline.check sv.deadline ~stage:"ensemble";
-        Ok (relax_tree ~deadline:sv.deadline p (Ensemble.get e.ensemble i))
+        Ok (relax_tree ~deadline:sv.deadline ?workspace p (Ensemble.get e.ensemble i))
       with exn -> Error exn)
   in
   if p.options.parallel && n_trees > 1 then begin
@@ -251,8 +255,11 @@ let relax ?supervision (e : embedded) =
       Array.init n_trees (fun i () ->
           (* Pool workers have an empty span stack between tasks, so the
              per-tree span is a root: per-domain timings stay visible
-             instead of folding into solver.total. *)
-          Obs.span ("solver.domain." ^ string_of_int i) (fun () -> solve_one i))
+             instead of folding into solver.total.  Each task borrows its
+             worker domain's resident workspace: scratch is reused across
+             the tasks a domain executes and never crosses domains. *)
+          Obs.span ("solver.domain." ^ string_of_int i) (fun () ->
+              Workspace.with_ws (fun lease -> solve_one ~workspace:lease i)))
     in
     let slots = Domain_pool.run_batch (Domain_pool.shared ()) tasks in
     Array.mapi
@@ -269,7 +276,11 @@ let relax ?supervision (e : embedded) =
           | None -> raise exn))
       slots
   end
-  else Array.init n_trees solve_one
+  else
+    (* Sequential ensemble: one lease threads the same scratch through
+       every tree's DP. *)
+    Workspace.with_ws (fun lease ->
+        Array.init n_trees (fun i -> solve_one ~workspace:lease i))
 
 (* ---- Packed ---- *)
 

@@ -55,13 +55,16 @@ let encode s sg =
   done;
   !key
 
-let decode s key =
-  let sg = Array.make s.h 0 in
+let decode_into s key dst ~pos =
   let k = ref key in
   for j = s.h - 1 downto 0 do
-    sg.(j) <- !k / s.strides.(j);
+    dst.(pos + j) <- !k / s.strides.(j);
     k := !k mod s.strides.(j)
-  done;
+  done
+
+let decode s key =
+  let sg = Array.make s.h 0 in
+  decode_into s key sg ~pos:0;
   sg
 
 let zero _s = 0

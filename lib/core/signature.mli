@@ -30,6 +30,11 @@ val encode : t -> int array -> int
 (** [decode s key] unpacks a key into a fresh signature array. *)
 val decode : t -> int -> int array
 
+(** [decode_into s key dst ~pos] unpacks a key into [dst.(pos .. pos+h-1)]
+    — the allocation-free form the DP merge loop uses to fill its scratch
+    signature matrices.  [dst] must have at least [pos + h] slots. *)
+val decode_into : t -> int -> int array -> pos:int -> unit
+
 (** [zero s] is the all-zeros signature key (internal node with no leaves
     absorbed yet). *)
 val zero : t -> int

@@ -3,6 +3,8 @@ module Hierarchy = Hgp_hierarchy.Hierarchy
 module Obs = Hgp_obs.Obs
 module Deadline = Hgp_resilience.Deadline
 module Faults = Hgp_resilience.Faults
+module Arena = Hgp_util.Arena
+module Workspace = Hgp_util.Workspace
 
 type config = {
   cm : float array;
@@ -41,59 +43,29 @@ let validate_config cfg =
   done;
   h
 
-(* Pareto-prune a state table: drop any signature that is pointwise >= some
-   other signature of lower-or-equal cost.  Sound: capacities are upper
-   bounds, so a smaller active-set vector admits every completion of a larger
-   one at the same future cost; the optimal final cost is preserved because
-   states are scanned in increasing cost order and the cheapest is always
-   kept. *)
-let pareto_prune space h tbl =
-  if Hashtbl.length tbl <= 1 then tbl
-  else begin
-    let entries =
-      Hashtbl.fold (fun k c acc -> (c, k, Signature.decode space k) :: acc) tbl []
-    in
-    let entries = List.sort (fun (c1, k1, _) (c2, k2, _) -> compare (c1, k1) (c2, k2)) entries in
-    let kept = ref [] in
-    let out = Hashtbl.create 16 in
-    List.iter
-      (fun (c, k, sg) ->
-        let dominated =
-          List.exists
-            (fun sg' ->
-              let ok = ref true in
-              for j = 0 to h - 1 do
-                if sg'.(j) > sg.(j) then ok := false
-              done;
-              !ok)
-            !kept
-        in
-        if not dominated then begin
-          kept := sg :: !kept;
-          Hashtbl.replace out k c
-        end)
-      entries;
-    out
-  end
+(* The DP state machinery is flat struct-of-arrays throughout (see
+   docs/ARCHITECTURE.md, "DP kernel & workspaces"):
 
-(* Beam truncation: when a table outgrows the budget, keep the lowest-cost
-   states.  The DP stays complete (kappa = 0 merges are always feasible from
-   any kept state) but may lose optimality; with [None] the DP is exact. *)
-let beam_truncate beam tbl =
-  match beam with
-  | None -> tbl
-  | Some width ->
-    if Hashtbl.length tbl <= width then tbl
-    else begin
-      let entries = Hashtbl.fold (fun k c l -> (c, k) :: l) tbl [] in
-      let entries = List.sort compare entries in
-      let out = Hashtbl.create width in
-      List.iteri (fun i (c, k) -> if i < width then Hashtbl.replace out k c) entries;
-      out
-    end
+   - per-node state tables are (cost, key)-sorted segments of one packed
+     key/cost store, so folding a child iterates two contiguous ranges;
+   - the merge accumulator is one open-addressed [Arena.Table] cleared by
+     epoch between children;
+   - Pareto pruning and beam truncation run over an index permutation
+     sorted in place — no intermediate lists, no closures per entry;
+   - backpointers are key-sorted stride-4 segments of one packed int store,
+     binary-searched during reconstruction.
 
-let solve ?(deadline = Deadline.none) t ~demand_units cfg =
+   All scratch comes from a per-domain {!Hgp_util.Workspace}, so the solve
+   allocates only its outputs in steady state.  Results are bit-identical
+   to the reference DP (test/support/tree_dp_reference.ml): table contents
+   per merge are order-independent (minimum cost per key over the same
+   state set), ties are broken canonically — smallest back tuple at equal
+   cost, smallest (cost, key) at the root — and the cost arithmetic keeps
+   the reference's association order. *)
+
+let solve ?(deadline = Deadline.none) ?workspace t ~demand_units cfg =
   Faults.fire "tree_dp.solve";
+  let bytes0 = Gc.allocated_bytes () in
   let h = validate_config cfg in
   let n = Tree.n_nodes t in
   let dl_tick = ref 0 in
@@ -107,6 +79,19 @@ let solve ?(deadline = Deadline.none) t ~demand_units cfg =
   let total = Array.fold_left ( + ) 0 demand_units in
   if total > cfg.cp_units.(0) then None
   else begin
+    let owned, ws =
+      match (workspace : Workspace.lease option) with
+      | Some l -> (None, l.Workspace.workspace)
+      | None ->
+        let l = Workspace.acquire () in
+        (Some l, l.Workspace.workspace)
+    in
+    Fun.protect
+      ~finally:(fun () -> match owned with Some l -> Workspace.release l | None -> ())
+    @@ fun () ->
+    Workspace.reset ws;
+    let ws_reused = Workspace.note_use ws in
+    let grows0 = Workspace.grows ws in
     let space = Signature.create ~cp_units:cfg.cp_units ?bucketing:cfg.bucketing () in
     let caps = Array.sub cfg.cp_units 1 h in
     let strides = space.Signature.strides in
@@ -114,138 +99,354 @@ let solve ?(deadline = Deadline.none) t ~demand_units cfg =
     let beam_evictions = ref 0 in
     let pareto_dropped = ref 0 in
     let table_peak = ref 0 in
-    (* tables.(v): final signature table of node v (key -> cost). *)
-    let tables : (int, float) Hashtbl.t array = Array.make n (Hashtbl.create 0) in
-    (* backs.(v).(i): for child index i of v, key in the accumulator after
-       absorbing children 0..i -> (previous key, child key, kappa). *)
-    let backs : (int, int * int * int) Hashtbl.t array array =
-      Array.make n [||]
-    in
+    (* node_off/node_len.(v): node v's final state table, a (cost, key)-
+       sorted segment of ws.node_keys / ws.node_costs. *)
+    let node_off = Array.make n 0 in
+    let node_len = Array.make n 0 in
+    (* back_off/back_len.(c): the backpointer segment written when child c
+       was folded into its parent — key-sorted stride-4 blocks
+       (key, previous key, child key, merge level) in ws.back_store. *)
+    let back_off = Array.make n 0 in
+    let back_len = Array.make n 0 in
+    let sig_a = Array.make h 0 in
+    let a = Array.make h 0 in
     let infeasible_leaf = ref false in
+    let tbl = ws.Workspace.tbl in
     Array.iter
       (fun v ->
         Deadline.check deadline ~stage:"tree_dp";
         if Tree.is_leaf t v then begin
-          let tbl = Hashtbl.create 1 in
-          (match Signature.of_leaf space demand_units.(v) with
+          node_off.(v) <- Arena.Ibuf.length ws.Workspace.node_keys;
+          match Signature.of_leaf space demand_units.(v) with
           | Some key ->
-            Hashtbl.replace tbl key 0.;
+            node_len.(v) <- 1;
+            Arena.Ibuf.push ws.Workspace.node_keys key;
+            Arena.Fbuf.push ws.Workspace.node_costs 0.;
             incr states
-          | None -> infeasible_leaf := true);
-          tables.(v) <- tbl
+          | None ->
+            node_len.(v) <- 0;
+            infeasible_leaf := true
         end
         else begin
           let cs = Tree.children t v in
-          let nc = Array.length cs in
-          backs.(v) <- Array.init nc (fun _ -> Hashtbl.create 16);
-          let acc = ref (Hashtbl.create 16) in
-          Hashtbl.replace !acc 0 0.;
-          Array.iteri
-            (fun i c ->
+          (* The accumulator starts as the single all-zeros state. *)
+          let acc_off = ref (Arena.Ibuf.length ws.Workspace.node_keys) in
+          let acc_len = ref 1 in
+          Arena.Ibuf.push ws.Workspace.node_keys 0;
+          Arena.Fbuf.push ws.Workspace.node_costs 0.;
+          Array.iter
+            (fun c ->
               let w = Tree.edge_weight t c in
-              let nacc = Hashtbl.create (Hashtbl.length !acc) in
-              let back = backs.(v).(i) in
-              let consider key cost prev_key child_key j2 =
-                match Hashtbl.find_opt nacc key with
-                | Some old when old <= cost -> ()
-                | _ ->
-                  if not (Hashtbl.mem nacc key) then incr states;
-                  Hashtbl.replace nacc key cost;
-                  Hashtbl.replace back key (prev_key, child_key, j2)
+              Arena.Table.clear tbl;
+              let coff = node_off.(c) and clen = node_len.(c) in
+              (* Decode each child state once into the signature matrix. *)
+              Arena.Ibuf.clear ws.Workspace.sigs;
+              Arena.Ibuf.reserve ws.Workspace.sigs (clen * h);
+              let smat = Arena.Ibuf.data ws.Workspace.sigs in
+              let nkeys = Arena.Ibuf.data ws.Workspace.node_keys in
+              let ncosts = Arena.Fbuf.data ws.Workspace.node_costs in
+              for ci = 0 to clen - 1 do
+                Signature.decode_into space nkeys.(coff + ci) smat ~pos:(ci * h)
+              done;
+              (* Cached table internals for the inlined upsert below.  The
+                 inline form keeps the cost float unboxed — Arena.Table.upsert
+                 called cross-module would box it on every one of the merge's
+                 millions of calls.  Semantics must stay exactly those of
+                 [Arena.Table.upsert]; the caches are re-read whenever
+                 [ensure_room] grows the backing arrays. *)
+              let t_mask = ref (Arena.Table.mask tbl) in
+              let t_epoch = ref (Arena.Table.epoch tbl) in
+              let t_marks = ref (Arena.Table.marks tbl) in
+              let t_keys = ref (Arena.Table.keys tbl) in
+              let t_costs = ref (Arena.Table.costs tbl) in
+              let t_b1 = ref (Arena.Table.b1s tbl) in
+              let t_b2 = ref (Arena.Table.b2s tbl) in
+              let t_b3 = ref (Arena.Table.b3s tbl) in
+              let refresh () =
+                t_mask := Arena.Table.mask tbl;
+                t_epoch := Arena.Table.epoch tbl;
+                t_marks := Arena.Table.marks tbl;
+                t_keys := Arena.Table.keys tbl;
+                t_costs := Arena.Table.costs tbl;
+                t_b1 := Arena.Table.b1s tbl;
+                t_b2 := Arena.Table.b2s tbl;
+                t_b3 := Arena.Table.b3s tbl
               in
-              (* Decode each table once. *)
-              let decode_all tbl =
-                Hashtbl.fold (fun k c l -> (k, c, Signature.decode space k) :: l) tbl []
-              in
-              let acc_entries = decode_all !acc in
-              let child_entries = decode_all tables.(c) in
-              let a = Array.make h 0 in
-              List.iter
-                (fun (ka, costa, a_orig) ->
-                  List.iter
-                    (fun (kc, costc, cvec) ->
-                      Deadline.tick deadline ~stage:"tree_dp" ~count:dl_tick ~mask:0xFF;
-                      Array.blit a_orig 0 a 0 h;
-                      (* j2 = 0: child closes entirely; accumulator unchanged. *)
-                      consider ka (costa +. costc +. pay w cfg.cm.(0)) ka kc 0;
-                      (* Incrementally merge level j2 = 1..h. *)
-                      let key = ref ka in
-                      let ok = ref true in
-                      let j2 = ref 1 in
-                      while !ok && !j2 <= h do
-                        let idx = !j2 - 1 in
-                        let merged = a.(idx) + cvec.(idx) in
-                        if merged > caps.(idx) then ok := false
-                        else begin
-                          (* bucketed delta keeps the key consistent with
-                             re-encoding the bucketed vector *)
-                          let bucketed = space.Signature.bucket merged in
-                          let prev_b = space.Signature.bucket a.(idx) in
-                          key := !key + ((bucketed - prev_b) * strides.(idx));
-                          a.(idx) <- merged;
-                          consider !key
-                            (costa +. costc +. pay w cfg.cm.(!j2))
-                            ka kc !j2;
-                          incr j2
+              for ai = 0 to !acc_len - 1 do
+                let ka = nkeys.(!acc_off + ai) in
+                let costa = ncosts.(!acc_off + ai) in
+                Signature.decode_into space ka sig_a ~pos:0;
+                for ci = 0 to clen - 1 do
+                  Deadline.tick deadline ~stage:"tree_dp" ~count:dl_tick ~mask:0xFF;
+                  let kc = nkeys.(coff + ci) in
+                  let costc = ncosts.(coff + ci) in
+                  let base = costa +. costc in
+                  Array.blit sig_a 0 a 0 h;
+                  let cbase = ci * h in
+                  let key = ref ka in
+                  let ok = ref true in
+                  (* j2 = 0: child closes entirely (accumulator key kept);
+                     j2 = 1..h: incrementally merge one more level. *)
+                  let j2 = ref 0 in
+                  while !ok && !j2 <= h do
+                    (if !j2 > 0 then begin
+                       let idx = !j2 - 1 in
+                       let merged = a.(idx) + smat.(cbase + idx) in
+                       if merged > caps.(idx) then ok := false
+                       else begin
+                         (* bucketed delta keeps the key consistent with
+                            re-encoding the bucketed vector *)
+                         let bucketed = space.Signature.bucket merged in
+                         let prev_b = space.Signature.bucket a.(idx) in
+                         key := !key + ((bucketed - prev_b) * strides.(idx));
+                         a.(idx) <- merged
+                       end
+                     end);
+                    if !ok then begin
+                      let c = cfg.cm.(!j2) in
+                      (* pay, inlined: inf *. 0. = 0. convention *)
+                      let cost = if c = 0. then base else base +. (w *. c) in
+                      if
+                        2 * (Arena.Table.size tbl + 1) > !t_mask + 1
+                        && Arena.Table.ensure_room tbl
+                      then refresh ();
+                      let mask = !t_mask
+                      and marks = !t_marks
+                      and keyarr = !t_keys in
+                      let ep = !t_epoch in
+                      let k = !key in
+                      (* same Fibonacci hash / linear probe as the Table *)
+                      let s = ref ((k * 0x2545F4914F6CDD1D) land max_int land mask) in
+                      while marks.(!s) = ep && keyarr.(!s) <> k do
+                        s := (!s + 1) land mask
+                      done;
+                      let s = !s in
+                      if marks.(s) <> ep then begin
+                        marks.(s) <- ep;
+                        keyarr.(s) <- k;
+                        !t_costs.(s) <- cost;
+                        !t_b1.(s) <- ka;
+                        !t_b2.(s) <- kc;
+                        !t_b3.(s) <- !j2;
+                        Arena.Table.added tbl;
+                        incr states
+                      end
+                      else begin
+                        let costs = !t_costs in
+                        let old = costs.(s) in
+                        if cost < old then begin
+                          costs.(s) <- cost;
+                          !t_b1.(s) <- ka;
+                          !t_b2.(s) <- kc;
+                          !t_b3.(s) <- !j2
                         end
-                      done)
-                    child_entries)
-                acc_entries;
+                        else if cost = old then begin
+                          (* canonical tie-break: smallest back tuple *)
+                          let b1a = !t_b1 and b2a = !t_b2 and b3a = !t_b3 in
+                          if
+                            ka < b1a.(s)
+                            || (ka = b1a.(s)
+                               && (kc < b2a.(s) || (kc = b2a.(s) && !j2 < b3a.(s))))
+                          then begin
+                            b1a.(s) <- ka;
+                            b2a.(s) <- kc;
+                            b3a.(s) <- !j2
+                          end
+                        end
+                      end
+                    end;
+                    incr j2
+                  done
+                done
+              done;
+              (* Extract the raw table into sortable parallel arrays — a
+                 direct slot scan (closure-free, floats unboxed). *)
+              let raw = Arena.Table.size tbl in
+              if raw > !table_peak then table_peak := raw;
+              Arena.Ibuf.clear ws.Workspace.ekeys;
+              Arena.Fbuf.clear ws.Workspace.ecosts;
+              Arena.Ibuf.clear ws.Workspace.eb1;
+              Arena.Ibuf.clear ws.Workspace.eb2;
+              Arena.Ibuf.clear ws.Workspace.eb3;
+              ignore (Arena.Ibuf.alloc ws.Workspace.ekeys raw : int);
+              ignore (Arena.Fbuf.alloc ws.Workspace.ecosts raw : int);
+              ignore (Arena.Ibuf.alloc ws.Workspace.eb1 raw : int);
+              ignore (Arena.Ibuf.alloc ws.Workspace.eb2 raw : int);
+              ignore (Arena.Ibuf.alloc ws.Workspace.eb3 raw : int);
+              (let ekeys = Arena.Ibuf.data ws.Workspace.ekeys in
+               let ecosts = Arena.Fbuf.data ws.Workspace.ecosts in
+               let eb1 = Arena.Ibuf.data ws.Workspace.eb1 in
+               let eb2 = Arena.Ibuf.data ws.Workspace.eb2 in
+               let eb3 = Arena.Ibuf.data ws.Workspace.eb3 in
+               let marks = !t_marks
+               and src_keys = !t_keys
+               and src_costs = !t_costs
+               and src_b1 = !t_b1
+               and src_b2 = !t_b2
+               and src_b3 = !t_b3 in
+               let ep = !t_epoch in
+               let out = ref 0 in
+               for s = 0 to !t_mask do
+                 if marks.(s) = ep then begin
+                   ekeys.(!out) <- src_keys.(s);
+                   ecosts.(!out) <- src_costs.(s);
+                   eb1.(!out) <- src_b1.(s);
+                   eb2.(!out) <- src_b2.(s);
+                   eb3.(!out) <- src_b3.(s);
+                   incr out
+                 end
+               done);
+              Arena.Ibuf.reserve ws.Workspace.perm raw;
+              let perm = Arena.Ibuf.data ws.Workspace.perm in
+              for i = 0 to raw - 1 do
+                perm.(i) <- i
+              done;
+              let ekeys = Arena.Ibuf.data ws.Workspace.ekeys in
+              let ecosts = Arena.Fbuf.data ws.Workspace.ecosts in
+              Arena.sort_perm_by_cost_key perm 0 raw ecosts ekeys;
               (* Very large raw tables are pre-truncated so the Pareto pass
-                 stays near-linear. *)
-              let raw_size = Hashtbl.length nacc in
-              if raw_size > !table_peak then table_peak := raw_size;
+                 stays near-linear: the sorted prefix IS beam truncation. *)
               let pre =
                 match cfg.beam_width with
-                | Some width when raw_size > 8 * width ->
-                  beam_truncate (Some (8 * width)) nacc
-                | _ -> nacc
+                | Some width when raw > 8 * width -> 8 * width
+                | _ -> raw
               in
-              let pre_size = Hashtbl.length pre in
-              let pruned = if cfg.prune then pareto_prune space h pre else pre in
-              let pruned_size = Hashtbl.length pruned in
-              pareto_dropped := !pareto_dropped + (pre_size - pruned_size);
-              let kept = beam_truncate cfg.beam_width pruned in
-              beam_evictions :=
-                !beam_evictions + (raw_size - pre_size) + (pruned_size - Hashtbl.length kept);
-              acc := kept)
+              (* Pareto-prune the sorted prefix: drop any state whose
+                 signature is pointwise >= an earlier (cheaper-or-equal)
+                 kept state.  Sound: capacities are upper bounds, so a
+                 smaller active-set vector admits every completion of a
+                 larger one at the same future cost. *)
+              Arena.Ibuf.clear ws.Workspace.kept;
+              let pruned =
+                if cfg.prune && pre > 1 then begin
+                  Arena.Ibuf.clear ws.Workspace.sigs;
+                  Arena.Ibuf.reserve ws.Workspace.sigs (pre * h);
+                  let psig = Arena.Ibuf.data ws.Workspace.sigs in
+                  for idx = 0 to pre - 1 do
+                    Signature.decode_into space ekeys.(perm.(idx)) psig ~pos:(idx * h)
+                  done;
+                  let kept = ws.Workspace.kept in
+                  for idx = 0 to pre - 1 do
+                    let dominated = ref false in
+                    let ki = ref 0 in
+                    let nk = Arena.Ibuf.length kept in
+                    let kdata = Arena.Ibuf.data kept in
+                    while (not !dominated) && !ki < nk do
+                      let r = kdata.(!ki) in
+                      let ok = ref true in
+                      let j = ref 0 in
+                      while !ok && !j < h do
+                        if psig.((r * h) + !j) > psig.((idx * h) + !j) then ok := false;
+                        incr j
+                      done;
+                      if !ok then dominated := true;
+                      incr ki
+                    done;
+                    if not !dominated then Arena.Ibuf.push kept idx
+                  done;
+                  Arena.Ibuf.length kept
+                end
+                else begin
+                  for idx = 0 to pre - 1 do
+                    Arena.Ibuf.push ws.Workspace.kept idx
+                  done;
+                  pre
+                end
+              in
+              pareto_dropped := !pareto_dropped + (pre - pruned);
+              let kept_count =
+                match cfg.beam_width with
+                | Some width when pruned > width -> width
+                | _ -> pruned
+              in
+              beam_evictions := !beam_evictions + (raw - pre) + (pruned - kept_count);
+              (* Persist the survivors' backpointers as a key-sorted
+                 stride-4 segment; only kept states are ever looked up. *)
+              let kdata = Arena.Ibuf.data ws.Workspace.kept in
+              let eb1 = Arena.Ibuf.data ws.Workspace.eb1 in
+              let eb2 = Arena.Ibuf.data ws.Workspace.eb2 in
+              let eb3 = Arena.Ibuf.data ws.Workspace.eb3 in
+              let bo = Arena.Ibuf.alloc ws.Workspace.back_store (4 * kept_count) in
+              let bdata = Arena.Ibuf.data ws.Workspace.back_store in
+              for i = 0 to kept_count - 1 do
+                let e = perm.(kdata.(i)) in
+                bdata.(bo + (4 * i)) <- ekeys.(e);
+                bdata.(bo + (4 * i) + 1) <- eb1.(e);
+                bdata.(bo + (4 * i) + 2) <- eb2.(e);
+                bdata.(bo + (4 * i) + 3) <- eb3.(e)
+              done;
+              Arena.sort_stride4_by_key bdata bo kept_count;
+              back_off.(c) <- bo;
+              back_len.(c) <- kept_count;
+              (* The survivors, already (cost, key)-sorted, become the new
+                 accumulator segment. *)
+              let ao = Arena.Ibuf.alloc ws.Workspace.node_keys kept_count in
+              let (_ : int) = Arena.Fbuf.alloc ws.Workspace.node_costs kept_count in
+              let nkeys = Arena.Ibuf.data ws.Workspace.node_keys in
+              let ncosts = Arena.Fbuf.data ws.Workspace.node_costs in
+              for i = 0 to kept_count - 1 do
+                let e = perm.(kdata.(i)) in
+                nkeys.(ao + i) <- ekeys.(e);
+                ncosts.(ao + i) <- ecosts.(e)
+              done;
+              acc_off := ao;
+              acc_len := kept_count)
             cs;
-          tables.(v) <- !acc
+          node_off.(v) <- !acc_off;
+          node_len.(v) <- !acc_len
         end)
       (Tree.post_order t);
     (* One registry update per solve keeps the DP loops free of telemetry
-       calls; all four are no-ops while collection is disabled. *)
+       calls; all are no-ops while collection is disabled. *)
     Obs.count "tree_dp.solves" 1;
     Obs.count "tree_dp.states" !states;
     Obs.count "tree_dp.beam_evictions" !beam_evictions;
     Obs.count "tree_dp.pareto_dropped" !pareto_dropped;
     Obs.gauge_max "tree_dp.table_peak" (float_of_int !table_peak);
+    if ws_reused then Obs.count "workspace.reuses" 1;
+    Obs.count "workspace.grows" (Workspace.grows ws - grows0);
+    Obs.count "tree_dp.bytes_allocated"
+      (int_of_float (Gc.allocated_bytes () -. bytes0));
     if !infeasible_leaf then None
     else begin
       let r = Tree.root t in
-      let best = ref None in
-      Hashtbl.iter
-        (fun key cost ->
-          match !best with
-          | Some (_, c) when c <= cost -> ()
-          | _ -> best := Some (key, cost))
-        tables.(r);
-      match !best with
-      | None -> None
-      | Some (root_key, cost) ->
-        (* Reconstruct kappa by walking the back tables. *)
+      if node_len.(r) = 0 then None
+      else begin
+        (* Segments are (cost, key)-sorted: the head is the canonical
+           optimum (minimal cost, smallest key among ties). *)
+        let root_key = Arena.Ibuf.get ws.Workspace.node_keys node_off.(r) in
+        let cost = Arena.Fbuf.get ws.Workspace.node_costs node_off.(r) in
+        (* Reconstruct kappa by walking the packed back segments. *)
         let kappa = Array.make n 0 in
-        let stack = Stack.create () in
-        Stack.push (r, root_key) stack;
-        while not (Stack.is_empty stack) do
-          let v, key = Stack.pop stack in
+        let sv = Array.make n 0 in
+        let sk = Array.make n 0 in
+        sv.(0) <- r;
+        sk.(0) <- root_key;
+        let sp = ref 1 in
+        let bdata = Arena.Ibuf.data ws.Workspace.back_store in
+        while !sp > 0 do
+          decr sp;
+          let v = sv.(!sp) and key = sk.(!sp) in
           let cs = Tree.children t v in
           let k = ref key in
           for i = Array.length cs - 1 downto 0 do
-            let prev_key, child_key, j2 = Hashtbl.find backs.(v).(i) !k in
-            kappa.(cs.(i)) <- j2;
-            Stack.push (cs.(i), child_key) stack;
-            k := prev_key
+            let c = cs.(i) in
+            let off = back_off.(c) and len = back_len.(c) in
+            let lo = ref 0 and hi = ref (len - 1) and found = ref (-1) in
+            while !found < 0 && !lo <= !hi do
+              let mid = (!lo + !hi) / 2 in
+              let km = bdata.(off + (4 * mid)) in
+              if km = !k then found := mid
+              else if km < !k then lo := mid + 1
+              else hi := mid - 1
+            done;
+            if !found < 0 then invalid_arg "Tree_dp.solve: missing backpointer";
+            let f = off + (4 * !found) in
+            kappa.(c) <- bdata.(f + 3);
+            sv.(!sp) <- c;
+            sk.(!sp) <- bdata.(f + 2);
+            incr sp;
+            k := bdata.(f + 1)
           done
         done;
         (* Corrupt action: zero one edge label — a plausible-looking but
@@ -260,6 +461,7 @@ let solve ?(deadline = Deadline.none) t ~demand_units cfg =
             root_signature = Signature.decode space root_key;
             states_explored = !states;
           }
+      end
     end
   end
 

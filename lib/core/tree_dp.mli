@@ -65,10 +65,18 @@ type result = {
   states_explored : int;  (** total table entries created, a work measure *)
 }
 
-(** [solve ?deadline t ~demand_units config] runs the DP.  [demand_units.(v)]
-    must be [0] for internal nodes.  Returns [None] when the instance is
-    infeasible: a single job exceeds a leaf capacity, or the total demand
-    exceeds [CP(0)].
+(** [solve ?deadline ?workspace t ~demand_units config] runs the DP.
+    [demand_units.(v)] must be [0] for internal nodes.  Returns [None] when
+    the instance is infeasible: a single job exceeds a leaf capacity, or the
+    total demand exceeds [CP(0)].
+
+    The DP runs on flat struct-of-arrays state (see docs/ARCHITECTURE.md,
+    "DP kernel & workspaces"): all scratch comes from a
+    {!Hgp_util.Workspace}.  [workspace] lets a caller solving many trees
+    (the pipeline's relaxation stage) thread one lease through every solve;
+    when absent the solve borrows this domain's resident workspace for its
+    own duration.  Either way the workspace is reset on entry — a passed
+    lease must not be shared with a concurrent solve.
 
     [deadline] (default {!Hgp_resilience.Deadline.none}) is polled once per
     tree node and every 256 state considerations inside the merge loop — the
@@ -78,6 +86,7 @@ type result = {
     deadline fires. *)
 val solve :
   ?deadline:Hgp_resilience.Deadline.t ->
+  ?workspace:Hgp_util.Workspace.lease ->
   Hgp_tree.Tree.t ->
   demand_units:int array ->
   config ->

@@ -1,0 +1,393 @@
+(* Reusable flat scratch storage for allocation-free hot loops.
+
+   Growable int/float buffers plus an open-addressed int-keyed table laid
+   out struct-of-arrays.  Everything here is built for *reuse*: buffers
+   keep their capacity across solves, and the table clears by bumping an
+   epoch instead of touching its slots, so steady-state use allocates
+   nothing at all. *)
+
+(* ---- growable int buffer ---- *)
+
+module Ibuf = struct
+  type t = { mutable data : int array; mutable len : int; mutable grows : int }
+
+  let create ?(capacity = 64) () =
+    { data = Array.make (max 1 capacity) 0; len = 0; grows = 0 }
+
+  let length t = t.len
+  let capacity t = Array.length t.data
+  let grows t = t.grows
+  let clear t = t.len <- 0
+
+  let reserve t n =
+    if n > Array.length t.data then begin
+      let cap = ref (Array.length t.data) in
+      while !cap < n do
+        cap := 2 * !cap
+      done;
+      let bigger = Array.make !cap 0 in
+      Array.blit t.data 0 bigger 0 t.len;
+      t.data <- bigger;
+      t.grows <- t.grows + 1
+    end
+
+  let push t v =
+    reserve t (t.len + 1);
+    t.data.(t.len) <- v;
+    t.len <- t.len + 1
+
+  (* [alloc t n] appends [n] uninitialised slots and returns the offset of
+     the first — segment-style allocation for packed per-node storage. *)
+  let alloc t n =
+    reserve t (t.len + n);
+    let off = t.len in
+    t.len <- t.len + n;
+    off
+
+  let get t i = t.data.(i)
+  let set t i v = t.data.(i) <- v
+  let data t = t.data
+end
+
+(* ---- growable float buffer ---- *)
+
+module Fbuf = struct
+  type t = { mutable data : float array; mutable len : int; mutable grows : int }
+
+  let create ?(capacity = 64) () =
+    { data = Array.make (max 1 capacity) 0.; len = 0; grows = 0 }
+
+  let length t = t.len
+  let capacity t = Array.length t.data
+  let grows t = t.grows
+  let clear t = t.len <- 0
+
+  let reserve t n =
+    if n > Array.length t.data then begin
+      let cap = ref (Array.length t.data) in
+      while !cap < n do
+        cap := 2 * !cap
+      done;
+      let bigger = Array.make !cap 0. in
+      Array.blit t.data 0 bigger 0 t.len;
+      t.data <- bigger;
+      t.grows <- t.grows + 1
+    end
+
+  let push t v =
+    reserve t (t.len + 1);
+    t.data.(t.len) <- v;
+    t.len <- t.len + 1
+
+  let alloc t n =
+    reserve t (t.len + n);
+    let off = t.len in
+    t.len <- t.len + n;
+    off
+
+  let get t i = t.data.(i)
+  let set t i v = t.data.(i) <- v
+  let data t = t.data
+end
+
+(* ---- open-addressed flat table: int key -> cost + 3-int payload ---- *)
+
+(* Slots live in parallel arrays; a slot is occupied iff its [marks] entry
+   equals the current [epoch], so [clear] is one increment.  Linear probing
+   over a power-of-two capacity; resident entries are capped at half the
+   slot count, which keeps probe chains short. *)
+module Table = struct
+  type t = {
+    mutable mask : int;  (* capacity - 1, capacity a power of two *)
+    mutable keys : int array;
+    mutable costs : float array;
+    mutable b1 : int array;  (* back payload: previous key *)
+    mutable b2 : int array;  (* back payload: child key *)
+    mutable b3 : int array;  (* back payload: merge level *)
+    mutable marks : int array;  (* occupied iff marks.(i) = epoch *)
+    mutable epoch : int;
+    mutable size : int;
+    mutable grows : int;
+  }
+
+  let min_capacity = 16
+
+  let rec pow2_at_least c n = if c >= n then c else pow2_at_least (2 * c) n
+
+  let create ?(capacity = min_capacity) () =
+    let cap = pow2_at_least min_capacity capacity in
+    {
+      mask = cap - 1;
+      keys = Array.make cap 0;
+      costs = Array.make cap 0.;
+      b1 = Array.make cap 0;
+      b2 = Array.make cap 0;
+      b3 = Array.make cap 0;
+      marks = Array.make cap (-1);
+      epoch = 0;
+      size = 0;
+      grows = 0;
+    }
+
+  let size t = t.size
+  let capacity t = t.mask + 1
+  let grows t = t.grows
+
+  let clear t =
+    t.epoch <- t.epoch + 1;
+    t.size <- 0
+
+  (* Fibonacci hashing spreads consecutive signature keys (which differ by
+     small stride multiples) across the slot range before masking. *)
+  let hash key mask = (key * 0x2545F4914F6CDD1D) land max_int land mask
+
+  (* Slot of [key], or the empty slot where it would go. *)
+  let find_slot t key =
+    let mask = t.mask in
+    let i = ref (hash key mask) in
+    while t.marks.(!i) = t.epoch && t.keys.(!i) <> key do
+      i := (!i + 1) land mask
+    done;
+    !i
+
+  let grow t =
+    let old_cap = t.mask + 1 in
+    let old_keys = t.keys
+    and old_costs = t.costs
+    and old_b1 = t.b1
+    and old_b2 = t.b2
+    and old_b3 = t.b3
+    and old_marks = t.marks
+    and old_epoch = t.epoch in
+    let cap = 2 * old_cap in
+    t.mask <- cap - 1;
+    t.keys <- Array.make cap 0;
+    t.costs <- Array.make cap 0.;
+    t.b1 <- Array.make cap 0;
+    t.b2 <- Array.make cap 0;
+    t.b3 <- Array.make cap 0;
+    t.marks <- Array.make cap (-1);
+    t.epoch <- 0;
+    t.grows <- t.grows + 1;
+    for i = 0 to old_cap - 1 do
+      if old_marks.(i) = old_epoch then begin
+        let s = find_slot t old_keys.(i) in
+        t.keys.(s) <- old_keys.(i);
+        t.costs.(s) <- old_costs.(i);
+        t.b1.(s) <- old_b1.(i);
+        t.b2.(s) <- old_b2.(i);
+        t.b3.(s) <- old_b3.(i);
+        t.marks.(s) <- 0
+      end
+    done
+
+  (* [upsert t key cost b1 b2 b3] keeps, per key, the smallest cost; on an
+     exact cost tie the lexicographically smallest [(b1, b2, b3)] payload
+     wins.  This rule is canonical — independent of insertion order — which
+     is what makes the DP's backpointers deterministic regardless of how
+     the merge loop enumerates states.  Returns [true] when [key] was not
+     yet present. *)
+  let upsert t key cost b1 b2 b3 =
+    if 2 * (t.size + 1) > t.mask + 1 then grow t;
+    let s = find_slot t key in
+    if t.marks.(s) <> t.epoch then begin
+      t.marks.(s) <- t.epoch;
+      t.keys.(s) <- key;
+      t.costs.(s) <- cost;
+      t.b1.(s) <- b1;
+      t.b2.(s) <- b2;
+      t.b3.(s) <- b3;
+      t.size <- t.size + 1;
+      true
+    end
+    else begin
+      let old = t.costs.(s) in
+      if cost < old then begin
+        t.costs.(s) <- cost;
+        t.b1.(s) <- b1;
+        t.b2.(s) <- b2;
+        t.b3.(s) <- b3
+      end
+      else if
+        cost = old
+        && (b1 < t.b1.(s)
+           || (b1 = t.b1.(s) && (b2 < t.b2.(s) || (b2 = t.b2.(s) && b3 < t.b3.(s)))))
+      then begin
+        t.b1.(s) <- b1;
+        t.b2.(s) <- b2;
+        t.b3.(s) <- b3
+      end;
+      false
+    end
+
+  (* Raw-slot access for inlined hot paths.  Without flambda, every float
+     crossing a module boundary is boxed; a DP merge performs millions of
+     upserts, so [Tree_dp] inlines the upsert against these arrays instead
+     (semantics must match {!upsert} exactly).  All of these invalidate on
+     {!grow} — callers re-read them when [ensure_room] returns [true]. *)
+  let mask t = t.mask
+  let epoch t = t.epoch
+  let marks t = t.marks
+  let keys t = t.keys
+  let costs t = t.costs
+  let b1s t = t.b1
+  let b2s t = t.b2
+  let b3s t = t.b3
+
+  (* Grow if one more insertion would exceed the load factor; [true] means
+     the backing arrays were replaced (and the epoch reset). *)
+  let ensure_room t =
+    if 2 * (t.size + 1) > t.mask + 1 then begin
+      grow t;
+      true
+    end
+    else false
+
+  (* Record an insertion performed directly through the raw-slot arrays. *)
+  let added t = t.size <- t.size + 1
+
+  let find_opt t key =
+    let s = find_slot t key in
+    if t.marks.(s) = t.epoch then Some t.costs.(s) else None
+
+  let mem t key =
+    let s = find_slot t key in
+    t.marks.(s) = t.epoch
+
+  (* [fold_slots t f acc] visits occupied slots in slot order.  Exposed for
+     extraction into sortable scratch arrays — consumers needing a canonical
+     order must sort what they extract. *)
+  let fold_slots t f acc =
+    let r = ref acc in
+    for i = 0 to t.mask do
+      if t.marks.(i) = t.epoch then r := f !r t.keys.(i) t.costs.(i) t.b1.(i) t.b2.(i) t.b3.(i)
+    done;
+    !r
+
+  let iter t f =
+    for i = 0 to t.mask do
+      if t.marks.(i) = t.epoch then f t.keys.(i) t.costs.(i) t.b1.(i) t.b2.(i) t.b3.(i)
+    done
+end
+
+(* ---- permutation sort ---- *)
+
+(* In-place heapsort of [perm.(lo .. lo+len-1)] ordering indices by
+   [(costs.(i), keys.(i))] ascending.  Heapsort: no allocation, no closure
+   in the compare, deterministic O(len log len) worst case.  [perm] holds
+   slot/entry indices into the parallel [costs]/[keys] arrays. *)
+let sort_perm_by_cost_key perm lo len (costs : float array) (keys : int array) =
+  if len > 1 then begin
+    let less i j =
+      (* (cost, key) lexicographic *)
+      let ci = costs.(i) and cj = costs.(j) in
+      ci < cj || (ci = cj && keys.(i) < keys.(j))
+    in
+    let sift_down root last =
+      let r = ref root in
+      let continue = ref true in
+      while !continue do
+        let child = (2 * !r) + 1 in
+        if child > last then continue := false
+        else begin
+          let child =
+            if child + 1 <= last && less (perm.(lo + child)) (perm.(lo + child + 1)) then
+              child + 1
+            else child
+          in
+          if less (perm.(lo + !r)) (perm.(lo + child)) then begin
+            let tmp = perm.(lo + !r) in
+            perm.(lo + !r) <- perm.(lo + child);
+            perm.(lo + child) <- tmp;
+            r := child
+          end
+          else continue := false
+        end
+      done
+    in
+    for root = (len - 2) / 2 downto 0 do
+      sift_down root (len - 1)
+    done;
+    for last = len - 1 downto 1 do
+      let tmp = perm.(lo) in
+      perm.(lo) <- perm.(lo + last);
+      perm.(lo + last) <- tmp;
+      sift_down 0 (last - 1)
+    done
+  end
+
+(* In-place heapsort of [count] 4-int blocks at [data.(off ...)], ordered
+   by each block's first element — lays backpointer segments out in key
+   order so reconstruction can binary-search them. *)
+let sort_stride4_by_key (data : int array) off count =
+  if count > 1 then begin
+    let swap_block i j =
+      let bi = off + (4 * i) and bj = off + (4 * j) in
+      for d = 0 to 3 do
+        let tmp = data.(bi + d) in
+        data.(bi + d) <- data.(bj + d);
+        data.(bj + d) <- tmp
+      done
+    in
+    let key i = data.(off + (4 * i)) in
+    let sift_down root last =
+      let r = ref root in
+      let continue = ref true in
+      while !continue do
+        let child = (2 * !r) + 1 in
+        if child > last then continue := false
+        else begin
+          let child = if child + 1 <= last && key child < key (child + 1) then child + 1 else child in
+          if key !r < key child then begin
+            swap_block !r child;
+            r := child
+          end
+          else continue := false
+        end
+      done
+    in
+    for root = (count - 2) / 2 downto 0 do
+      sift_down root (count - 1)
+    done;
+    for last = count - 1 downto 1 do
+      swap_block 0 last;
+      sift_down 0 (last - 1)
+    done
+  end
+
+(* Same shape, ordering indices by [keys.(i)] alone — used to lay back
+   segments out in key order for binary search. *)
+let sort_perm_by_key perm lo len (keys : int array) =
+  if len > 1 then begin
+    let sift_down root last =
+      let r = ref root in
+      let continue = ref true in
+      while !continue do
+        let child = (2 * !r) + 1 in
+        if child > last then continue := false
+        else begin
+          let child =
+            if child + 1 <= last && keys.(perm.(lo + child)) < keys.(perm.(lo + child + 1))
+            then child + 1
+            else child
+          in
+          if keys.(perm.(lo + !r)) < keys.(perm.(lo + child)) then begin
+            let tmp = perm.(lo + !r) in
+            perm.(lo + !r) <- perm.(lo + child);
+            perm.(lo + child) <- tmp;
+            r := child
+          end
+          else continue := false
+        end
+      done
+    in
+    for root = (len - 2) / 2 downto 0 do
+      sift_down root (len - 1)
+    done;
+    for last = len - 1 downto 1 do
+      let tmp = perm.(lo) in
+      perm.(lo) <- perm.(lo + last);
+      perm.(lo + last) <- tmp;
+      sift_down 0 (last - 1)
+    done
+  end

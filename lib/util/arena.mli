@@ -1,0 +1,124 @@
+(** Reusable flat scratch storage for allocation-free hot loops.
+
+    The DP kernel of [Tree_dp] runs entirely on these structures: growable
+    int/float buffers for packed per-node state, and an open-addressed
+    int-keyed table (struct-of-arrays slots) for the merge accumulator.
+    All of them keep their capacity across uses — clearing is O(1) — so a
+    workspace that owns them amortises allocation to zero in steady state.
+    See docs/ARCHITECTURE.md, "DP kernel & workspaces". *)
+
+(** Growable [int] buffer.  [clear] resets the length, never the capacity. *)
+module Ibuf : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+  val capacity : t -> int
+
+  (** Times the backing array was reallocated (the [workspace.grows] feed). *)
+  val grows : t -> int
+
+  val clear : t -> unit
+  val reserve : t -> int -> unit
+  val push : t -> int -> unit
+
+  (** [alloc t n] appends [n] uninitialised slots, returning the offset of
+      the first — segment-style allocation for packed per-node storage. *)
+  val alloc : t -> int -> int
+
+  val get : t -> int -> int
+  val set : t -> int -> int -> unit
+
+  (** The backing array (valid indices [0 .. length - 1]; invalidated by the
+      next growth).  Exposed so kernels can index without bounds-check-heavy
+      wrappers in their inner loops. *)
+  val data : t -> int array
+end
+
+(** Growable [float] buffer; same contract as {!Ibuf}. *)
+module Fbuf : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+  val capacity : t -> int
+  val grows : t -> int
+  val clear : t -> unit
+  val reserve : t -> int -> unit
+  val push : t -> float -> unit
+  val alloc : t -> int -> int
+  val get : t -> int -> float
+  val set : t -> int -> float -> unit
+  val data : t -> float array
+end
+
+(** Open-addressed hash table from non-negative [int] keys to a float cost
+    plus a 3-int payload, stored as parallel arrays (struct-of-arrays).
+
+    - power-of-two capacity, linear probing, Fibonacci hashing;
+    - load factor capped at 1/2;
+    - {!clear} bumps an epoch instead of touching slots — O(1) reuse;
+    - {!upsert} keeps the minimum cost per key, breaking exact-cost ties by
+      the lexicographically smallest payload, a canonical rule independent
+      of insertion order. *)
+module Table : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val size : t -> int
+  val capacity : t -> int
+  val grows : t -> int
+  val clear : t -> unit
+
+  (** [upsert t key cost b1 b2 b3] returns [true] iff [key] was new. *)
+  val upsert : t -> int -> float -> int -> int -> int -> bool
+
+  (** {2 Raw-slot access}
+
+      Without flambda every float argument crossing a module boundary is
+      boxed; the DP merge performs millions of upserts, so its kernel
+      inlines the probe/update against these parallel arrays (keeping the
+      exact {!upsert} semantics).  A slot [s] is occupied iff
+      [(marks t).(s) = epoch t].  Every accessor is invalidated by growth:
+      call {!ensure_room} before each insertion and re-read them when it
+      returns [true]. *)
+
+  val mask : t -> int
+  val epoch : t -> int
+  val marks : t -> int array
+  val keys : t -> int array
+  val costs : t -> float array
+  val b1s : t -> int array
+  val b2s : t -> int array
+  val b3s : t -> int array
+
+  (** Grow if one more insertion would exceed the load factor; [true] means
+      the backing arrays were replaced (and the epoch reset). *)
+  val ensure_room : t -> bool
+
+  (** Record one insertion performed directly through the raw slots. *)
+  val added : t -> unit
+
+  val find_opt : t -> int -> float option
+  val mem : t -> int -> bool
+
+  (** Visits occupied slots in slot order (not canonical — sort after
+      extraction when order matters). *)
+  val fold_slots : t -> ('a -> int -> float -> int -> int -> int -> 'a) -> 'a -> 'a
+
+  val iter : t -> (int -> float -> int -> int -> int -> unit) -> unit
+end
+
+(** [sort_perm_by_cost_key perm lo len costs keys] heapsorts the index
+    slice [perm.(lo .. lo+len-1)] by [(costs.(i), keys.(i))] ascending —
+    in place, allocation-free, deterministic. *)
+val sort_perm_by_cost_key : int array -> int -> int -> float array -> int array -> unit
+
+(** [sort_perm_by_key perm lo len keys] — same, ordering by key alone. *)
+val sort_perm_by_key : int array -> int -> int -> int array -> unit
+
+(** [sort_stride4_by_key data off count] heapsorts [count] 4-int blocks at
+    [data.(off), data.(off+4), ...] by each block's first element — lays
+    packed backpointer segments out in key order for binary search. *)
+val sort_stride4_by_key : int array -> int -> int -> unit
+

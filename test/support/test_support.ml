@@ -47,3 +47,7 @@ let gen_hierarchy =
    for cost-identity style properties). *)
 let gen_assignment n hy =
   QCheck2.Gen.(array_size (return n) (int_bound (Hgp_hierarchy.Hierarchy.num_leaves hy - 1)))
+
+(* Differential oracle for the flat DP kernel (see tree_dp_reference.ml);
+   re-exported because this module is the library's entry point. *)
+module Tree_dp_reference = Tree_dp_reference

@@ -1,0 +1,221 @@
+(* Reference implementation of the RHGPT dynamic program — the pre-flat-
+   kernel Hashtbl version, kept verbatim in structure as the differential
+   oracle for [Hgp_core.Tree_dp.solve].
+
+   Deliberate differences from the historical code, so that results are
+   bit-comparable with the flat kernel:
+
+   - ties are broken canonically instead of by Hashtbl iteration order:
+     at equal cost the lexicographically smallest
+     [(previous key, child key, merge level)] backpointer wins, and the
+     root state is the smallest [(cost, key)] pair;
+   - the per-node table array is built with [Array.init], not
+     [Array.make n (Hashtbl.create 0)] — the latter aliases ONE table into
+     every slot (benign here only because each node overwrites its slot
+     before reading it, and a bug class worth not propagating);
+   - no [Obs] telemetry and no [Faults] hooks: the oracle must stay inert
+     under chaos profiles while the kernel under test carries the
+     instrumentation.
+
+   Deadline handling is kept (same check/tick cadence) so deadline-abort
+   behaviour can be compared too. *)
+
+module Tree = Hgp_tree.Tree
+module Deadline = Hgp_resilience.Deadline
+module Tree_dp = Hgp_core.Tree_dp
+module Signature = Hgp_core.Signature
+
+let pay w c = if c = 0. then 0. else w *. c
+
+(* Same soundness argument as the kernel's prune pass; scans states in
+   increasing (cost, key) order and keeps the non-dominated ones. *)
+let pareto_prune space h tbl =
+  if Hashtbl.length tbl <= 1 then tbl
+  else begin
+    let entries =
+      Hashtbl.fold (fun k (c, b) acc -> (c, k, b, Signature.decode space k) :: acc) tbl []
+    in
+    let entries =
+      List.sort (fun (c1, k1, _, _) (c2, k2, _, _) -> compare (c1, k1) (c2, k2)) entries
+    in
+    let kept = ref [] in
+    let out = Hashtbl.create 16 in
+    List.iter
+      (fun (c, k, b, sg) ->
+        let dominated =
+          List.exists
+            (fun sg' ->
+              let ok = ref true in
+              for j = 0 to h - 1 do
+                if sg'.(j) > sg.(j) then ok := false
+              done;
+              !ok)
+            !kept
+        in
+        if not dominated then begin
+          kept := sg :: !kept;
+          Hashtbl.replace out k (c, b)
+        end)
+      entries;
+    out
+  end
+
+let beam_truncate beam tbl =
+  match beam with
+  | None -> tbl
+  | Some width ->
+    if Hashtbl.length tbl <= width then tbl
+    else begin
+      let entries = Hashtbl.fold (fun k (c, b) l -> (c, k, b) :: l) tbl [] in
+      let entries = List.sort (fun (c1, k1, _) (c2, k2, _) -> compare (c1, k1) (c2, k2)) entries in
+      let out = Hashtbl.create width in
+      List.iteri (fun i (c, k, b) -> if i < width then Hashtbl.replace out k (c, b)) entries;
+      out
+    end
+
+let solve ?(deadline = Deadline.none) t ~demand_units (cfg : Tree_dp.config) =
+  let h = Array.length cfg.cm - 1 in
+  if Array.length cfg.cp_units <> h + 1 then
+    invalid_arg "Tree_dp_reference: cm / cp_units length mismatch";
+  let n = Tree.n_nodes t in
+  let dl_tick = ref 0 in
+  if Array.length demand_units <> n then invalid_arg "Tree_dp_reference: demand_units length";
+  let total = Array.fold_left ( + ) 0 demand_units in
+  if total > cfg.cp_units.(0) then None
+  else begin
+    let space = Signature.create ~cp_units:cfg.cp_units ?bucketing:cfg.bucketing () in
+    let caps = Array.sub cfg.cp_units 1 h in
+    let strides = space.Signature.strides in
+    let states = ref 0 in
+    (* tables.(v): final signature table of node v
+       (key -> cost * back tuple of the merge that produced it). *)
+    let tables : (int, float * (int * int * int)) Hashtbl.t array =
+      Array.init n (fun _ -> Hashtbl.create 0)
+    in
+    (* backs.(v).(i): for child index i of v, key in the accumulator after
+       absorbing children 0..i -> (previous key, child key, kappa). *)
+    let backs : (int, int * int * int) Hashtbl.t array array = Array.make n [||] in
+    let infeasible_leaf = ref false in
+    Array.iter
+      (fun v ->
+        Deadline.check deadline ~stage:"tree_dp";
+        if Tree.is_leaf t v then begin
+          let tbl = Hashtbl.create 1 in
+          (match Signature.of_leaf space demand_units.(v) with
+          | Some key ->
+            Hashtbl.replace tbl key (0., (0, 0, 0));
+            incr states
+          | None -> infeasible_leaf := true);
+          tables.(v) <- tbl
+        end
+        else begin
+          let cs = Tree.children t v in
+          let nc = Array.length cs in
+          backs.(v) <- Array.init nc (fun _ -> Hashtbl.create 16);
+          let acc = ref (Hashtbl.create 16) in
+          Hashtbl.replace !acc 0 (0., (0, 0, 0));
+          Array.iteri
+            (fun i c ->
+              let w = Tree.edge_weight t c in
+              let nacc = Hashtbl.create (Hashtbl.length !acc) in
+              let consider key cost prev_key child_key j2 =
+                let better =
+                  match Hashtbl.find_opt nacc key with
+                  | None ->
+                    incr states;
+                    true
+                  | Some (old, _) when cost < old -> true
+                  | Some (old, ob) when cost = old ->
+                    (* canonical tie-break: smallest back tuple wins *)
+                    compare (prev_key, child_key, j2) ob < 0
+                  | Some _ -> false
+                in
+                if better then Hashtbl.replace nacc key (cost, (prev_key, child_key, j2))
+              in
+              (* Decode each table once. *)
+              let decode_all tbl =
+                Hashtbl.fold (fun k (c, _) l -> (k, c, Signature.decode space k) :: l) tbl []
+              in
+              let acc_entries = decode_all !acc in
+              let child_entries = decode_all tables.(c) in
+              let a = Array.make h 0 in
+              List.iter
+                (fun (ka, costa, a_orig) ->
+                  List.iter
+                    (fun (kc, costc, cvec) ->
+                      Deadline.tick deadline ~stage:"tree_dp" ~count:dl_tick ~mask:0xFF;
+                      Array.blit a_orig 0 a 0 h;
+                      (* j2 = 0: child closes entirely; accumulator unchanged. *)
+                      consider ka (costa +. costc +. pay w cfg.cm.(0)) ka kc 0;
+                      (* Incrementally merge level j2 = 1..h. *)
+                      let key = ref ka in
+                      let ok = ref true in
+                      let j2 = ref 1 in
+                      while !ok && !j2 <= h do
+                        let idx = !j2 - 1 in
+                        let merged = a.(idx) + cvec.(idx) in
+                        if merged > caps.(idx) then ok := false
+                        else begin
+                          let bucketed = space.Signature.bucket merged in
+                          let prev_b = space.Signature.bucket a.(idx) in
+                          key := !key + ((bucketed - prev_b) * strides.(idx));
+                          a.(idx) <- merged;
+                          consider !key (costa +. costc +. pay w cfg.cm.(!j2)) ka kc !j2;
+                          incr j2
+                        end
+                      done)
+                    child_entries)
+                acc_entries;
+              let pre =
+                match cfg.beam_width with
+                | Some width when Hashtbl.length nacc > 8 * width ->
+                  beam_truncate (Some (8 * width)) nacc
+                | _ -> nacc
+              in
+              let pruned = if cfg.prune then pareto_prune space h pre else pre in
+              let kept = beam_truncate cfg.beam_width pruned in
+              let back = backs.(v).(i) in
+              Hashtbl.iter (fun key (_, b) -> Hashtbl.replace back key b) kept;
+              acc := kept)
+            cs;
+          tables.(v) <- !acc
+        end)
+      (Tree.post_order t);
+    if !infeasible_leaf then None
+    else begin
+      let r = Tree.root t in
+      let best = ref None in
+      Hashtbl.iter
+        (fun key (cost, _) ->
+          match !best with
+          (* canonical root pick: smallest (cost, key) *)
+          | Some (k0, c0) when compare (c0, k0) (cost, key) <= 0 -> ()
+          | _ -> best := Some (key, cost))
+        tables.(r);
+      match !best with
+      | None -> None
+      | Some (root_key, cost) ->
+        (* Reconstruct kappa by walking the back tables. *)
+        let kappa = Array.make n 0 in
+        let stack = Stack.create () in
+        Stack.push (r, root_key) stack;
+        while not (Stack.is_empty stack) do
+          let v, key = Stack.pop stack in
+          let cs = Tree.children t v in
+          let k = ref key in
+          for i = Array.length cs - 1 downto 0 do
+            let prev_key, child_key, j2 = Hashtbl.find backs.(v).(i) !k in
+            kappa.(cs.(i)) <- j2;
+            Stack.push (cs.(i), child_key) stack;
+            k := prev_key
+          done
+        done;
+        Some
+          {
+            Tree_dp.cost;
+            kappa;
+            root_signature = Signature.decode space root_key;
+            states_explored = !states;
+          }
+    end
+  end

@@ -1,0 +1,206 @@
+module Arena = Hgp_util.Arena
+module Workspace = Hgp_util.Workspace
+module Prng = Hgp_util.Prng
+
+(* ---- growable buffers ---- *)
+
+let test_ibuf_growth () =
+  let b = Arena.Ibuf.create ~capacity:2 () in
+  for i = 0 to 99 do
+    Arena.Ibuf.push b (i * 3)
+  done;
+  Alcotest.(check int) "length" 100 (Arena.Ibuf.length b);
+  Alcotest.(check bool) "grew" true (Arena.Ibuf.grows b > 0);
+  for i = 0 to 99 do
+    if Arena.Ibuf.get b i <> i * 3 then Alcotest.failf "growth lost entry %d" i
+  done;
+  Arena.Ibuf.clear b;
+  Alcotest.(check int) "cleared length" 0 (Arena.Ibuf.length b);
+  Alcotest.(check bool) "capacity kept" true (Arena.Ibuf.capacity b >= 100)
+
+let test_ibuf_alloc_segments () =
+  let b = Arena.Ibuf.create ~capacity:4 () in
+  let o1 = Arena.Ibuf.alloc b 5 in
+  let o2 = Arena.Ibuf.alloc b 7 in
+  Alcotest.(check int) "first segment at 0" 0 o1;
+  Alcotest.(check int) "second segment after first" 5 o2;
+  Alcotest.(check int) "length covers both" 12 (Arena.Ibuf.length b);
+  let data = Arena.Ibuf.data b in
+  for i = 0 to 11 do
+    data.(i) <- 100 + i
+  done;
+  (* growing must preserve both segments *)
+  let o3 = Arena.Ibuf.alloc b 100 in
+  Alcotest.(check int) "third segment offset" 12 o3;
+  let data = Arena.Ibuf.data b in
+  for i = 0 to 11 do
+    if data.(i) <> 100 + i then Alcotest.failf "segment entry %d lost across growth" i
+  done
+
+let test_fbuf_roundtrip () =
+  let b = Arena.Fbuf.create ~capacity:1 () in
+  for i = 0 to 49 do
+    Arena.Fbuf.push b (float_of_int i /. 7.)
+  done;
+  for i = 0 to 49 do
+    if not (Float.equal (Arena.Fbuf.get b i) (float_of_int i /. 7.)) then
+      Alcotest.failf "fbuf entry %d" i
+  done
+
+(* ---- open-addressed table ---- *)
+
+let test_table_probe_wraparound () =
+  (* Fill a minimal table far enough that probes must wrap past the end of
+     the slot array; every key must remain findable. *)
+  let t = Arena.Table.create ~capacity:16 () in
+  let keys = Array.init 200 (fun i -> (i * 7919) + 13) in
+  Array.iteri (fun i k -> ignore (Arena.Table.upsert t k (float_of_int i) 0 0 0)) keys;
+  Alcotest.(check int) "all distinct keys resident" 200 (Arena.Table.size t);
+  Array.iteri
+    (fun i k ->
+      match Arena.Table.find_opt t k with
+      | Some c when Float.equal c (float_of_int i) -> ()
+      | Some c -> Alcotest.failf "key %d: cost %f, expected %d" k c i
+      | None -> Alcotest.failf "key %d lost (probe/wraparound)" k)
+    keys
+
+let test_table_epoch_clear () =
+  let t = Arena.Table.create () in
+  for k = 0 to 40 do
+    ignore (Arena.Table.upsert t k 1. 0 0 0)
+  done;
+  let cap_before = Arena.Table.capacity t in
+  Arena.Table.clear t;
+  Alcotest.(check int) "empty after clear" 0 (Arena.Table.size t);
+  Alcotest.(check int) "capacity kept" cap_before (Arena.Table.capacity t);
+  Alcotest.(check bool) "old keys gone" false (Arena.Table.mem t 3);
+  (* stale slots from the previous epoch must not shadow fresh inserts *)
+  Alcotest.(check bool) "reinsert is new" true (Arena.Table.upsert t 3 2. 1 1 1);
+  Alcotest.(check (option (float 0.))) "fresh value" (Some 2.) (Arena.Table.find_opt t 3)
+
+let test_table_growth_preserves_entries () =
+  let t = Arena.Table.create ~capacity:16 () in
+  let rng = Prng.create 42 in
+  let inserted = Hashtbl.create 64 in
+  for _ = 1 to 2000 do
+    let k = Prng.int rng 10_000 in
+    let c = float_of_int (Prng.int rng 1000) in
+    ignore (Arena.Table.upsert t k c 0 0 0);
+    (match Hashtbl.find_opt inserted k with
+    | Some old when old <= c -> ()
+    | _ -> Hashtbl.replace inserted k c)
+  done;
+  Alcotest.(check bool) "table grew" true (Arena.Table.grows t > 0);
+  Alcotest.(check int) "size matches model" (Hashtbl.length inserted) (Arena.Table.size t);
+  Hashtbl.iter
+    (fun k c ->
+      match Arena.Table.find_opt t k with
+      | Some c' when Float.equal c c' -> ()
+      | Some c' -> Alcotest.failf "key %d: %f <> model %f" k c' c
+      | None -> Alcotest.failf "key %d lost across growth" k)
+    inserted
+
+let test_table_upsert_canonical_ties () =
+  let t = Arena.Table.create () in
+  Alcotest.(check bool) "first insert new" true (Arena.Table.upsert t 5 10. 3 3 3);
+  Alcotest.(check bool) "higher cost not new" false (Arena.Table.upsert t 5 11. 1 1 1);
+  Alcotest.(check (option (float 0.))) "kept min" (Some 10.) (Arena.Table.find_opt t 5);
+  (* equal cost, smaller payload wins regardless of insertion order *)
+  ignore (Arena.Table.upsert t 5 10. 2 9 9);
+  ignore (Arena.Table.upsert t 5 10. 2 9 8);
+  ignore (Arena.Table.upsert t 5 10. 4 0 0);
+  let found = ref None in
+  Arena.Table.iter t (fun k _ b1 b2 b3 -> if k = 5 then found := Some (b1, b2, b3));
+  Alcotest.(check (option (triple int int int)))
+    "canonical payload" (Some (2, 9, 8)) !found
+
+(* ---- permutation / block sorts ---- *)
+
+let test_sort_perm_by_cost_key () =
+  let costs = [| 3.; 1.; 3.; 0.; 1. |] in
+  let keys = [| 9; 4; 2; 7; 1 |] in
+  let perm = [| 0; 1; 2; 3; 4 |] in
+  Arena.sort_perm_by_cost_key perm 0 5 costs keys;
+  (* (0.,7) (1.,1) (1.,4) (3.,2) (3.,9) *)
+  Alcotest.(check (array int)) "sorted by (cost,key)" [| 3; 4; 1; 2; 0 |] perm
+
+let test_sort_stride4_by_key () =
+  let rng = Prng.create 7 in
+  let count = 97 in
+  let data = Array.init (4 * count) (fun _ -> Prng.int rng 1000) in
+  let copy = Array.copy data in
+  Arena.sort_stride4_by_key data 0 count;
+  (* keys ascending *)
+  for i = 1 to count - 1 do
+    if data.(4 * (i - 1)) > data.(4 * i) then Alcotest.failf "keys out of order at %d" i
+  done;
+  (* blocks stay intact: multiset of blocks unchanged *)
+  let blocks a =
+    List.init count (fun i -> (a.(4 * i), a.((4 * i) + 1), a.((4 * i) + 2), a.((4 * i) + 3)))
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "same blocks" true (blocks data = blocks copy)
+
+(* ---- workspace pooling ---- *)
+
+let test_workspace_reuse_and_nesting () =
+  let l1 = Workspace.acquire () in
+  let outer_ws = l1.Workspace.workspace in
+  (* nested acquire on the same domain must hand out a DIFFERENT workspace *)
+  let l2 = Workspace.acquire () in
+  Alcotest.(check bool) "nested acquire is transient" true
+    (l2.Workspace.workspace != outer_ws);
+  Workspace.release l2;
+  Workspace.release l1;
+  (* after release, the resident workspace is handed out again *)
+  let l3 = Workspace.acquire () in
+  Alcotest.(check bool) "resident workspace reused" true
+    (l3.Workspace.workspace == outer_ws);
+  Workspace.release l3
+
+let test_workspace_note_use () =
+  let ws = Workspace.create () in
+  Alcotest.(check bool) "first use is not a reuse" false (Workspace.note_use ws);
+  Alcotest.(check bool) "second use is a reuse" true (Workspace.note_use ws)
+
+let test_workspace_grows_accumulates () =
+  let ws = Workspace.create () in
+  let g0 = Workspace.grows ws in
+  for i = 0 to 5000 do
+    Arena.Ibuf.push ws.Workspace.node_keys i
+  done;
+  Alcotest.(check bool) "member growth counted" true (Workspace.grows ws > g0);
+  Workspace.reset ws;
+  Alcotest.(check int) "reset clears lengths" 0
+    (Arena.Ibuf.length ws.Workspace.node_keys);
+  Alcotest.(check bool) "reset keeps grow count" true (Workspace.grows ws > g0)
+
+let () =
+  Alcotest.run "arena"
+    [
+      ( "buffers",
+        [
+          Alcotest.test_case "ibuf growth preserves entries" `Quick test_ibuf_growth;
+          Alcotest.test_case "segment alloc" `Quick test_ibuf_alloc_segments;
+          Alcotest.test_case "fbuf roundtrip" `Quick test_fbuf_roundtrip;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "probe wraparound" `Quick test_table_probe_wraparound;
+          Alcotest.test_case "epoch clear" `Quick test_table_epoch_clear;
+          Alcotest.test_case "growth preserves entries" `Quick
+            test_table_growth_preserves_entries;
+          Alcotest.test_case "canonical tie-break" `Quick test_table_upsert_canonical_ties;
+        ] );
+      ( "sorts",
+        [
+          Alcotest.test_case "perm by (cost,key)" `Quick test_sort_perm_by_cost_key;
+          Alcotest.test_case "stride-4 blocks by key" `Quick test_sort_stride4_by_key;
+        ] );
+      ( "workspace",
+        [
+          Alcotest.test_case "reuse and nesting" `Quick test_workspace_reuse_and_nesting;
+          Alcotest.test_case "note_use" `Quick test_workspace_note_use;
+          Alcotest.test_case "grows accumulates" `Quick test_workspace_grows_accumulates;
+        ] );
+    ]

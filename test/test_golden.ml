@@ -151,7 +151,12 @@ let normalize_metrics_json s =
   |> map_lines (fun line ->
          match find_substring line "\"type\":\"gauge\"" with
          | Some _ -> normalize_json_field "value" line
-         | None -> line)
+         | None -> (
+             (* Allocation volume depends on compiler version and GC
+                settings, unlike the content-determined DP counters. *)
+             match find_substring line "\"name\":\"tree_dp.bytes_allocated\"" with
+             | Some _ -> normalize_json_field "value" line
+             | None -> line))
 
 let normalize_cache_stats s = map_lines normalize_stage_line s
 

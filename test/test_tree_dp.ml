@@ -158,6 +158,127 @@ let prop_bucketing_cost_not_better =
       | None, _ -> true (* bucketing under-counts demand, may become feasible *)
       | Some _, None -> false)
 
+(* ---- differential: flat kernel vs Hashtbl reference oracle ---- *)
+
+module Ref_dp = Test_support.Tree_dp_reference
+module Deadline = Hgp_resilience.Deadline
+module Workspace = Hgp_util.Workspace
+
+(* Exact equality of two solve outcomes: cost bit-for-bit, full kappa and
+   root signature arrays, and the states-explored work measure. *)
+let check_identical tag flat reference =
+  match (flat, reference) with
+  | None, None -> ()
+  | Some (f : Tree_dp.result), Some (r : Tree_dp.result) ->
+    if not (Float.equal f.cost r.cost) then
+      Alcotest.failf "%s: cost %.17g <> reference %.17g" tag f.cost r.cost;
+    Alcotest.(check (array int)) (tag ^ ": kappa") r.kappa f.kappa;
+    Alcotest.(check (array int)) (tag ^ ": root signature") r.root_signature f.root_signature;
+    Alcotest.(check int) (tag ^ ": states explored") r.states_explored f.states_explored
+  | Some _, None -> Alcotest.failf "%s: kernel feasible, reference infeasible" tag
+  | None, Some _ -> Alcotest.failf "%s: kernel infeasible, reference feasible" tag
+
+(* A seeded instance larger and tighter than [gen_job_instance]: enough
+   states that bucketing, Pareto pruning and beam eviction all trigger. *)
+let mk_diff_instance seed =
+  let rng = Prng.create seed in
+  let n = 4 + Prng.int rng 11 (* 4..14 graph nodes *) in
+  let h = 1 + Prng.int rng 2 in
+  let g = Gen.random_tree rng n in
+  let g = Gen.randomize_weights rng g ~lo:1.0 ~hi:9.0 in
+  let t = Tree.of_graph g ~root:0 in
+  let t, job_leaf = Tree.lift_internal_jobs t in
+  let demand_units = Array.make (Tree.n_nodes t) 0 in
+  Array.iter (fun l -> demand_units.(l) <- 1 + Prng.int rng 3) job_leaf;
+  let cm = if h = 1 then [| 12.; 0. |] else [| 12.; 4.; 0. |] in
+  (* Tight-ish lower levels: big tables, real pruning/eviction. *)
+  let cp_units = if h = 1 then [| 4 * n; 6 |] else [| 4 * n; 9; 5 |] in
+  (t, demand_units, cm, cp_units)
+
+let diff_configs ~cm ~cp_units =
+  [
+    ("exact", mk_config ~cm ~cp_units ());
+    ("no-prune", mk_config ~prune:false ~cm ~cp_units ());
+    ("bucketed", mk_config ~bucketing:(Some 0.5) ~cm ~cp_units ());
+    ("beam2", { (mk_config ~cm ~cp_units ()) with Tree_dp.beam_width = Some 2 });
+    ( "beam4-bucketed",
+      { (mk_config ~bucketing:(Some 0.3) ~cm ~cp_units ()) with Tree_dp.beam_width = Some 4 } );
+  ]
+
+(* 60 seeded samples x 5 configs, kernel == oracle on every field. *)
+let test_differential_seeded () =
+  for seed = 1 to 60 do
+    let t, demand_units, cm, cp_units = mk_diff_instance seed in
+    List.iter
+      (fun (name, cfg) ->
+        let flat = Tree_dp.solve t ~demand_units cfg in
+        let reference = Ref_dp.solve t ~demand_units cfg in
+        check_identical (Printf.sprintf "seed %d %s" seed name) flat reference)
+      (diff_configs ~cm ~cp_units)
+  done
+
+(* Infeasible leaves: one job is pushed past the leaf capacity; both sides
+   must agree the instance is infeasible (and on feasible neighbours). *)
+let test_differential_infeasible_leaves () =
+  for seed = 61 to 75 do
+    let t, demand_units, cm, cp_units = mk_diff_instance seed in
+    (* Oversize the first demanded leaf. *)
+    let demand_units = Array.copy demand_units in
+    (try
+       Array.iteri
+         (fun v d ->
+           if d > 0 then begin
+             demand_units.(v) <- cp_units.(Array.length cp_units - 1) + 1;
+             raise Exit
+           end)
+         demand_units
+     with Exit -> ());
+    List.iter
+      (fun (name, cfg) ->
+        let flat = Tree_dp.solve t ~demand_units cfg in
+        let reference = Ref_dp.solve t ~demand_units cfg in
+        if flat <> None then
+          Alcotest.failf "seed %d %s: oversized leaf accepted" seed name;
+        check_identical (Printf.sprintf "seed %d %s (infeasible)" seed name) flat reference)
+      (diff_configs ~cm ~cp_units)
+  done
+
+(* Expired deadlines must abort both implementations the same way. *)
+let test_differential_deadline_abort () =
+  let t, demand_units, cm, cp_units = mk_diff_instance 7 in
+  let cfg = mk_config ~cm ~cp_units () in
+  let expired () = Deadline.of_ms (-1.) in
+  let aborts f =
+    match f () with
+    | exception Hgp_resilience.Hgp_error.Error (Hgp_resilience.Hgp_error.Deadline_exceeded _)
+      ->
+      true
+    | _ -> false
+  in
+  Alcotest.(check bool) "kernel aborts" true
+    (aborts (fun () -> Tree_dp.solve ~deadline:(expired ()) t ~demand_units cfg));
+  Alcotest.(check bool) "reference aborts" true
+    (aborts (fun () -> Ref_dp.solve ~deadline:(expired ()) t ~demand_units cfg));
+  (* And a deadline abort must not poison the domain workspace: the next
+     solve on this domain reuses it and still matches the oracle. *)
+  check_identical "post-abort solve"
+    (Tree_dp.solve t ~demand_units cfg)
+    (Ref_dp.solve t ~demand_units cfg)
+
+(* An explicitly threaded lease (the pipeline's usage pattern) must not
+   change results, solve after solve on the same scratch. *)
+let test_differential_shared_workspace () =
+  Workspace.with_ws (fun lease ->
+      for seed = 76 to 90 do
+        let t, demand_units, cm, cp_units = mk_diff_instance seed in
+        List.iter
+          (fun (name, cfg) ->
+            let flat = Tree_dp.solve ~workspace:lease t ~demand_units cfg in
+            let reference = Ref_dp.solve t ~demand_units cfg in
+            check_identical (Printf.sprintf "seed %d %s (shared ws)" seed name) flat reference)
+          (diff_configs ~cm ~cp_units)
+      done)
+
 let () =
   Alcotest.run "tree_dp"
     [
@@ -178,5 +299,14 @@ let () =
           prop_prune_preserves_optimum;
           prop_root_signature_monotone;
           prop_bucketing_cost_not_better;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "kernel = oracle, 60 seeds x 5 configs" `Quick
+            test_differential_seeded;
+          Alcotest.test_case "infeasible leaves" `Quick test_differential_infeasible_leaves;
+          Alcotest.test_case "deadline aborts" `Quick test_differential_deadline_abort;
+          Alcotest.test_case "shared workspace lease" `Quick
+            test_differential_shared_workspace;
         ] );
     ]
