@@ -49,6 +49,7 @@ let () =
         ("E16", Experiments.e16_artifact_reuse);
         ("E17", Experiments.e17_batch_service);
         ("E18", Experiments.e18_dp_kernel);
+        ("E19", Experiments.e19_multilevel_vcycle);
         ("micro", Microbench.run);
       ]
     in

@@ -199,8 +199,22 @@ let solve_cmd =
             "After solving, print artifact-cache hit/miss statistics and \
              cumulative per-stage timings to stderr (see docs/ARCHITECTURE.md).")
   in
+  let multilevel =
+    Arg.(
+      value
+      & opt ~vopt:(Some Hgp_multilevel.Vcycle.default_options.Hgp_multilevel.Vcycle.threshold)
+          (some int) None
+      & info [ "multilevel" ]
+          ~doc:
+            "Solve via the multilevel V-cycle front-end: coarsen by heavy-edge \
+             matching down to $(docv) vertices (default 128), run the exact \
+             pipeline on the coarse graph, certify there, then uncoarsen with \
+             banded boundary refinement.  The path for graphs far beyond the \
+             exact solver's reach (see docs/MULTILEVEL.md)."
+          ~docv:"THRESHOLD")
+  in
   let run path hierarchy load seed ensemble resolution deadline_ms slack metrics repeat
-      cache_stats =
+      cache_stats multilevel =
     handle_errors @@ fun () ->
     with_metrics metrics @@ fun () ->
     let inst = load_instance path hierarchy load seed in
@@ -218,41 +232,71 @@ let solve_cmd =
     (* Ladder rungs below the core pipeline: the refined heuristic portfolio
        (sans the hgp candidate — it just failed above us), then plain dual
        recursive bisection.  Each gets a fresh deterministic rng. *)
-    let fallbacks =
-      [
-        ( "portfolio",
-          fun inst ->
-            (B.Portfolio.solve ~include_hgp:false (Prng.create seed) inst ~slack
-               ~refine_passes:2)
-              .best.B.Portfolio.assignment );
-        ( "recursive-bisection",
-          fun inst -> B.Recursive_bisection.assign (Prng.create seed) inst ~slack );
-      ]
-    in
-    let solve_once () =
-      match Solver.solve_supervised ~options ?deadline_ms ~fallbacks inst with
-      | Error e -> Hgp_error.error e
-      | Ok s -> s
-    in
-    let s = ref (solve_once ()) in
-    for _ = 2 to max 1 repeat do
-      s := solve_once ()
-    done;
-    let s = !s in
-    let sol = s.Solver.solution in
-    Printf.printf "# cost %.6g\n# violation %.4f\n# tree %d\n# dp-states %d\n" sol.cost
-      sol.max_violation sol.tree_index sol.dp_states;
-    Printf.printf "# cached-dp-states %d\n" sol.cached_dp_states;
-    Printf.printf "# rung %s\n# degraded %b\n# tree-failures %d\n" s.Solver.rung
-      s.Solver.degraded
-      (List.length s.Solver.tree_failures);
-    Array.iteri (fun v leaf -> Printf.printf "%d %d\n" v leaf) sol.assignment;
+    (match multilevel with
+     | Some threshold ->
+       let module V = Hgp_multilevel.Vcycle in
+       let mopts = { V.default_options with V.threshold; solver = options } in
+       let solve_once () = V.solve ~options:mopts inst in
+       let r = ref (solve_once ()) in
+       for _ = 2 to max 1 repeat do
+         r := solve_once ()
+       done;
+       let r = !r in
+       let sol = r.V.solution in
+       Printf.printf "# cost %.6g\n# violation %.4f\n# tree %d\n# dp-states %d\n" sol.cost
+         sol.max_violation sol.tree_index sol.dp_states;
+       Printf.printf "# cached-dp-states %d\n" sol.cached_dp_states;
+       Printf.printf "# multilevel levels=%d coarse-n=%d ratio=%.2f cached=%b\n" r.V.levels
+         r.V.coarse_n r.V.coarsening_ratio r.V.hierarchy_cached;
+       let cert = r.V.coarse_certificate in
+       Printf.printf "# coarse-certified within-band=%b violation=%.4f bound=%.4f\n"
+         cert.Hgp_core.Verify.within_theorem_bound cert.Hgp_core.Verify.max_violation
+         cert.Hgp_core.Verify.theorem_bound;
+       List.iter
+         (fun (lr : V.level_report) ->
+           Printf.printf "# refine level=%d n=%d moves=%d gain=%.6g\n" lr.V.level lr.V.n
+             lr.V.moves lr.V.gain)
+         r.V.level_reports;
+       Array.iteri (fun v leaf -> Printf.printf "%d %d\n" v leaf) sol.assignment
+     | None ->
+       (* Ladder rungs below the core pipeline: the refined heuristic portfolio
+          (sans the hgp candidate — it just failed above us), then plain dual
+          recursive bisection.  Each gets a fresh deterministic rng. *)
+       let fallbacks =
+         [
+           ( "portfolio",
+             fun inst ->
+               (B.Portfolio.solve ~include_hgp:false (Prng.create seed) inst ~slack
+                  ~refine_passes:2)
+                 .best.B.Portfolio.assignment );
+           ( "recursive-bisection",
+             fun inst -> B.Recursive_bisection.assign (Prng.create seed) inst ~slack );
+         ]
+       in
+       let solve_once () =
+         match Solver.solve_supervised ~options ?deadline_ms ~fallbacks inst with
+         | Error e -> Hgp_error.error e
+         | Ok s -> s
+       in
+       let s = ref (solve_once ()) in
+       for _ = 2 to max 1 repeat do
+         s := solve_once ()
+       done;
+       let s = !s in
+       let sol = s.Solver.solution in
+       Printf.printf "# cost %.6g\n# violation %.4f\n# tree %d\n# dp-states %d\n" sol.cost
+         sol.max_violation sol.tree_index sol.dp_states;
+       Printf.printf "# cached-dp-states %d\n" sol.cached_dp_states;
+       Printf.printf "# rung %s\n# degraded %b\n# tree-failures %d\n" s.Solver.rung
+         s.Solver.degraded
+         (List.length s.Solver.tree_failures);
+       Array.iteri (fun v leaf -> Printf.printf "%d %d\n" v leaf) sol.assignment);
     if cache_stats then prerr_string (Pipeline.render_cache_stats ())
   in
   let term =
     Term.(
       const run $ graph_arg $ hierarchy_arg $ load_arg $ seed_arg $ ensemble $ resolution
-      $ deadline $ slack_arg $ metrics_arg $ repeat $ cache_stats)
+      $ deadline $ slack_arg $ metrics_arg $ repeat $ cache_stats $ multilevel)
   in
   Cmd.v (Cmd.info "solve" ~doc:"Solve HGP on a graph; prints 'vertex leaf' lines.") term
 

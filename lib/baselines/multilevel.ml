@@ -8,44 +8,19 @@ type result = {
 }
 
 (* One coarsening step: heavy-edge matching.  Returns the coarse graph, the
-   coarse demands, and the fine->coarse vertex map. *)
+   coarse demands, and the fine->coarse vertex map.  Delegates to the shared
+   CSR matching kernel (the multilevel V-cycle's coarsener) with no weight
+   cap — [Hgp_multilevel.Coarsen] reproduces this module's historical
+   traversal, tie-breaking and id-assignment bit-for-bit, so fixed-seed
+   baselines results are unchanged. *)
 let coarsen rng g demands =
-  let n = Graph.n g in
-  let matched = Array.make n (-1) in
-  let order = Prng.permutation rng n in
-  Array.iter
-    (fun v ->
-      if matched.(v) = -1 then begin
-        (* Heaviest unmatched neighbor. *)
-        let best = ref (-1) and best_w = ref 0. in
-        Graph.iter_neighbors
-          (fun u w ->
-            if matched.(u) = -1 && u <> v && w > !best_w then begin
-              best := u;
-              best_w := w
-            end)
-          g v;
-        if !best >= 0 then begin
-          matched.(v) <- !best;
-          matched.(!best) <- v
-        end
-        else matched.(v) <- v
-      end)
-    order;
-  let coarse_id = Array.make n (-1) in
-  let next = ref 0 in
-  for v = 0 to n - 1 do
-    if coarse_id.(v) = -1 then begin
-      coarse_id.(v) <- !next;
-      if matched.(v) <> v && matched.(v) >= 0 then coarse_id.(matched.(v)) <- !next;
-      incr next
-    end
-  done;
-  let nc = !next in
-  let coarse_demands = Array.make nc 0. in
-  Array.iteri (fun v d -> coarse_demands.(coarse_id.(v)) <- coarse_demands.(coarse_id.(v)) +. d) demands;
-  let coarse_graph = Graph.contract g coarse_id ~n_parts:nc in
-  (coarse_graph, coarse_demands, coarse_id)
+  let csr = Hgp_graph.Csr.of_graph ~vwgt:demands g in
+  let coarse_id, coarse_csr =
+    Hgp_multilevel.Coarsen.step rng csr ~max_weight:infinity
+  in
+  let nc = Hgp_graph.Csr.n coarse_csr in
+  let coarse_demands = Array.init nc (Hgp_graph.Csr.vertex_weight coarse_csr) in
+  (Hgp_graph.Csr.to_graph coarse_csr, coarse_demands, coarse_id)
 
 (* Initial partition on the coarsest graph: chunk a BFS ordering into k
    contiguous groups of roughly equal demand.  BFS contiguity gives locality

@@ -409,23 +409,53 @@ let set_caching b =
   Atomic.set caching b;
   Ensemble_cache.set_enabled b
 
+(* Caches owned by layers above this library (the multilevel front-end's
+   hierarchy cache) register themselves here so [--cache-stats] covers them
+   without core depending on those layers.  Registration happens at module
+   init of the owning library, so the set is fixed before any solve. *)
+type external_cache = {
+  ec_name : string;
+  ec_stats : unit -> Lru.stats;
+  ec_clear : unit -> unit;
+  ec_reset_stats : unit -> unit;
+}
+
+let external_caches : external_cache list ref = ref []
+let external_lock = Mutex.create ()
+
+let register_external_cache ~name ~stats ~clear ~reset_stats =
+  Mutex.lock external_lock;
+  external_caches :=
+    { ec_name = name; ec_stats = stats; ec_clear = clear; ec_reset_stats = reset_stats }
+    :: List.filter (fun ec -> ec.ec_name <> name) !external_caches;
+  Mutex.unlock external_lock
+
+let external_snapshot () =
+  Mutex.lock external_lock;
+  let ecs = !external_caches in
+  Mutex.unlock external_lock;
+  List.rev ecs
+
 let clear_caches () =
   Mutex.lock packed_lock;
   Lru.clear packed_cache;
   Mutex.unlock packed_lock;
-  Ensemble_cache.clear ()
+  Ensemble_cache.clear ();
+  List.iter (fun ec -> ec.ec_clear ()) (external_snapshot ())
 
 let cache_stats () =
   Mutex.lock packed_lock;
   let p = Lru.stats packed_cache in
   Mutex.unlock packed_lock;
   [ ("ensemble", Ensemble_cache.stats ()); ("packed", p) ]
+  @ List.map (fun ec -> (ec.ec_name, ec.ec_stats ())) (external_snapshot ())
 
 let reset_cache_stats () =
   Mutex.lock packed_lock;
   Lru.reset_stats packed_cache;
   Mutex.unlock packed_lock;
-  Ensemble_cache.reset_stats ()
+  Ensemble_cache.reset_stats ();
+  List.iter (fun ec -> ec.ec_reset_stats ()) (external_snapshot ())
 
 let render_cache_stats () =
   let b = Buffer.create 256 in

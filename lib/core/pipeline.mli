@@ -133,10 +133,25 @@ val solve_on_decomposition :
     cold solves). *)
 val set_caching : bool -> unit
 
-(** Drop all cached artifacts (both caches); stats histories survive. *)
+(** Drop all cached artifacts (both caches, plus registered external
+    caches); stats histories survive. *)
 val clear_caches : unit -> unit
 
-(** [("ensemble", stats); ("packed", stats)]. *)
+(** [register_external_cache ~name ~stats ~clear ~reset_stats] enrolls a
+    cache owned by a higher layer (e.g. the multilevel front-end's coarse
+    hierarchy cache) into {!cache_stats}, {!clear_caches},
+    {!reset_cache_stats} and the [--cache-stats] rendering — core cannot
+    depend on those layers, so they push their introspection hooks down.
+    Call once at module init; re-registering a name replaces its hooks. *)
+val register_external_cache :
+  name:string ->
+  stats:(unit -> Hgp_util.Lru.stats) ->
+  clear:(unit -> unit) ->
+  reset_stats:(unit -> unit) ->
+  unit
+
+(** [("ensemble", stats); ("packed", stats)], then one entry per registered
+    external cache in registration order. *)
 val cache_stats : unit -> (string * Hgp_util.Lru.stats) list
 
 (** Zero both caches' hit/miss/eviction counters. *)

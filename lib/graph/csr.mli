@@ -1,0 +1,91 @@
+(** Flat struct-of-arrays graphs with weighted vertices, built for
+    million-vertex scale.
+
+    {!Graph.t} is CSR-backed but pays a boxed [(u, v, w)] tuple per edge and
+    a hashtable pass per build; at 10^6 vertices both dominate the solve.
+    This module keeps the whole representation in int/float arrays — the same
+    idiom as the DP workspace arenas (docs/ARCHITECTURE.md, "DP kernel &
+    workspaces") — and adds {e vertex weights}, the quantity coarsening must
+    conserve: a coarse vertex's weight is the demand of everything merged
+    into it (the nonuniform-weights setting of Makarychev & Makarychev).
+
+    Vertices are [0..n-1].  Parallel edges are merged by summing weights,
+    self-loops are dropped (they can never be cut) — the same semantics as
+    {!Graph.Builder}.  Adjacency rows are sorted by neighbor id.  The
+    structure is immutable.
+
+    Structural validation raises structured
+    {!Hgp_resilience.Hgp_error.Invalid_input} errors (exit class 65), not
+    [Invalid_argument]: builders sit on the ingest path of the multilevel
+    front-end, where malformed data is an input problem, not a bug. *)
+
+type t = private {
+  n : int;
+  xadj : int array;  (** length [n + 1]; row [v] is [xadj.(v) .. xadj.(v+1) - 1] *)
+  adjncy : int array;  (** neighbor ids, ascending within each row *)
+  adjw : float array;  (** edge weight per adjacency slot *)
+  vwgt : float array;  (** vertex weights (demands); all [> 0.] *)
+  total_vw : float;  (** sum of vertex weights *)
+  total_ew : float;  (** sum of undirected edge weights *)
+}
+
+(** [of_arrays ~n ~src ~dst ~w ()] builds the graph with edges
+    [{src.(i), dst.(i)}] of weight [w.(i)] — struct-of-arrays input, no
+    per-edge boxing, two counting-sort passes, O(n + m) time and memory.
+    [vwgt] defaults to all-ones.
+    @raise Hgp_resilience.Hgp_error.Error ([Invalid_input _]) on negative
+    [n], mismatched array lengths, dangling endpoints (outside [0..n-1]),
+    negative or non-finite edge weights, or non-positive vertex weights. *)
+val of_arrays :
+  n:int ->
+  ?vwgt:float array ->
+  src:int array ->
+  dst:int array ->
+  w:float array ->
+  unit ->
+  t
+
+(** [of_graph ?vwgt g] adopts the CSR arrays of a boxed {!Graph.t} (adjacency
+    copied, already merged and sorted).  [vwgt] defaults to all-ones. *)
+val of_graph : ?vwgt:float array -> Graph.t -> t
+
+(** [to_graph t] converts back to the boxed representation.  The round trip
+    [to_graph (of_graph g)] is an isomorphism: same vertex count, same edge
+    multiset, same weights (property-tested in [test_csr.ml]). *)
+val to_graph : t -> Graph.t
+
+val n : t -> int
+
+(** [m t] is the number of distinct undirected edges. *)
+val m : t -> int
+
+val degree : t -> int -> int
+val vertex_weight : t -> int -> float
+val total_vertex_weight : t -> float
+val total_edge_weight : t -> float
+
+(** [iter_neighbors f t v] calls [f u w] for each neighbor in ascending id
+    order. *)
+val iter_neighbors : (int -> float -> unit) -> t -> int -> unit
+
+(** [iter_edges f t] calls [f u v w] once per undirected edge with [u < v],
+    in ascending [(u, v)] order. *)
+val iter_edges : (int -> int -> float -> unit) -> t -> unit
+
+(** [edge_weight t u v] is the weight of [{u, v}] or [0.] — binary search,
+    O(log degree). *)
+val edge_weight : t -> int -> int -> float
+
+(** [contract t map ~n_parts] merges each part into a super-vertex: vertex
+    weights add up, parallel coarse edges merge by summing (in ascending
+    fine-edge order, so the float sums are reproducible), intra-part edges
+    disappear.  O(n + m).
+    @raise Hgp_resilience.Hgp_error.Error ([Invalid_input _]) on a length
+    mismatch or an out-of-range part id. *)
+val contract : t -> int array -> n_parts:int -> t
+
+(** [fingerprint t] digests the full structure including vertex weights —
+    the content address used by the multilevel hierarchy cache. *)
+val fingerprint : t -> Hgp_util.Fingerprint.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,6 +1,12 @@
 (** Deterministic graph generators (all randomness comes from the provided
     {!Hgp_util.Prng.t}).  Unless noted, edge weights are [1.0]; use
-    {!randomize_weights} to perturb them. *)
+    {!randomize_weights} to perturb them.
+
+    Every generator emits {e dense} vertex ids [0..n-1] — this is a
+    guarantee, not an accident: CSR construction ({!Csr}), the DP kernels
+    and the multilevel front-end all index flat arrays by vertex id.
+    External edge lists with sparse ids must go through
+    {!Io.normalize_ids} first. *)
 
 (** [path n] is the path on [n] vertices. *)
 val path : int -> Graph.t

@@ -85,7 +85,36 @@ let to_edge_list_string g =
     g;
   Buffer.contents buf
 
-let of_edge_list_string s =
+module E = Hgp_resilience.Hgp_error
+
+let normalize_ids edges =
+  let module IS = Set.Make (Int) in
+  let ids =
+    List.fold_left
+      (fun acc (u, v, _) ->
+        if u < 0 || v < 0 then
+          E.error
+            (E.Invalid_input
+               {
+                 context = "io.normalize_ids";
+                 msg = Printf.sprintf "negative vertex id in edge {%d, %d}" u v;
+               });
+        IS.add u (IS.add v acc))
+      IS.empty edges
+  in
+  (* Dense ids 0..k-1 in ascending original-id order, so normalization of an
+     already-dense list is the identity. *)
+  let originals = Array.of_list (IS.elements ids) in
+  let index = Hashtbl.create (2 * Array.length originals) in
+  Array.iteri (fun i id -> Hashtbl.add index id i) originals;
+  let dense =
+    List.map
+      (fun (u, v, w) -> (Hashtbl.find index u, Hashtbl.find index v, w))
+      edges
+  in
+  (Graph.of_edges (Array.length originals) dense, originals)
+
+let of_edge_list_string ?(normalize = false) s =
   let lines =
     String.split_on_char '\n' s
     |> List.filter (fun l ->
@@ -101,7 +130,28 @@ let of_edge_list_string s =
         | _ -> failwith "Io.of_edge_list_string: malformed line")
       lines
   in
-  let n =
-    List.fold_left (fun acc (u, v, _) -> max acc (max u v + 1)) 0 parsed
-  in
-  Graph.of_edges n parsed
+  if normalize then fst (normalize_ids parsed)
+  else begin
+    (* Dense-id contract: every id must name a vertex of the result, so ids
+       are taken literally and n = max id + 1.  Sparse inputs therefore
+       produce isolated padding vertices — callers that want compaction pass
+       [~normalize:true]. *)
+    List.iter
+      (fun (u, v, _) ->
+        if u < 0 || v < 0 then
+          E.error
+            (E.Invalid_input
+               {
+                 context = "io.of_edge_list_string";
+                 msg =
+                   Printf.sprintf
+                     "negative vertex id in edge {%d, %d}; ids must be dense \
+                      0..n-1 (use ~normalize:true to compact)"
+                     u v;
+               }))
+      parsed;
+    let n =
+      List.fold_left (fun acc (u, v, _) -> max acc (max u v + 1)) 0 parsed
+    in
+    Graph.of_edges n parsed
+  end

@@ -1,0 +1,68 @@
+module Csr = Hgp_graph.Csr
+module Prng = Hgp_util.Prng
+
+type level = {
+  fine : Csr.t;
+  cmap : int array;
+  coarse : Csr.t;
+  key : Hgp_util.Fingerprint.t;
+}
+
+type chain = level list
+
+let matching rng csr ~max_weight =
+  let n = Csr.n csr in
+  let matched = Array.make n (-1) in
+  let order = Prng.permutation rng n in
+  Array.iter
+    (fun v ->
+      if matched.(v) = -1 then begin
+        let best = ref (-1) and best_w = ref 0. in
+        Csr.iter_neighbors
+          (fun u w ->
+            if
+              matched.(u) = -1 && u <> v && w > !best_w
+              && Csr.vertex_weight csr v +. Csr.vertex_weight csr u <= max_weight
+            then begin
+              best := u;
+              best_w := w
+            end)
+          csr v;
+        if !best >= 0 then begin
+          matched.(v) <- !best;
+          matched.(!best) <- v
+        end
+        else matched.(v) <- v
+      end)
+    order;
+  let cmap = Array.make n (-1) in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    if cmap.(v) = -1 then begin
+      cmap.(v) <- !next;
+      if matched.(v) <> v && matched.(v) >= 0 then cmap.(matched.(v)) <- !next;
+      incr next
+    end
+  done;
+  (cmap, !next)
+
+let step rng csr ~max_weight =
+  let cmap, nc = matching rng csr ~max_weight in
+  (cmap, Csr.contract csr cmap ~n_parts:nc)
+
+let build rng csr ~threshold ~max_levels ~max_weight =
+  let rec go csr acc depth =
+    if Csr.n csr <= threshold || depth >= max_levels then List.rev acc
+    else begin
+      let cmap, coarse = step rng csr ~max_weight in
+      if Csr.n coarse >= Csr.n csr then List.rev acc
+      else
+        go coarse
+          ({ fine = csr; cmap; coarse; key = Csr.fingerprint coarse } :: acc)
+          (depth + 1)
+    end
+  in
+  go csr [] 0
+
+let coarsest ~fine chain =
+  match List.rev chain with [] -> fine | l :: _ -> l.coarse

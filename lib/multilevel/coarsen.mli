@@ -1,0 +1,56 @@
+(** Heavy-edge-matching coarsening on CSR graphs.
+
+    One step matches each vertex with its heaviest still-unmatched neighbor
+    (visiting vertices in a seeded random permutation) and contracts matched
+    pairs into super-vertices whose weights add up; repeating roughly halves
+    the vertex count per level until the coarsest graph fits the exact
+    solver.  Matching is capped: a pair is only merged while the combined
+    vertex weight stays within [max_weight], so when vertex weights are
+    demands every coarse vertex remains a valid demand
+    ([Instance.create] requires [d <= leaf_capacity]).
+
+    The matching traversal, tie-breaking (first strictly-heavier neighbor in
+    ascending id order wins) and coarse-id assignment are shared verbatim
+    with [Hgp_baselines.Multilevel], which delegates here — both produce
+    bit-identical coarse graphs for the same seed. *)
+
+type level = {
+  fine : Hgp_graph.Csr.t;  (** the graph this transition coarsens *)
+  cmap : int array;  (** fine vertex -> coarse vertex *)
+  coarse : Hgp_graph.Csr.t;
+  key : Hgp_util.Fingerprint.t;
+      (** content address of [coarse] — the per-level fingerprint the
+          hierarchy cache and [--cache-stats] report against *)
+}
+
+(** Finest transition first; [(List.nth chain i).coarse == (List.nth chain
+    (i+1)).fine]. *)
+type chain = level list
+
+(** [matching rng csr ~max_weight] is one heavy-edge matching: returns the
+    fine->coarse map (dense coarse ids, assigned in ascending fine-id order)
+    and the coarse vertex count.  Invariants (property-tested): each vertex
+    appears in at most one matched pair, matched pairs are edges of [csr],
+    and singletons map alone. *)
+val matching :
+  Hgp_util.Prng.t -> Hgp_graph.Csr.t -> max_weight:float -> int array * int
+
+(** [step rng csr ~max_weight] is [matching] followed by
+    {!Hgp_graph.Csr.contract}. *)
+val step :
+  Hgp_util.Prng.t -> Hgp_graph.Csr.t -> max_weight:float -> int array * Hgp_graph.Csr.t
+
+(** [build rng csr ~threshold ~max_levels ~max_weight] coarsens until the
+    vertex count is at most [threshold], a step stops shrinking the graph,
+    or [max_levels] transitions accumulate. *)
+val build :
+  Hgp_util.Prng.t ->
+  Hgp_graph.Csr.t ->
+  threshold:int ->
+  max_levels:int ->
+  max_weight:float ->
+  chain
+
+(** [coarsest ~fine chain] is the last coarse graph, or [fine] itself for an
+    empty chain. *)
+val coarsest : fine:Hgp_graph.Csr.t -> chain -> Hgp_graph.Csr.t

@@ -1,0 +1,114 @@
+module Csr = Hgp_graph.Csr
+module Hierarchy = Hgp_hierarchy.Hierarchy
+
+type stats = {
+  passes : int;
+  moves : int;
+  gain : float;
+}
+
+let refine csr hy assignment ~slack ~max_passes =
+  let n = Csr.n csr in
+  let h = Hierarchy.height hy in
+  let assignment = Array.copy assignment in
+  (* Load per node at every level 1..h (level 0 is the root: moves never
+     change the total, so it needs no bookkeeping). *)
+  let loads =
+    Array.init (h + 1) (fun j ->
+        if j = 0 then [||] else Array.make (Hierarchy.nodes_at_level hy j) 0.)
+  in
+  for v = 0 to n - 1 do
+    let l = assignment.(v) in
+    let d = Csr.vertex_weight csr v in
+    for j = 1 to h do
+      let a = Hierarchy.ancestor hy ~level:j l in
+      loads.(j).(a) <- loads.(j).(a) +. d
+    done
+  done;
+  let cap = Array.init (h + 1) (fun j -> slack *. Hierarchy.capacity hy j) in
+  (* A move to leaf [l] is safe when every ancestor of [l] that is NOT also
+     an ancestor of the current leaf keeps its load within the band; shared
+     ancestors see no load change. *)
+  let fits ~from l d =
+    let ok = ref true in
+    let j = ref 1 in
+    while !ok && !j <= h do
+      let a = Hierarchy.ancestor hy ~level:!j l in
+      if a <> Hierarchy.ancestor hy ~level:!j from then
+        if loads.(!j).(a) +. d > cap.(!j) then ok := false;
+      incr j
+    done;
+    !ok
+  in
+  let apply ~from l d =
+    for j = 1 to h do
+      let a = Hierarchy.ancestor hy ~level:j l in
+      let b = Hierarchy.ancestor hy ~level:j from in
+      if a <> b then begin
+        loads.(j).(a) <- loads.(j).(a) +. d;
+        loads.(j).(b) <- loads.(j).(b) -. d
+      end
+    done
+  in
+  let incident l v =
+    let acc = ref 0. in
+    Csr.iter_neighbors
+      (fun u w -> if u <> v then acc := !acc +. (w *. Hierarchy.edge_cost hy l assignment.(u)))
+      csr v;
+    !acc
+  in
+  let moves = ref 0 and total_gain = ref 0. and passes = ref 0 in
+  let improved = ref true in
+  (* Candidate targets: only leaves hosting a neighbor — the classic
+     boundary-refinement restriction that keeps a pass O(sum deg^2 / n) per
+     vertex instead of O(k). *)
+  let cand = Array.make 8 0 in
+  let cand = ref cand in
+  while !improved && !passes < max_passes do
+    improved := false;
+    incr passes;
+    for v = 0 to n - 1 do
+      let from = assignment.(v) in
+      let ncand = ref 0 in
+      Csr.iter_neighbors
+        (fun u _ ->
+          let l = assignment.(u) in
+          if l <> from then begin
+            let dup = ref false in
+            for i = 0 to !ncand - 1 do
+              if !cand.(i) = l then dup := true
+            done;
+            if not !dup then begin
+              if !ncand >= Array.length !cand then begin
+                let bigger = Array.make (2 * Array.length !cand) 0 in
+                Array.blit !cand 0 bigger 0 !ncand;
+                cand := bigger
+              end;
+              !cand.(!ncand) <- l;
+              incr ncand
+            end
+          end)
+        csr v;
+      if !ncand > 0 then begin
+        let here = incident from v in
+        let d = Csr.vertex_weight csr v in
+        let best_l = ref from and best_gain = ref 1e-12 in
+        for i = 0 to !ncand - 1 do
+          let l = !cand.(i) in
+          let gain = here -. incident l v in
+          if gain > !best_gain && fits ~from l d then begin
+            best_gain := gain;
+            best_l := l
+          end
+        done;
+        if !best_l <> from then begin
+          apply ~from !best_l d;
+          assignment.(v) <- !best_l;
+          moves := !moves + 1;
+          total_gain := !total_gain +. !best_gain;
+          improved := true
+        end
+      end
+    done
+  done;
+  (assignment, { passes = !passes; moves = !moves; gain = !total_gain })

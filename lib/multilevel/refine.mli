@@ -1,0 +1,33 @@
+(** Certification-preserving boundary refinement on CSR graphs.
+
+    After a coarse solution is projected one level down, every fine vertex
+    sits where its super-vertex sat; the only vertices whose placement can
+    be wrong at this level are those with an edge crossing a leaf boundary.
+    Each pass visits vertices in ascending id order (no randomness — the
+    V-cycle must be deterministic for a fixed seed) and greedily moves a
+    vertex to the neighbor-hosting leaf that reduces its incident
+    communication cost the most, {e provided} the move keeps the load of
+    every hierarchy-level ancestor of the destination within
+    [slack * CP(j)].
+
+    With [slack] set to the certified bound [(1+eps)(1+h)], refinement can
+    only lower the cost and can never push any level past the band the
+    coarse certificate established — so the certificate survives
+    uncoarsening (the semantics [docs/MULTILEVEL.md] relies on). *)
+
+type stats = {
+  passes : int;
+  moves : int;
+  gain : float;  (** total incident-cost decrease over all moves *)
+}
+
+(** [refine csr hy assignment ~slack ~max_passes] returns the refined copy
+    of [assignment] (vertex -> leaf of [hy]) and move statistics.  Vertex
+    weights of [csr] are the demands. *)
+val refine :
+  Hgp_graph.Csr.t ->
+  Hgp_hierarchy.Hierarchy.t ->
+  int array ->
+  slack:float ->
+  max_passes:int ->
+  int array * stats

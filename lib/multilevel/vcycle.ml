@@ -1,0 +1,179 @@
+module Csr = Hgp_graph.Csr
+module Hierarchy = Hgp_hierarchy.Hierarchy
+module Instance = Hgp_core.Instance
+module Pipeline = Hgp_core.Pipeline
+module Solver = Hgp_core.Solver
+module Verify = Hgp_core.Verify
+module Cost = Hgp_core.Cost
+module Obs = Hgp_obs.Obs
+module Lru = Hgp_util.Lru
+module Fingerprint = Hgp_util.Fingerprint
+module Prng = Hgp_util.Prng
+
+type options = {
+  threshold : int;
+  max_levels : int;
+  refine_passes : int;
+  solver : Pipeline.options;
+}
+
+let default_options =
+  { threshold = 128; max_levels = 40; refine_passes = 2; solver = Pipeline.default_options }
+
+type level_report = {
+  level : int;
+  n : int;
+  m : int;
+  moves : int;
+  gain : float;
+}
+
+type result = {
+  solution : Pipeline.solution;
+  coarse_certificate : Verify.report;
+  coarse_n : int;
+  levels : int;
+  coarsening_ratio : float;
+  level_reports : level_report list;
+  hierarchy_cached : bool;
+}
+
+(* ---- hierarchy cache ----
+   Chains hold the full per-level CSR arrays, so a handful of entries is
+   plenty; the win is the batch server re-solving the same graph under
+   different demands/options. *)
+let cache : (Fingerprint.t, Coarsen.chain) Lru.t = Lru.create ~capacity:4
+let cache_lock = Mutex.create ()
+
+let with_cache f =
+  Mutex.lock cache_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_lock) f
+
+let () =
+  Pipeline.register_external_cache ~name:"hierarchy"
+    ~stats:(fun () -> with_cache (fun () -> Lru.stats cache))
+    ~clear:(fun () -> with_cache (fun () -> Lru.clear cache))
+    ~reset_stats:(fun () -> with_cache (fun () -> Lru.reset_stats cache))
+
+let chain_key fine ~threshold ~max_levels ~seed ~max_weight =
+  Csr.fingerprint fine
+  |> Fun.flip Fingerprint.add_string "multilevel.chain"
+  |> Fun.flip Fingerprint.add_int threshold
+  |> Fun.flip Fingerprint.add_int max_levels
+  |> Fun.flip Fingerprint.add_int seed
+  |> Fun.flip Fingerprint.add_float max_weight
+
+let solve ?(options = default_options) (inst : Instance.t) =
+  Obs.span "multilevel.solve" @@ fun () ->
+  let hy = inst.Instance.hierarchy in
+  let eps = options.solver.Pipeline.eps in
+  let seed = options.solver.Pipeline.seed in
+  let max_weight = Hierarchy.leaf_capacity hy in
+  let fine =
+    Obs.span "multilevel.csr_build" (fun () ->
+        let before = Gc.allocated_bytes () in
+        let csr = Csr.of_graph ~vwgt:inst.Instance.demands inst.Instance.graph in
+        (* CI's multilevel smoke divides these two counters to enforce the
+           bytes-per-edge ceiling in test/perf_budget.json
+           ("csr.build_bytes_per_edge_max"). *)
+        Obs.count "multilevel.csr_build_bytes"
+          (int_of_float (Gc.allocated_bytes () -. before));
+        Obs.count "multilevel.csr_build_edges" (Csr.m csr);
+        csr)
+  in
+  let chain, hierarchy_cached =
+    if Csr.n fine <= options.threshold then ([], false)
+    else begin
+      let key =
+        chain_key fine ~threshold:options.threshold ~max_levels:options.max_levels ~seed
+          ~max_weight
+      in
+      match with_cache (fun () -> Lru.find cache key) with
+      | Some c -> (c, true)
+      | None ->
+        let rng = Prng.create seed in
+        let c =
+          Obs.span "multilevel.coarsen" (fun () ->
+              Coarsen.build rng fine ~threshold:options.threshold
+                ~max_levels:options.max_levels ~max_weight)
+        in
+        with_cache (fun () -> Lru.add cache key c);
+        (c, false)
+    end
+  in
+  let coarsest = Coarsen.coarsest ~fine chain in
+  let coarse_inst =
+    if chain = [] then inst
+    else
+      Instance.create (Csr.to_graph coarsest)
+        ~demands:(Array.init (Csr.n coarsest) (Csr.vertex_weight coarsest))
+        hy
+  in
+  let coarse_sol =
+    Obs.span "multilevel.coarse_solve" (fun () ->
+        Solver.solve ~options:options.solver coarse_inst)
+  in
+  let coarse_certificate = Verify.certify coarse_inst coarse_sol.Pipeline.assignment ~eps in
+  let slack = coarse_certificate.Verify.theorem_bound in
+  (* Uncoarsen: walk the chain coarsest-to-finest, projecting through each
+     cmap and refining within the certified band. *)
+  let reports = ref [] in
+  let total_moves = ref 0 in
+  let assignment =
+    Obs.span "multilevel.refine" @@ fun () ->
+    List.fold_left
+      (fun parts (lvl : Coarsen.level) ->
+        let projected =
+          Array.init (Csr.n lvl.Coarsen.fine) (fun v -> parts.(lvl.Coarsen.cmap.(v)))
+        in
+        if options.refine_passes <= 0 then projected
+        else begin
+          let refined, (st : Refine.stats) =
+            Refine.refine lvl.Coarsen.fine hy projected ~slack
+              ~max_passes:options.refine_passes
+          in
+          let level = List.length chain - 1 - List.length !reports in
+          reports :=
+            {
+              level;
+              n = Csr.n lvl.Coarsen.fine;
+              m = Csr.m lvl.Coarsen.fine;
+              moves = st.Refine.moves;
+              gain = st.Refine.gain;
+            }
+            :: !reports;
+          total_moves := !total_moves + st.Refine.moves;
+          Obs.gauge (Printf.sprintf "multilevel.refine_gain.level%d" level) st.Refine.gain;
+          refined
+        end)
+      coarse_sol.Pipeline.assignment (List.rev chain)
+  in
+  let levels = List.length chain in
+  let ratio =
+    if Csr.n coarsest = 0 then 1.
+    else float_of_int (Csr.n fine) /. float_of_int (Csr.n coarsest)
+  in
+  Obs.count "multilevel.solves" 1;
+  Obs.count "multilevel.refine_moves" !total_moves;
+  Obs.count (if hierarchy_cached then "multilevel.cache_hit" else "multilevel.cache_miss") 1;
+  Obs.gauge "multilevel.levels" (float_of_int levels);
+  Obs.gauge "multilevel.coarsening_ratio" ratio;
+  let solution =
+    if chain = [] then coarse_sol
+    else
+      {
+        coarse_sol with
+        Pipeline.assignment;
+        cost = Cost.assignment_cost inst assignment;
+        max_violation = Cost.max_violation inst assignment;
+      }
+  in
+  {
+    solution;
+    coarse_certificate;
+    coarse_n = Csr.n coarsest;
+    levels;
+    coarsening_ratio = ratio;
+    level_reports = !reports;
+    hierarchy_cached;
+  }

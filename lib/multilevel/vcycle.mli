@@ -1,0 +1,73 @@
+(** The multilevel V-cycle front-end: coarsen → solve exactly → uncoarsen →
+    refine.
+
+    The exact Theorem-1 pipeline tops out around a few hundred vertices (the
+    DP and the Räcke ensemble both scale with [n]); the V-cycle runs it only
+    on a heavy-edge-matching coarsening of the input — typically
+    [threshold] ≈ 128 vertices regardless of the input size — then projects
+    the coarse assignment back through the level hierarchy with
+    certification-preserving boundary refinement at each level
+    ({!Refine}).  Coarse vertex weights are the summed demands of their
+    clusters, i.e. exactly the nonuniform-weights setting of Makarychev &
+    Makarychev, and matching never merges past a leaf capacity, so the
+    coarse instance is always well-formed.
+
+    Certification semantics: {!Verify.certify} runs on the {e coarse}
+    instance, where the DP's [(1+eps)(1+h)] guarantee actually applies.
+    Projection preserves leaf loads exactly (a cluster's demand lands on the
+    leaf its super-vertex chose) and refinement is banded by the certified
+    bound, so the fine solution inherits the coarse certificate's violation
+    band; the fine cost is reported from the true Equation-1 objective.
+
+    Coarsening chains are content-addressed ({!Coarsen.level.key} per level,
+    the fine graph's fingerprint ⊕ threshold ⊕ seed as the chain key) and
+    cached in a process-wide LRU registered with
+    {!Hgp_core.Pipeline.register_external_cache} under the name
+    ["hierarchy"], so repeated solves of the same graph — the batch server's
+    favorite access pattern — skip coarsening entirely.
+
+    See [docs/MULTILEVEL.md] for the design discussion and when the exact
+    path still wins. *)
+
+type options = {
+  threshold : int;  (** stop coarsening at this vertex count (default 128) *)
+  max_levels : int;  (** hard cap on coarsening transitions (default 40) *)
+  refine_passes : int;
+      (** boundary-refinement passes per level on the way back up
+          (default 2; 0 = pure projection) *)
+  solver : Hgp_core.Pipeline.options;  (** exact-solver options for the coarsest graph *)
+}
+
+val default_options : options
+
+type level_report = {
+  level : int;  (** 0 = finest transition *)
+  n : int;  (** fine vertices at this transition *)
+  m : int;
+  moves : int;  (** refinement moves applied after projecting to this level *)
+  gain : float;  (** refinement cost decrease at this level *)
+}
+
+type result = {
+  solution : Hgp_core.Pipeline.solution;
+      (** fine-level assignment; [cost] / [max_violation] recomputed on the
+          true instance, DP accounting inherited from the coarse solve *)
+  coarse_certificate : Hgp_core.Verify.report;
+      (** [Verify.certify] of the exact solve on the coarse instance *)
+  coarse_n : int;
+  levels : int;
+  coarsening_ratio : float;  (** fine n / coarse n; 1.0 when no coarsening ran *)
+  level_reports : level_report list;  (** finest-first *)
+  hierarchy_cached : bool;  (** chain served from the hierarchy cache *)
+}
+
+(** [solve ?options inst] runs the V-cycle.  Instances no larger than
+    [threshold] skip coarsening and behave exactly like [Solver.solve].
+    Raises whatever the exact solver raises on the coarse instance
+    ([Infeasible _] after its retry, etc.).
+
+    Telemetry: [multilevel.{csr_build,coarsen,coarse_solve,refine}] spans,
+    [multilevel.solves] / [multilevel.refine_moves] counters,
+    [multilevel.levels] / [multilevel.coarsening_ratio] gauges and a
+    [multilevel.refine_gain.levelN] gauge per level. *)
+val solve : ?options:options -> Hgp_core.Instance.t -> result

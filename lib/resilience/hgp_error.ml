@@ -1,6 +1,7 @@
 type t =
   | Parse of { line : int option; context : string; msg : string }
   | Io_error of { path : string; msg : string }
+  | Invalid_input of { context : string; msg : string }
   | Infeasible of { resolution : int; retried : bool; msg : string }
   | Deadline_exceeded of { budget_ms : float; elapsed_ms : float; stage : string }
   | Tree_failure of { tree_index : int; stage : string; msg : string }
@@ -16,6 +17,7 @@ let error e = raise (Error e)
 let label = function
   | Parse _ -> "parse"
   | Io_error _ -> "io"
+  | Invalid_input _ -> "invalid-input"
   | Infeasible _ -> "infeasible"
   | Deadline_exceeded _ -> "deadline"
   | Tree_failure _ -> "tree-failure"
@@ -26,6 +28,7 @@ let label = function
 
 let exit_code = function
   | Parse _ -> 65
+  | Invalid_input _ -> 65
   | Io_error _ -> 66
   | Infeasible _ -> 69
   | Tree_failure _ | Domain_crash _ | Fault_injected _ | Internal _ -> 70
@@ -36,6 +39,7 @@ let to_string = function
     let where = match line with None -> "" | Some l -> Printf.sprintf " at line %d" l in
     Printf.sprintf "parse error%s (%s): %s" where context msg
   | Io_error { path; msg } -> Printf.sprintf "io error on %s: %s" path msg
+  | Invalid_input { context; msg } -> Printf.sprintf "invalid input (%s): %s" context msg
   | Infeasible { resolution; retried; msg } ->
     Printf.sprintf "infeasible at resolution %d%s: %s" resolution
       (if retried then " (after higher-resolution retry)" else "")

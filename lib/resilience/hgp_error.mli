@@ -16,6 +16,10 @@ type t =
           "graph", "instance") *)
   | Io_error of { path : string; msg : string }
       (** the OS said no: missing file, permission, short read *)
+  | Invalid_input of { context : string; msg : string }
+      (** structurally invalid in-memory data handed to a builder (dangling
+          edge endpoint, negative weight, length mismatch); [context] names
+          the constructor ("csr.of_arrays", "csr.contract", ...) *)
   | Infeasible of { resolution : int; retried : bool; msg : string }
       (** the quantized instance admits no packing; [retried] is set once the
           higher-resolution retry has also failed, so the instance is
@@ -43,10 +47,10 @@ exception Error of t
 (** [error e] raises {!Error}[ e]. *)
 val error : t -> 'a
 
-(** [label e] is a stable kebab-case class name ("parse", "io", "infeasible",
-    "deadline", "tree-failure", "domain-crash", "fault", "overloaded",
-    "internal") used in telemetry counters, batch-response error fields and
-    logs. *)
+(** [label e] is a stable kebab-case class name ("parse", "io",
+    "invalid-input", "infeasible", "deadline", "tree-failure",
+    "domain-crash", "fault", "overloaded", "internal") used in telemetry
+    counters, batch-response error fields and logs. *)
 val label : t -> string
 
 (** [exit_code e] is the documented CLI exit code for the class (sysexits

@@ -1,0 +1,296 @@
+(* Property suite for the CSR graph representation (ISSUE 6 satellite):
+   CSR <-> boxed Graph.t round trips are isomorphisms over every generator
+   preset x seed, builders reject malformed input with structured
+   Hgp_error.Invalid_input, contraction is bit-identical to Graph.contract,
+   and the struct-of-arrays build stays within its allocation budget. *)
+
+module Graph = Hgp_graph.Graph
+module Csr = Hgp_graph.Csr
+module Gen = Hgp_graph.Generators
+module Prng = Hgp_util.Prng
+module E = Hgp_resilience.Hgp_error
+
+(* Every generator preset, at a couple of sizes, over several seeds.
+   Deterministic generators appear once per size; seeded ones per seed. *)
+let preset_graphs () =
+  let seeds = [ 1; 7; 42; 1001; 31337 ] in
+  let fixed =
+    [
+      ("path-9", Gen.path 9);
+      ("path-32", Gen.path 32);
+      ("cycle-12", Gen.cycle 12);
+      ("complete-8", Gen.complete 8);
+      ("star-11", Gen.star 11);
+      ("grid2d-4x5", Gen.grid2d ~rows:4 ~cols:5);
+      ("torus2d-4x4", Gen.torus2d ~rows:4 ~cols:4);
+      ("binary_tree-4", Gen.binary_tree 4);
+      ("caterpillar-5x3", Gen.caterpillar ~spine:5 ~legs:3);
+      ("hypercube-4", Gen.hypercube 4);
+      ("barbell-6+3", Gen.barbell ~clique:6 ~bridge:3);
+    ]
+  in
+  let seeded =
+    List.concat_map
+      (fun seed ->
+        let rng () = Prng.create seed in
+        [
+          (Printf.sprintf "gnp-24@%d" seed, Gen.gnp_connected (rng ()) 24 0.2);
+          ( Printf.sprintf "chung_lu-30@%d" seed,
+            Gen.chung_lu (rng ()) ~n:30 ~exponent:2.5 ~avg_degree:4.0 );
+          ( Printf.sprintf "regular-20@%d" seed,
+            Gen.random_regular (rng ()) ~n:20 ~degree:4 );
+          (Printf.sprintf "tree-25@%d" seed, Gen.random_tree (rng ()) 25);
+          ( Printf.sprintf "ws-26@%d" seed,
+            Gen.watts_strogatz (rng ()) ~n:26 ~k:4 ~beta:0.3 );
+        ])
+      seeds
+  in
+  (* Random weights exercise float fidelity through the round trip. *)
+  let weighted =
+    List.map
+      (fun (name, g) ->
+        (name ^ "+w", Gen.randomize_weights (Prng.create 99) g ~lo:0.5 ~hi:9.5))
+      (fixed @ seeded)
+  in
+  fixed @ seeded @ weighted
+
+let graphs_equal g g' =
+  Graph.n g = Graph.n g' && Graph.edges g = Graph.edges g'
+
+(* ---- round trip ---- *)
+
+let test_round_trip () =
+  List.iter
+    (fun (name, g) ->
+      let csr = Csr.of_graph g in
+      Alcotest.(check int) (name ^ ": n") (Graph.n g) (Csr.n csr);
+      Alcotest.(check int) (name ^ ": m") (Graph.m g) (Csr.m csr);
+      Alcotest.(check (float 1e-9))
+        (name ^ ": total weight") (Graph.total_weight g)
+        (Csr.total_edge_weight csr);
+      for v = 0 to Graph.n g - 1 do
+        if Graph.degree g v <> Csr.degree csr v then
+          Alcotest.failf "%s: degree of %d differs" name v
+      done;
+      let g' = Csr.to_graph csr in
+      if not (graphs_equal g g') then
+        Alcotest.failf "%s: round trip is not an isomorphism" name;
+      (* Same CSR triple implies same content fingerprint. *)
+      Alcotest.(check bool)
+        (name ^ ": fingerprint") true
+        (Graph.fingerprint g = Graph.fingerprint g'))
+    (preset_graphs ())
+
+let test_of_arrays_matches_of_edges () =
+  List.iter
+    (fun (name, g) ->
+      let edges = Graph.edges g in
+      let m = Array.length edges in
+      let src = Array.make m 0 and dst = Array.make m 0 and w = Array.make m 0. in
+      Array.iteri
+        (fun i (u, v, wi) ->
+          src.(i) <- u;
+          dst.(i) <- v;
+          w.(i) <- wi)
+        edges;
+      let csr = Csr.of_arrays ~n:(Graph.n g) ~src ~dst ~w () in
+      if not (graphs_equal g (Csr.to_graph csr)) then
+        Alcotest.failf "%s: of_arrays disagrees with of_edges" name)
+    (preset_graphs ())
+
+let test_merge_and_self_loop_semantics () =
+  (* Parallel edges merge by summing; self-loops vanish — Builder semantics. *)
+  let csr =
+    Csr.of_arrays ~n:4
+      ~src:[| 0; 1; 2; 0; 3 |]
+      ~dst:[| 1; 0; 2; 1; 0 |]
+      ~w:[| 1.5; 2.25; 7.0; 0.25; 3.0 |]
+      ()
+  in
+  Alcotest.(check int) "merged m" 2 (Csr.m csr);
+  Alcotest.(check (float 0.)) "merged weight" 4.0 (Csr.edge_weight csr 0 1);
+  Alcotest.(check (float 0.)) "merged weight sym" 4.0 (Csr.edge_weight csr 1 0);
+  Alcotest.(check (float 0.)) "absent edge" 0.0 (Csr.edge_weight csr 1 2);
+  Alcotest.(check (float 0.)) "total" 7.0 (Csr.total_edge_weight csr)
+
+let test_neighbor_order_ascending () =
+  List.iter
+    (fun (name, g) ->
+      let csr = Csr.of_graph g in
+      for v = 0 to Csr.n csr - 1 do
+        let last = ref (-1) in
+        Csr.iter_neighbors
+          (fun u _ ->
+            if u <= !last then Alcotest.failf "%s: row %d not ascending" name v;
+            last := u)
+          csr v
+      done)
+    (preset_graphs ())
+
+(* ---- vertex weights ---- *)
+
+let test_vertex_weights () =
+  let g = Gen.cycle 6 in
+  let vwgt = [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 |] in
+  let csr = Csr.of_graph ~vwgt g in
+  Alcotest.(check (float 0.)) "total vw" 21.0 (Csr.total_vertex_weight csr);
+  Alcotest.(check (float 0.)) "vw 3" 4.0 (Csr.vertex_weight csr 3);
+  (* Default weights are all ones. *)
+  let plain = Csr.of_graph g in
+  Alcotest.(check (float 0.)) "default vw" 6.0 (Csr.total_vertex_weight plain)
+
+(* ---- contract: bit-identical to Graph.contract ---- *)
+
+let test_contract_matches_graph_contract () =
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.n g in
+      let rng = Prng.create (Hashtbl.hash name) in
+      let n_parts = max 1 (n / 3) in
+      let map = Array.init n (fun _ -> Prng.int rng n_parts) in
+      (* Ensure no part is empty (Csr.contract rejects empty parts). *)
+      for p = 0 to n_parts - 1 do
+        map.(p mod n) <- p
+      done;
+      let boxed = Graph.contract g map ~n_parts in
+      let csr = Csr.contract (Csr.of_graph g) map ~n_parts in
+      (* Structural equality on float payloads: the stable counting sort
+         must accumulate parallel-edge weights in the same order as the
+         boxed Builder, so this is exact, not approximate. *)
+      if not (graphs_equal boxed (Csr.to_graph csr)) then
+        Alcotest.failf "%s: contract drifts from Graph.contract" name;
+      (* Coarse vertex weights are the summed fine weights. *)
+      Alcotest.(check (float 1e-9))
+        (name ^ ": contracted vw") (float_of_int n)
+        (Csr.total_vertex_weight csr))
+    (preset_graphs ())
+
+(* ---- structured rejection ---- *)
+
+let check_invalid ~context name f =
+  match f () with
+  | (_ : Csr.t) -> Alcotest.failf "%s: expected Invalid_input" name
+  | exception E.Error (E.Invalid_input { context = c; _ }) ->
+    Alcotest.(check string) (name ^ ": context") context c
+  | exception e ->
+    Alcotest.failf "%s: expected Invalid_input, got %s" name (Printexc.to_string e)
+
+let test_builder_rejects () =
+  let ok_src = [| 0 |] and ok_dst = [| 1 |] and ok_w = [| 1.0 |] in
+  check_invalid ~context:"csr.of_arrays" "dangling high" (fun () ->
+      Csr.of_arrays ~n:2 ~src:[| 0 |] ~dst:[| 2 |] ~w:ok_w ());
+  check_invalid ~context:"csr.of_arrays" "dangling negative" (fun () ->
+      Csr.of_arrays ~n:2 ~src:[| -1 |] ~dst:[| 1 |] ~w:ok_w ());
+  check_invalid ~context:"csr.of_arrays" "negative weight" (fun () ->
+      Csr.of_arrays ~n:2 ~src:ok_src ~dst:ok_dst ~w:[| -1.0 |] ());
+  check_invalid ~context:"csr.of_arrays" "nan weight" (fun () ->
+      Csr.of_arrays ~n:2 ~src:ok_src ~dst:ok_dst ~w:[| Float.nan |] ());
+  check_invalid ~context:"csr.of_arrays" "infinite weight" (fun () ->
+      Csr.of_arrays ~n:2 ~src:ok_src ~dst:ok_dst ~w:[| Float.infinity |] ());
+  check_invalid ~context:"csr.of_arrays" "length mismatch" (fun () ->
+      Csr.of_arrays ~n:2 ~src:ok_src ~dst:[| 1; 0 |] ~w:ok_w ());
+  check_invalid ~context:"csr.of_arrays" "negative n" (fun () ->
+      Csr.of_arrays ~n:(-1) ~src:[||] ~dst:[||] ~w:[||] ());
+  check_invalid ~context:"csr.of_arrays" "vwgt length" (fun () ->
+      Csr.of_arrays ~n:2 ~vwgt:[| 1.0 |] ~src:ok_src ~dst:ok_dst ~w:ok_w ());
+  check_invalid ~context:"csr.of_arrays" "non-positive vwgt" (fun () ->
+      Csr.of_arrays ~n:2 ~vwgt:[| 1.0; 0.0 |] ~src:ok_src ~dst:ok_dst ~w:ok_w ());
+  (* The error payload carries the label and exit class of input errors. *)
+  (match
+     Csr.of_arrays ~n:2 ~src:[| 0 |] ~dst:[| 5 |] ~w:[| 1.0 |] ()
+   with
+  | (_ : Csr.t) -> Alcotest.fail "expected raise"
+  | exception E.Error e ->
+    Alcotest.(check string) "label" "invalid-input" (E.label e);
+    Alcotest.(check int) "exit code" 65 (E.exit_code e))
+
+let test_contract_rejects () =
+  let csr = Csr.of_graph (Gen.path 4) in
+  check_invalid ~context:"csr.contract" "length" (fun () ->
+      Csr.contract csr [| 0; 1 |] ~n_parts:2);
+  check_invalid ~context:"csr.contract" "range" (fun () ->
+      Csr.contract csr [| 0; 1; 2; 9 |] ~n_parts:3);
+  check_invalid ~context:"csr.contract" "empty part" (fun () ->
+      Csr.contract csr [| 0; 0; 2; 2 |] ~n_parts:3)
+
+(* ---- io normalization regression (ISSUE 6 satellite) ---- *)
+
+let test_sparse_id_normalization () =
+  let module Io = Hgp_graph.Io in
+  (* Sparse ids: the literal parse pads with isolated vertices, the
+     normalizing parse compacts. *)
+  let text = "10 20 2.5\n20 30 1.5\n" in
+  let literal = Io.of_edge_list_string text in
+  Alcotest.(check int) "literal n" 31 (Graph.n literal);
+  Alcotest.(check int) "literal m" 2 (Graph.m literal);
+  let dense = Io.of_edge_list_string ~normalize:true text in
+  Alcotest.(check int) "dense n" 3 (Graph.n dense);
+  Alcotest.(check int) "dense m" 2 (Graph.m dense);
+  Alcotest.(check (float 0.)) "weight preserved" 2.5 (Graph.edge_weight dense 0 1);
+  let _, originals = Io.normalize_ids [ (10, 20, 2.5); (20, 30, 1.5) ] in
+  Alcotest.(check (array int)) "id map" [| 10; 20; 30 |] originals;
+  (* Already-dense input: normalization is the identity. *)
+  let g = Gen.gnp_connected (Prng.create 5) 12 0.3 in
+  let dense', map =
+    Io.normalize_ids (Array.to_list (Graph.edges g))
+  in
+  Alcotest.(check bool) "identity on dense" true (graphs_equal g dense');
+  Alcotest.(check (array int)) "identity map" (Array.init 12 Fun.id) map;
+  (* Negative ids are a structured input error on both paths. *)
+  (match Io.normalize_ids [ (-1, 2, 1.0) ] with
+  | _ -> Alcotest.fail "expected Invalid_input"
+  | exception E.Error (E.Invalid_input _) -> ());
+  match Io.of_edge_list_string "-1 2\n" with
+  | _ -> Alcotest.fail "expected Invalid_input"
+  | exception E.Error (E.Invalid_input _) -> ()
+
+(* ---- allocation budget ---- *)
+
+(* The struct-of-arrays build must stay allocation-linear: two counting-sort
+   passes over the directed arcs plus the final CSR triple.  The ceiling
+   tracks test/perf_budget.json's "csr.build_bytes_per_edge_max" (with the
+   same ~3x headroom over the measured bytes/edge); CI enforces the same
+   budget on a 10^5-vertex stream DAG through the multilevel smoke step. *)
+let budget_bytes_per_edge = 320.
+
+let test_build_allocation_budget () =
+  let m = 200_000 in
+  let n = m + 1 in
+  let src = Array.init m Fun.id in
+  let dst = Array.init m (fun i -> i + 1) in
+  let w = Array.make m 1.0 in
+  let before = Gc.allocated_bytes () in
+  let csr = Csr.of_arrays ~n ~src ~dst ~w () in
+  let after = Gc.allocated_bytes () in
+  Alcotest.(check int) "built" m (Csr.m csr);
+  let per_edge = (after -. before) /. float_of_int m in
+  if per_edge > budget_bytes_per_edge then
+    Alcotest.failf "CSR build allocated %.1f bytes/edge (budget %.0f)" per_edge
+      budget_bytes_per_edge
+
+let () =
+  Alcotest.run "csr"
+    [
+      ( "round-trip",
+        [
+          Alcotest.test_case "of_graph/to_graph isomorphism" `Quick test_round_trip;
+          Alcotest.test_case "of_arrays = of_edges" `Quick test_of_arrays_matches_of_edges;
+          Alcotest.test_case "merge + self-loop semantics" `Quick
+            test_merge_and_self_loop_semantics;
+          Alcotest.test_case "rows ascending" `Quick test_neighbor_order_ascending;
+          Alcotest.test_case "vertex weights" `Quick test_vertex_weights;
+        ] );
+      ( "contract",
+        [
+          Alcotest.test_case "bit-identical to Graph.contract" `Quick
+            test_contract_matches_graph_contract;
+          Alcotest.test_case "structured rejects" `Quick test_contract_rejects;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "builder rejects" `Quick test_builder_rejects;
+          Alcotest.test_case "sparse-id normalization" `Quick test_sparse_id_normalization;
+        ] );
+      ( "perf",
+        [ Alcotest.test_case "allocation budget" `Quick test_build_allocation_budget ] );
+    ]

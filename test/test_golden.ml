@@ -156,7 +156,10 @@ let normalize_metrics_json s =
                 settings, unlike the content-determined DP counters. *)
              match find_substring line "\"name\":\"tree_dp.bytes_allocated\"" with
              | Some _ -> normalize_json_field "value" line
-             | None -> line))
+             | None -> (
+                 match find_substring line "\"name\":\"multilevel.csr_build_bytes\"" with
+                 | Some _ -> normalize_json_field "value" line
+                 | None -> line)))
 
 let normalize_cache_stats s = map_lines normalize_stage_line s
 
@@ -227,6 +230,24 @@ let test_metrics_json_schema () =
   Alcotest.(check int) "exit 0" 0 code;
   check_golden "solve_metrics_json" (normalize_metrics_json err)
 
+let test_multilevel_schema () =
+  with_fixture_file @@ fun inst ->
+  (* --multilevel=8 forces real coarsening on the 20-vertex fixture; stdout
+     carries the V-cycle header lines (# multilevel / # coarse-certified /
+     # refine) plus the assignment, all seed-determined.  Stderr interleaves
+     the metrics stream with the cache report, which now includes the
+     "cache hierarchy" line registered by the multilevel front-end. *)
+  let code, out, err =
+    run_cli
+      [
+        "solve"; inst; "--seed"; "3"; "--trees"; "2"; "--multilevel=8";
+        "--cache-stats"; "--metrics=json";
+      ]
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_golden "solve_multilevel_stdout" out;
+  check_golden "solve_multilevel_stderr" (normalize_cache_stats (normalize_metrics_json err))
+
 let test_batch_response_schema () =
   with_fixture_file @@ fun inst ->
   let req ~id ~seed = Protocol.request ~id ~trees:2 ~seed (Protocol.Path inst) in
@@ -262,6 +283,7 @@ let () =
         [
           Alcotest.test_case "--cache-stats" `Quick test_cache_stats_schema;
           Alcotest.test_case "--metrics=json" `Quick test_metrics_json_schema;
+          Alcotest.test_case "--multilevel" `Quick test_multilevel_schema;
           Alcotest.test_case "batch responses" `Quick test_batch_response_schema;
         ] );
     ]

@@ -49,6 +49,7 @@ let all_errors : E.t list =
   [
     E.Parse { line = Some 3; context = "demands"; msg = "bad token" };
     E.Io_error { path = "/nope"; msg = "missing" };
+    E.Invalid_input { context = "csr.of_arrays"; msg = "dangling endpoint" };
     E.Infeasible { resolution = 8; retried = true; msg = "overloaded" };
     E.Deadline_exceeded { budget_ms = 50.; elapsed_ms = 51.; stage = "tree_dp" };
     E.Tree_failure { tree_index = 2; stage = "dp"; msg = "boom" };
@@ -60,11 +61,11 @@ let all_errors : E.t list =
 let test_labels_and_exit_codes () =
   Alcotest.(check (list string))
     "labels"
-    [ "parse"; "io"; "infeasible"; "deadline"; "tree-failure"; "domain-crash";
-      "fault"; "internal" ]
+    [ "parse"; "io"; "invalid-input"; "infeasible"; "deadline"; "tree-failure";
+      "domain-crash"; "fault"; "internal" ]
     (List.map E.label all_errors);
   Alcotest.(check (list int))
-    "exit codes" [ 65; 66; 69; 75; 70; 70; 70; 70 ]
+    "exit codes" [ 65; 66; 65; 69; 75; 70; 70; 70; 70 ]
     (List.map E.exit_code all_errors)
 
 let test_rendering () =
