@@ -8,7 +8,9 @@
      serve      batch solve service on stdin/stdout (JSON lines)
      batch      solve a JSON-lines request file as one batch
 
-   Hierarchies are given as "degs@cms", e.g. "2x4x2@100,30,8,0". *)
+   Hierarchies are given as a preset name, a regular "degs@cms" spec such
+   as "2x4x2@100,30,8,0", or a ragged bracket spec such as
+   "[100,[10,4,4,4,4],[10,4,4,2],[5,8,8]]" (docs/HIERARCHY.md). *)
 
 module Graph = Hgp_graph.Graph
 module Gen = Hgp_graph.Generators
@@ -28,22 +30,25 @@ module Hgp_error = Hgp_resilience.Hgp_error
 module Faults = Hgp_resilience.Faults
 open Cmdliner
 
-let parse_hierarchy s =
+(* The hierarchy argument stays a raw string through cmdliner and is parsed
+   inside [handle_errors]: a malformed spec is invalid INPUT, not invalid
+   usage, so it must exit with the documented sysexits code 65
+   (Hgp_error.Invalid_input) and the parser's token-and-position message,
+   not cmdliner's generic option error. *)
+let resolve_hierarchy s =
   match Hgp_hierarchy.Topology.parse_result s with
-  | Ok h -> Ok h
-  | Error m -> Error (`Msg m)
-
-let hierarchy_conv =
-  Arg.conv
-    ( parse_hierarchy,
-      fun ppf h -> Hierarchy.pp ppf h )
+  | Ok h -> h
+  | Error msg -> Hgp_error.error (Hgp_error.Invalid_input { context = "hierarchy"; msg })
 
 let hierarchy_arg =
   let doc =
     "Hierarchy: a preset name (flat16, dual_socket, quad_socket, cluster, \
-     datacenter) or an explicit DEGS@CMS spec such as 2x4x2@100,30,8,0."
+     datacenter, ragged_rack, gpu_cpu_tier), a regular DEGS@CMS spec such as \
+     2x4x2@100,30,8,0, or a ragged bracket spec such as \
+     [100,[10,4,4,4,4],[10,4,4,2],[5,8,8]] (leaves are CAP or CAP:CM; see \
+     docs/HIERARCHY.md)."
   in
-  Arg.(value & opt hierarchy_conv Hierarchy.Presets.dual_socket & info [ "hierarchy"; "H" ] ~doc)
+  Arg.(value & opt string "dual_socket" & info [ "hierarchy"; "H" ] ~doc)
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
@@ -104,6 +109,8 @@ let generate_cmd =
           ~doc:"Emit a full instance file (graph + demands + hierarchy) instead of METIS.")
   in
   let run kind n seed out as_instance hierarchy load =
+    handle_errors @@ fun () ->
+    let hierarchy = resolve_hierarchy hierarchy in
     let rng = Prng.create seed in
     let g =
       match kind with
@@ -216,6 +223,7 @@ let solve_cmd =
   let run path hierarchy load seed ensemble resolution deadline_ms slack metrics repeat
       cache_stats multilevel =
     handle_errors @@ fun () ->
+    let hierarchy = resolve_hierarchy hierarchy in
     with_metrics metrics @@ fun () ->
     let inst = load_instance path hierarchy load seed in
     let options =
@@ -305,18 +313,24 @@ let solve_cmd =
 let compare_cmd =
   let run path hierarchy load seed slack metrics =
     handle_errors @@ fun () ->
+    let hierarchy = resolve_hierarchy hierarchy in
     with_metrics metrics @@ fun () ->
     let inst = load_instance path hierarchy load seed in
     let rng = Prng.create seed in
     let k = Hierarchy.num_leaves hierarchy in
     let capacity = slack *. Hierarchy.leaf_capacity hierarchy in
+    (* Identity mapping sends part p to leaf p, so the flat partitioner can
+       honor each leaf's own capacity. *)
+    let leaf_caps = Array.init k (fun l -> slack *. Hierarchy.leaf_cap hierarchy l) in
     let entries =
       [
         ("random", B.Placement.random rng inst ~slack);
         ("greedy", B.Placement.greedy inst ~slack ());
         ( "kbgp-flat",
           B.Mapping.identity
-            (B.Multilevel.partition rng inst.graph ~demands:inst.demands ~k ~capacity).parts );
+            (B.Multilevel.partition rng ~capacities:leaf_caps inst.graph
+               ~demands:inst.demands ~k ~capacity)
+              .parts );
         ( "kbgp+map",
           let parts =
             (B.Multilevel.partition rng inst.graph ~demands:inst.demands ~k ~capacity).parts
@@ -352,6 +366,7 @@ let validate_cmd =
   in
   let run path assignment_path hierarchy load seed slack =
     handle_errors @@ fun () ->
+    let hierarchy = resolve_hierarchy hierarchy in
     let inst = load_instance path hierarchy load seed in
     let p = Array.make (Instance.n inst) (-1) in
     let ic = open_in assignment_path in
@@ -379,7 +394,10 @@ let validate_cmd =
 (* ---- describe ---- *)
 
 let describe_cmd =
-  let run hierarchy = print_string (Hgp_hierarchy.Topology.describe hierarchy) in
+  let run hierarchy =
+    handle_errors @@ fun () ->
+    print_string (Hgp_hierarchy.Topology.describe (resolve_hierarchy hierarchy))
+  in
   let term = Term.(const run $ hierarchy_arg) in
   Cmd.v (Cmd.info "describe" ~doc:"Describe a hierarchy level by level.") term
 
@@ -388,6 +406,7 @@ let describe_cmd =
 let portfolio_cmd =
   let run path hierarchy load seed slack =
     handle_errors @@ fun () ->
+    let hierarchy = resolve_hierarchy hierarchy in
     let inst = load_instance path hierarchy load seed in
     let rng = Prng.create seed in
     let r = B.Portfolio.solve rng inst ~slack ~refine_passes:8 in
@@ -422,6 +441,8 @@ let simulate_cmd =
     Arg.(value & opt float 0.75 & info [ "sim-load" ] ~doc:"Source-rate multiplier.")
   in
   let run hierarchy load seed slack n_sources depth sim_load =
+    handle_errors @@ fun () ->
+    let hierarchy = resolve_hierarchy hierarchy in
     let rng = Prng.create seed in
     let w =
       Hgp_workloads.Stream_dag.generate rng

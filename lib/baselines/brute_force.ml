@@ -7,7 +7,7 @@ let exact (inst : Instance.t) ~slack =
   let hy = inst.hierarchy in
   let n = Graph.n g in
   let k = Hierarchy.num_leaves hy in
-  let cap = slack *. Hierarchy.leaf_capacity hy in
+  let caps = Array.init k (fun l -> slack *. Hierarchy.leaf_cap hy l) in
   (* Heaviest vertices first: better pruning. *)
   let order = Array.init n (fun i -> i) in
   Array.sort
@@ -26,7 +26,7 @@ let exact (inst : Instance.t) ~slack =
       else begin
         let v = order.(i) in
         for leaf = 0 to k - 1 do
-          if loads.(leaf) +. inst.demands.(v) <= cap +. 1e-9 then begin
+          if loads.(leaf) +. inst.demands.(v) <= caps.(leaf) +. 1e-9 then begin
             (* Incremental cost: edges to already-placed neighbors. *)
             let delta =
               Graph.fold_neighbors

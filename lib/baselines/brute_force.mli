@@ -5,8 +5,8 @@
     far.  Exponential: intended for [n <= ~10] with small hierarchies. *)
 
 (** [exact inst ~slack] returns [(assignment, cost)] minimizing the
-    Equation-1 cost over assignments where every leaf load is at most
-    [slack *. leaf_capacity], or [None] when no such assignment exists.
+    Equation-1 cost over assignments where every leaf [l]'s load is at most
+    [slack *. leaf_cap hy l], or [None] when no such assignment exists.
     [slack = 1.0] is the strict problem. *)
 val exact : Hgp_core.Instance.t -> slack:float -> (int array * float) option
 

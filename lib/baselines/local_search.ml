@@ -22,7 +22,7 @@ let refine (inst : Instance.t) p ~slack ~max_passes =
   let n = Instance.n inst in
   let hy = inst.hierarchy in
   let k = Hierarchy.num_leaves hy in
-  let cap = slack *. Hierarchy.leaf_capacity hy in
+  let caps = Array.init k (fun l -> slack *. Hierarchy.leaf_cap hy l) in
   let assignment = Array.copy p in
   let loads = Array.make k 0. in
   Array.iteri (fun v l -> loads.(l) <- loads.(l) +. inst.demands.(v)) assignment;
@@ -47,7 +47,7 @@ let refine (inst : Instance.t) p ~slack ~max_passes =
             best_any_gain := gain;
             best_any_leaf := l
           end;
-          if gain > !best_gain +. 1e-12 && loads.(l) +. d <= cap +. 1e-9 then begin
+          if gain > !best_gain +. 1e-12 && loads.(l) +. d <= caps.(l) +. 1e-9 then begin
             best_gain := gain;
             best_leaf := l
           end
@@ -69,8 +69,8 @@ let refine (inst : Instance.t) p ~slack ~max_passes =
           if assignment.(u) = target && u <> v then begin
             let du = inst.demands.(u) in
             if
-              loads.(target) -. du +. d <= cap +. 1e-9
-              && loads.(from) -. d +. du <= cap +. 1e-9
+              loads.(target) -. du +. d <= caps.(target) +. 1e-9
+              && loads.(from) -. d +. du <= caps.(from) +. 1e-9
             then begin
               let u_here = incident_cost inst assignment u target in
               let u_there = incident_cost inst assignment u from in
@@ -116,15 +116,22 @@ let repair (inst : Instance.t) p ~slack =
   let n = Instance.n inst in
   let hy = inst.hierarchy in
   let k = Hierarchy.num_leaves hy in
-  let cap = slack *. Hierarchy.leaf_capacity hy in
+  let caps = Array.init k (fun l -> slack *. Hierarchy.leaf_cap hy l) in
   let assignment = Array.copy p in
   let loads = Array.make k 0. in
   Array.iteri (fun v l -> loads.(l) <- loads.(l) +. inst.demands.(v)) assignment;
-  let overloaded l = loads.(l) > cap +. 1e-9 in
+  let overloaded l = loads.(l) > caps.(l) +. 1e-9 in
+  let any_overloaded () =
+    let bad = ref false in
+    for l = 0 to k - 1 do
+      if overloaded l then bad := true
+    done;
+    !bad
+  in
   (* Repeatedly evict from the most overloaded leaf the vertex whose best
      feasible relocation costs the least extra communication. *)
   let progress = ref true in
-  while !progress && Array.exists (fun l -> l > cap +. 1e-9) loads do
+  while !progress && any_overloaded () do
     progress := false;
     let worst = ref 0 in
     for l = 1 to k - 1 do
@@ -136,7 +143,7 @@ let repair (inst : Instance.t) p ~slack =
         if assignment.(v) = !worst then begin
           let here = incident_cost inst assignment v !worst in
           for l = 0 to k - 1 do
-            if l <> !worst && loads.(l) +. inst.demands.(v) <= cap +. 1e-9 then begin
+            if l <> !worst && loads.(l) +. inst.demands.(v) <= caps.(l) +. 1e-9 then begin
               let delta = incident_cost inst assignment v l -. here in
               match !best with
               | Some (_, _, d) when d <= delta -> ()
@@ -154,5 +161,5 @@ let repair (inst : Instance.t) p ~slack =
       | None -> ()
     end
   done;
-  let feasible = Array.for_all (fun l -> l <= cap +. 1e-9) loads in
+  let feasible = not (any_overloaded ()) in
   (assignment, feasible)

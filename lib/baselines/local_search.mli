@@ -23,8 +23,8 @@ type stats = {
 val refine :
   Hgp_core.Instance.t -> int array -> slack:float -> max_passes:int -> int array * stats
 
-(** [repair inst p ~slack] restores per-leaf capacity (within
-    [slack *. leaf_capacity]) by moving the cheapest-to-move vertices off
+(** [repair inst p ~slack] restores per-leaf capacity (each leaf within
+    [slack] times its own capacity) by moving the cheapest-to-move vertices off
     overloaded leaves onto feasible leaves with minimal cost increase.
     Returns the repaired assignment and whether it is now within slack
     (repair can fail only when total demand genuinely exceeds

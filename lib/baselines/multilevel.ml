@@ -23,9 +23,11 @@ let coarsen rng g demands =
   (Hgp_graph.Csr.to_graph coarse_csr, coarse_demands, coarse_id)
 
 (* Initial partition on the coarsest graph: chunk a BFS ordering into k
-   contiguous groups of roughly equal demand.  BFS contiguity gives locality
-   (low cut); equal chunking guarantees every part is used and balanced. *)
-let initial_partition rng g demands k _capacity =
+   contiguous groups of roughly equal demand — or, with heterogeneous part
+   capacities, demand proportional to each part's capacity share.  BFS
+   contiguity gives locality (low cut); chunking guarantees every part is
+   used and balanced. *)
+let initial_partition rng g demands k caps =
   let n = Graph.n g in
   let src = Prng.int rng (max 1 n) in
   let bfs = Hgp_graph.Traversal.bfs_order g src in
@@ -39,6 +41,16 @@ let initial_partition rng g demands k _capacity =
     end
   in
   let total = Array.fold_left ( +. ) 0. demands in
+  let uniform = Array.for_all (fun c -> c = caps.(0)) caps in
+  let cap_tail =
+    (* cap_tail.(p) = sum of capacities of parts p..k-1, for proportional
+       targets on heterogeneous parts. *)
+    let t = Array.make (k + 1) 0. in
+    for p = k - 1 downto 0 do
+      t.(p) <- t.(p + 1) +. caps.(p)
+    done;
+    t
+  in
   let parts = Array.make n 0 in
   let current = ref 0 in
   let acc = ref 0. in
@@ -46,7 +58,11 @@ let initial_partition rng g demands k _capacity =
   Array.iter
     (fun v ->
       let remaining_parts = k - !current in
-      let ideal = (total -. !assigned +. !acc) /. float_of_int remaining_parts in
+      let remaining_demand = total -. !assigned +. !acc in
+      let ideal =
+        if uniform then remaining_demand /. float_of_int remaining_parts
+        else remaining_demand *. caps.(!current) /. cap_tail.(!current)
+      in
       if !acc >= ideal -. 1e-12 && !acc > 0. && !current < k - 1 then begin
         incr current;
         acc := 0.
@@ -59,7 +75,7 @@ let initial_partition rng g demands k _capacity =
 
 let flat_cut g parts = Hgp_graph.Cuts.kway_cut g parts
 
-let flat_refine rng g ~demands ~k ~capacity parts ~max_passes =
+let flat_refine rng g ~demands ~k ~caps parts ~max_passes =
   let n = Graph.n g in
   let parts = Array.copy parts in
   let loads = Array.make k 0. in
@@ -88,7 +104,7 @@ let flat_refine rng g ~demands ~k ~capacity parts ~max_passes =
           (fun p there ->
             if p <> from then begin
               let gain = there -. here in
-              let fits = loads.(p) +. d <= capacity +. 1e-9 in
+              let fits = loads.(p) +. d <= caps.(p) +. 1e-9 in
               (* Allow the move when the target fits, or when it strictly
                  improves balance of an overloaded source. *)
               let balance_ok = fits || loads.(p) +. d < loads.(from) in
@@ -108,9 +124,16 @@ let flat_refine rng g ~demands ~k ~capacity parts ~max_passes =
   done;
   (parts, flat_cut g parts)
 
-let partition rng g ~demands ~k ~capacity =
+let partition rng ?capacities g ~demands ~k ~capacity =
   if k < 1 then invalid_arg "Multilevel.partition: k must be >= 1";
   if Array.length demands <> Graph.n g then invalid_arg "Multilevel.partition: demands length";
+  let caps =
+    match capacities with
+    | None -> Array.make k capacity
+    | Some c ->
+      if Array.length c <> k then invalid_arg "Multilevel.partition: capacities length";
+      c
+  in
   if k = 1 then { parts = Array.make (Graph.n g) 0; cut = 0.; levels = 0 }
   else begin
     (* Coarsening phase: keep (fine graph, fine demands, fine->coarse map)
@@ -125,9 +148,9 @@ let partition rng g ~demands ~k ~capacity =
       end
     in
     let cg, cd, chain = shrink g demands [] in
-    let coarse_parts = initial_partition rng cg cd k capacity in
+    let coarse_parts = initial_partition rng cg cd k caps in
     let coarse_parts, _ =
-      flat_refine rng cg ~demands:cd ~k ~capacity coarse_parts ~max_passes:8
+      flat_refine rng cg ~demands:cd ~k ~caps coarse_parts ~max_passes:8
     in
     (* Uncoarsening: project through each stored level and refine there. *)
     let parts =
@@ -135,7 +158,7 @@ let partition rng g ~demands ~k ~capacity =
         (fun parts (fine_g, fine_d, cmap) ->
           let fine_parts = Array.map (fun c -> parts.(c)) cmap in
           let refined, _ =
-            flat_refine rng fine_g ~demands:fine_d ~k ~capacity fine_parts ~max_passes:4
+            flat_refine rng fine_g ~demands:fine_d ~k ~caps fine_parts ~max_passes:4
           in
           refined)
         coarse_parts chain

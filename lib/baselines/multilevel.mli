@@ -14,25 +14,30 @@ type result = {
 
 (** [partition rng g ~demands ~k ~capacity] computes a k-way partition whose
     part loads aim to stay within [capacity] (best effort; the refinement
-    never makes an over-capacity part worse).  Requires [k >= 1] and
+    never makes an over-capacity part worse).  With [?capacities] (length
+    [k]) each part gets its own bound and the initial chunking targets
+    demand proportional to capacity share — the heterogeneous-hierarchy
+    case; [capacity] is then ignored.  Requires [k >= 1] and
     [Array.length demands = Graph.n g]. *)
 val partition :
   Hgp_util.Prng.t ->
+  ?capacities:float array ->
   Hgp_graph.Graph.t ->
   demands:float array ->
   k:int ->
   capacity:float ->
   result
 
-(** [flat_refine rng g ~demands ~k ~capacity parts ~max_passes] runs only the
+(** [flat_refine rng g ~demands ~k ~caps parts ~max_passes] runs only the
     FM move pass on an existing partition (exposed for reuse and tests);
-    returns the refined copy and its cut. *)
+    [caps] gives the per-part load bound.  Returns the refined copy and its
+    cut. *)
 val flat_refine :
   Hgp_util.Prng.t ->
   Hgp_graph.Graph.t ->
   demands:float array ->
   k:int ->
-  capacity:float ->
+  caps:float array ->
   int array ->
   max_passes:int ->
   int array * float

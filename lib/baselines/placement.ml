@@ -15,7 +15,9 @@ let least_loaded loads =
 let random rng (inst : Instance.t) ~slack =
   let n = Instance.n inst in
   let k = Hierarchy.num_leaves inst.hierarchy in
-  let cap = slack *. Hierarchy.leaf_capacity inst.hierarchy in
+  let caps =
+    Array.init k (fun l -> slack *. Hierarchy.leaf_cap inst.hierarchy l)
+  in
   let order = Prng.permutation rng n in
   let assignment = Array.make n (-1) in
   let loads = Array.make k 0. in
@@ -27,7 +29,7 @@ let random rng (inst : Instance.t) ~slack =
       let attempts = ref 0 in
       while (not !placed) && !attempts < 4 * k do
         let l = Prng.int rng k in
-        if loads.(l) +. d <= cap +. 1e-9 then begin
+        if loads.(l) +. d <= caps.(l) +. 1e-9 then begin
           assignment.(v) <- l;
           loads.(l) <- loads.(l) +. d;
           placed := true
@@ -77,7 +79,7 @@ let greedy (inst : Instance.t) ?(order = Heavy_first) ~slack () =
   let n = Instance.n inst in
   let hy = inst.hierarchy in
   let k = Hierarchy.num_leaves hy in
-  let cap = slack *. Hierarchy.leaf_capacity hy in
+  let caps = Array.init k (fun l -> slack *. Hierarchy.leaf_cap hy l) in
   let assignment = Array.make n (-1) in
   let loads = Array.make k 0. in
   let sequence = vertex_order inst order in
@@ -88,7 +90,7 @@ let greedy (inst : Instance.t) ?(order = Heavy_first) ~slack () =
       let best_cost = ref infinity in
       let best_load = ref infinity in
       for l = 0 to k - 1 do
-        if loads.(l) +. d <= cap +. 1e-9 then begin
+        if loads.(l) +. d <= caps.(l) +. 1e-9 then begin
           let c =
             Graph.fold_neighbors
               (fun acc u w ->

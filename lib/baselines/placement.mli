@@ -12,7 +12,8 @@ type order =
   | Demand_first  (** decreasing demand — packs the big rocks first *)
 
 (** [random rng inst ~slack] shuffles the vertices and assigns each to a
-    uniformly random leaf with room (under [slack *. leaf_capacity]),
+    uniformly random leaf with room (under [slack] times that leaf's own
+    capacity),
     falling back to the least-loaded leaf. *)
 val random : Hgp_util.Prng.t -> Hgp_core.Instance.t -> slack:float -> int array
 

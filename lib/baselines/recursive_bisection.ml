@@ -12,16 +12,25 @@ let assign rng (inst : Instance.t) ~slack =
     if Array.length vertices > 0 then begin
       if level = h then Array.iter (fun v -> assignment.(v) <- idx) vertices
       else begin
-        let deg = Hierarchy.deg hy level in
+        let deg = Hierarchy.deg_of hy ~level idx in
         let sub, back = Graph.induced inst.graph vertices in
         let demands = Array.map (fun v -> inst.demands.(v)) vertices in
-        let capacity = slack *. Hierarchy.capacity hy (level + 1) in
-        let result = Multilevel.partition rng sub ~demands ~k:deg ~capacity in
+        let first_child, _ = Hierarchy.children_of hy ~level idx in
+        (* Each child subtree gets its own capacity bound; on regular trees
+           all children agree and this collapses to the historical single
+           [slack * capacity(level+1)] bound. *)
+        let capacities =
+          Array.init deg (fun b ->
+              slack *. Hierarchy.capacity_of hy ~level:(level + 1) (first_child + b))
+        in
+        let result =
+          Multilevel.partition rng ~capacities sub ~demands ~k:deg
+            ~capacity:capacities.(0)
+        in
         let groups = Array.make deg [] in
         Array.iteri
           (fun i p -> groups.(p) <- back.(i) :: groups.(p))
           result.Multilevel.parts;
-        let first_child, _ = Hierarchy.children_of hy ~level idx in
         Array.iteri
           (fun b members -> descend (level + 1) (first_child + b) (Array.of_list members))
           groups

@@ -1,8 +1,9 @@
 (** Dual recursive bipartitioning (Pellegrini / SCOTCH style).
 
     The hierarchy is descended top-down; at each Level-(j) node its vertex
-    load is split into [DEG(j)] groups with the multilevel partitioner
-    (minimizing the flat cut at that level, target capacity [CP(j+1)]), and
+    load is split into one group per child with the multilevel partitioner
+    (minimizing the flat cut at that level, each group targeting that
+    child's own capacity), and
     each group recurses into one child.  This is the strongest classical
     heuristic for the mapping problem and the main competitor in
     experiment E7. *)

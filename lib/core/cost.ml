@@ -12,11 +12,23 @@ let mirror_cost (inst : Instance.t) p =
   let h = Hierarchy.height hy in
   let total = ref 0. in
   for j = 1 to h do
-    let diff = (Hierarchy.cm hy (j - 1) -. Hierarchy.cm hy j) /. 2. in
-    if diff <> 0. then begin
+    (* Per-group telescoping: a Level-(j) group whose boundary an edge
+       crosses contributes (cm(parent(g)) - cm(g)) / 2 per unit of boundary
+       weight; summed over levels and both endpoints this telescopes to
+       cm(lca) minus the endpoints' leaf multipliers (added back below).
+       On regular trees every group at a level shares one diff, reducing
+       exactly to the per-level Eq. 3 formula. *)
+    let n_j = Hierarchy.nodes_at_level hy j in
+    let diffs =
+      Array.init n_j (fun g ->
+          (Hierarchy.cm_of hy ~level:(j - 1) (Hierarchy.parent_of hy ~level:j g)
+          -. Hierarchy.cm_of hy ~level:j g)
+          /. 2.)
+    in
+    if Array.exists (fun d -> d <> 0.) diffs then begin
       (* Boundary weight of every Level-(j) group: an edge contributes to the
          groups of both endpoints when they differ. *)
-      let boundary = Array.make (Hierarchy.nodes_at_level hy j) 0. in
+      let boundary = Array.make n_j 0. in
       Graph.iter_edges
         (fun u v w ->
           let au = Hierarchy.ancestor hy ~level:j p.(u)
@@ -26,12 +38,27 @@ let mirror_cost (inst : Instance.t) p =
             boundary.(av) <- boundary.(av) +. w
           end)
         inst.graph;
-      Array.iter (fun b -> total := !total +. (b *. diff)) boundary
+      Array.iteri (fun g b -> total := !total +. (b *. diffs.(g))) boundary
     end
   done;
-  (* A non-normalized hierarchy charges cm(h) on every edge (Lemma 1). *)
-  let base = Hierarchy.cm hy h in
-  if base <> 0. then total := !total +. (base *. Graph.total_weight inst.graph);
+  (* A non-normalized hierarchy charges each edge its endpoints' residual
+     leaf multipliers (Lemma 1); with one uniform leaf multiplier this is
+     the historical cm(h) * total_weight term. *)
+  let lo, hi = Hierarchy.cm_range hy h in
+  if lo = hi then begin
+    let base = lo in
+    if base <> 0. then total := !total +. (base *. Graph.total_weight inst.graph)
+  end
+  else
+    Graph.iter_edges
+      (fun u v w ->
+        total :=
+          !total
+          +. (w
+              *. (Hierarchy.cm_of hy ~level:h p.(u)
+                 +. Hierarchy.cm_of hy ~level:h p.(v))
+              /. 2.))
+      inst.graph;
   !total
 
 let leaf_loads (inst : Instance.t) p =
@@ -52,8 +79,11 @@ let level_violation (inst : Instance.t) p j =
       let a = Hierarchy.ancestor hy ~level:j leaf in
       loads.(a) <- loads.(a) +. inst.demands.(v))
     p;
-  let cap = Hierarchy.capacity hy j in
-  Array.fold_left (fun acc l -> Float.max acc (l /. cap)) 0. loads
+  let worst = ref 0. in
+  Array.iteri
+    (fun idx l -> worst := Float.max !worst (l /. Hierarchy.capacity_of hy ~level:j idx))
+    loads;
+  !worst
 
 let max_violation (inst : Instance.t) p =
   let h = Hierarchy.height inst.hierarchy in
@@ -68,5 +98,9 @@ let is_valid (inst : Instance.t) p ~slack =
   && Array.for_all (fun leaf -> leaf >= 0 && leaf < Hierarchy.num_leaves inst.hierarchy) p
   &&
   let loads = leaf_loads inst p in
-  let cap = Hierarchy.leaf_capacity inst.hierarchy in
-  Array.for_all (fun l -> l <= (slack *. cap) +. 1e-9) loads
+  let hy = inst.hierarchy in
+  let ok = ref true in
+  Array.iteri
+    (fun l load -> if load > (slack *. Hierarchy.leaf_cap hy l) +. 1e-9 then ok := false)
+    loads;
+  !ok

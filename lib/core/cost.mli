@@ -29,5 +29,6 @@ val level_violation : Instance.t -> int array -> int -> float
 val max_violation : Instance.t -> int array -> float
 
 (** [is_valid inst p ~slack] checks that every vertex is assigned to a real
-    leaf and no leaf exceeds [slack *. leaf_capacity]. *)
+    leaf and no leaf [l] exceeds [slack] times its own capacity
+    ([leaf_cap hy l] — uniform on regular hierarchies). *)
 val is_valid : Instance.t -> int array -> slack:float -> bool

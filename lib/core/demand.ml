@@ -46,8 +46,6 @@ let resolution_for_eps ~n ~eps =
   max 1 (int_of_float (ceil (float_of_int n /. eps)))
 
 let capacity_units t ~hierarchy =
-  let h = Hgp_hierarchy.Hierarchy.height hierarchy in
-  Array.init (h + 1) (fun j ->
-      t.resolution * Hgp_hierarchy.Hierarchy.leaves_under hierarchy j)
+  Hgp_hierarchy.Hierarchy.level_capacity_units hierarchy ~resolution:t.resolution
 
 let rounding_error_bound t ~n_jobs = float_of_int n_jobs *. t.unit_size

@@ -90,8 +90,9 @@ let max_violation t =
         loads.(a) <- loads.(a) +. tv.demand
       end
     done;
-    let cap = Hierarchy.capacity hy j in
-    Array.iter (fun l -> worst := Float.max !worst (l /. cap)) loads
+    Array.iteri
+      (fun idx l -> worst := Float.max !worst (l /. Hierarchy.capacity_of hy ~level:j idx))
+      loads
   done;
   !worst
 
@@ -99,9 +100,9 @@ let max_violation t =
 let place_greedy t demand edges =
   let hy = t.hierarchy in
   let k = Hierarchy.num_leaves hy in
-  let cap = t.config.slack *. Hierarchy.leaf_capacity hy in
   let best_leaf = ref (-1) and best = ref infinity in
   for l = 0 to k - 1 do
+    let cap = t.config.slack *. Hierarchy.leaf_cap hy l in
     if t.loads.(l) +. demand <= cap +. 1e-9 then begin
       let c =
         List.fold_left

@@ -50,6 +50,9 @@ let pack ?(deadline = Deadline.none) t ~kappa ~demand_units ~hierarchy ~resoluti
         done;
         kids)
   in
+  (* Per-node capacities in demand units: bins are weighted by the actual
+     child node's capacity (all equal on regular trees). *)
+  let cap_units = Hierarchy.capacity_units hierarchy ~resolution in
   let assignment = Array.make n (-1) in
   let rec place j h_idx comp_ids =
     if j = h then
@@ -63,20 +66,23 @@ let pack ?(deadline = Deadline.none) t ~kappa ~demand_units ~hierarchy ~resoluti
           (fun a b -> compare comp_demand.(j + 1).(b) comp_demand.(j + 1).(a))
           items
       in
-      let deg = Hierarchy.deg hierarchy j in
+      let deg = Hierarchy.deg_of hierarchy ~level:j h_idx in
+      let first_child, _ = Hierarchy.children_of hierarchy ~level:j h_idx in
       let bins = Array.make deg [] in
       let loads = Array.make deg 0 in
+      let cap b = cap_units.(j + 1).(first_child + b) in
       List.iter
         (fun c ->
-          (* least-loaded bin *)
+          (* Least RELATIVE load (load / capacity), compared by integer
+             cross-multiplication so equal-capacity bins reduce exactly to
+             the historical least-absolute-load rule. *)
           let best = ref 0 in
           for b = 1 to deg - 1 do
-            if loads.(b) < loads.(!best) then best := b
+            if loads.(b) * cap !best < loads.(!best) * cap b then best := b
           done;
           bins.(!best) <- c :: bins.(!best);
           loads.(!best) <- loads.(!best) + comp_demand.(j + 1).(c))
         items;
-      let first_child, _ = Hierarchy.children_of hierarchy ~level:j h_idx in
       for b = 0 to deg - 1 do
         place (j + 1) (first_child + b) bins.(b)
       done
@@ -97,7 +103,7 @@ let pack ?(deadline = Deadline.none) t ~kappa ~demand_units ~hierarchy ~resoluti
   let level_violation_units = Array.make (h + 1) 0. in
   let total_units = Array.fold_left ( + ) 0 demand_units in
   level_violation_units.(0) <-
-    float_of_int total_units /. float_of_int (resolution * Hierarchy.leaves_under hierarchy 0);
+    float_of_int total_units /. float_of_int cap_units.(0).(0);
   for j = 1 to h do
     let loads = Array.make (Hierarchy.nodes_at_level hierarchy j) 0 in
     Array.iter
@@ -107,11 +113,11 @@ let pack ?(deadline = Deadline.none) t ~kappa ~demand_units ~hierarchy ~resoluti
           loads.(a) <- loads.(a) + demand_units.(l)
         end)
       (Tree.leaves t);
-    let cap = resolution * Hierarchy.leaves_under hierarchy j in
-    Array.iter
-      (fun load ->
+    Array.iteri
+      (fun idx load ->
         level_violation_units.(j) <-
-          Float.max level_violation_units.(j) (float_of_int load /. float_of_int cap))
+          Float.max level_violation_units.(j)
+            (float_of_int load /. float_of_int cap_units.(j).(idx)))
       loads
   done;
   let max_violation_units = Array.fold_left Float.max 0. level_violation_units in

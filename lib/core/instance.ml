@@ -26,7 +26,7 @@ let uniform_demands g h ~load_factor =
     invalid_arg "Instance.uniform_demands: load_factor out of range";
   let n = Graph.n g in
   if n = 0 then invalid_arg "Instance.uniform_demands: empty graph";
-  let total_cap = float_of_int (Hierarchy.num_leaves h) *. Hierarchy.leaf_capacity h in
+  let total_cap = Hierarchy.total_capacity h in
   let d = load_factor *. total_cap /. float_of_int n in
   create g ~demands:(Array.make n d) h
 
@@ -36,7 +36,7 @@ let random_demands rng g h ~load_factor =
   let n = Graph.n g in
   if n = 0 then invalid_arg "Instance.random_demands: empty graph";
   let raw = Array.init n (fun _ -> 0.1 +. Hgp_util.Prng.float rng 0.9) in
-  let total_cap = float_of_int (Hierarchy.num_leaves h) *. Hierarchy.leaf_capacity h in
+  let total_cap = Hierarchy.total_capacity h in
   let target = load_factor *. total_cap in
   let sum = Array.fold_left ( +. ) 0. raw in
   let scale = target /. sum in
@@ -51,10 +51,7 @@ let n t = Graph.n t.graph
 let total_demand t = Array.fold_left ( +. ) 0. t.demands
 
 let is_feasible t =
-  total_demand t
-  <= (float_of_int (Hierarchy.num_leaves t.hierarchy)
-      *. Hierarchy.leaf_capacity t.hierarchy)
-     +. 1e-9
+  total_demand t <= Hierarchy.total_capacity t.hierarchy +. 1e-9
 
 let pp ppf t =
   Format.fprintf ppf "instance(%a, %a, demand=%.3g)" Graph.pp t.graph Hierarchy.pp

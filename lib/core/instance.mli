@@ -12,7 +12,8 @@ type t = private {
 }
 
 (** [create graph ~demands hierarchy] validates and packs an instance.
-    Demands must satisfy [0 < d(v) <= leaf_capacity hierarchy].
+    Demands must satisfy [0 < d(v) <= leaf_capacity hierarchy]
+    (the largest leaf's capacity on a ragged hierarchy).
     @raise Invalid_argument on length mismatch or out-of-range demand. *)
 val create :
   Hgp_graph.Graph.t -> demands:float array -> Hgp_hierarchy.Hierarchy.t -> t

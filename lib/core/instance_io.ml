@@ -7,10 +7,17 @@ module Faults = Hgp_resilience.Faults
 let to_string (inst : Instance.t) =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "%hgp-instance 1\n";
-  Buffer.add_string buf
-    (Printf.sprintf "hierarchy %s capacity %.17g\n"
-       (Topology.to_spec inst.hierarchy)
-       (Hierarchy.leaf_capacity inst.hierarchy));
+  (* Ragged specs embed their per-leaf capacities; the separate "capacity"
+     field is the regular format's uniform leaf capacity (the regular spec
+     grammar itself carries none). *)
+  (if Hierarchy.is_regular inst.hierarchy then
+     Buffer.add_string buf
+       (Printf.sprintf "hierarchy %s capacity %.17g\n"
+          (Topology.to_spec inst.hierarchy)
+          (Hierarchy.leaf_capacity inst.hierarchy))
+   else
+     Buffer.add_string buf
+       (Printf.sprintf "hierarchy %s\n" (Topology.to_spec inst.hierarchy)));
   Buffer.add_string buf "demands";
   Array.iter (fun d -> Buffer.add_string buf (Printf.sprintf " %.17g" d)) inst.demands;
   Buffer.add_string buf "\ngraph\n";
@@ -69,6 +76,10 @@ let of_string s =
                       parse_error ~line:lineno ~context:"hierarchy"
                         "leaf capacity %S is not a number" cap
                   in
+                  if not (Hierarchy.is_regular base) then
+                    parse_error ~line:lineno ~context:"hierarchy"
+                      "a ragged hierarchy spec embeds per-leaf capacities; \
+                       'capacity' only applies to regular specs";
                   Hierarchy.create ~degs:(Hierarchy.degs base)
                     ~cm:(Array.init (Hierarchy.height base + 1) (Hierarchy.cm base))
                     ~leaf_capacity:cap)

@@ -107,16 +107,25 @@ type supervised = {
    within one job of the balanced optimum — the ladder's bottom rung. *)
 let emergency_assignment (inst : Instance.t) =
   let n = Instance.n inst in
-  let k = Hierarchy.num_leaves inst.hierarchy in
+  let hy = inst.hierarchy in
+  let k = Hierarchy.num_leaves hy in
   let order = Array.init n Fun.id in
   Array.sort (fun a b -> compare inst.demands.(b) inst.demands.(a)) order;
   let loads = Array.make k 0. in
   let assignment = Array.make n (-1) in
+  (* Ragged trees weight the choice by leaf capacity (least relative load);
+     regular trees keep the exact historical least-absolute-load rule. *)
+  let caps = Array.init k (fun l -> Hierarchy.leaf_cap hy l) in
+  let regular = Hierarchy.is_regular hy in
+  let better l best =
+    if regular then loads.(l) < loads.(best)
+    else loads.(l) *. caps.(best) < loads.(best) *. caps.(l)
+  in
   Array.iter
     (fun v ->
       let best = ref 0 in
       for l = 1 to k - 1 do
-        if loads.(l) < loads.(!best) then best := l
+        if better l !best then best := l
       done;
       assignment.(v) <- !best;
       loads.(!best) <- loads.(!best) +. inst.demands.(v))
@@ -307,7 +316,9 @@ let solve_tree tree ~demands hierarchy ~options =
           let a = Hierarchy.ancestor hierarchy ~level:j leaf in
           loads.(a) <- loads.(a) +. demands.(v))
         assignment;
-      let cap = Hierarchy.capacity hierarchy j in
-      Array.iter (fun l -> worst := Float.max !worst (l /. cap)) loads
+      Array.iteri
+        (fun idx l ->
+          worst := Float.max !worst (l /. Hierarchy.capacity_of hierarchy ~level:j idx))
+        loads
     done;
     (assignment, !cost, r.cost, !worst)

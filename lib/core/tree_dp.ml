@@ -16,9 +16,13 @@ type config = {
 
 let config_of_hierarchy hy ~resolution ?bucketing ?(prune = true) ?beam_width () =
   let h = Hierarchy.height hy in
+  (* The DP is per-LEVEL: [cm] and [cp_units] are the level envelopes of the
+     per-node vectors (exact on regular trees; on ragged trees the maxima —
+     an admissible relaxation whose slack is recovered by capacity-aware
+     packing and per-node certification, see docs/HIERARCHY.md). *)
   {
     cm = Array.init (h + 1) (Hierarchy.cm hy);
-    cp_units = Array.init (h + 1) (fun j -> resolution * Hierarchy.leaves_under hy j);
+    cp_units = Hierarchy.level_capacity_units hy ~resolution;
     bucketing;
     prune;
     beam_width;

@@ -35,16 +35,19 @@ let certify (inst : Instance.t) p ~eps =
     if p.(v) >= 0 && p.(v) < k then leaf_loads.(p.(v)) <- leaf_loads.(p.(v)) +. inst.demands.(v)
   done;
   let level_violation = Array.make (h + 1) 0. in
-  level_violation.(0) <- Instance.total_demand inst /. Hierarchy.capacity hy 0;
+  level_violation.(0) <- Instance.total_demand inst /. Hierarchy.capacity_of hy ~level:0 0;
   for j = 1 to h do
     let loads = Array.make (Hierarchy.nodes_at_level hy j) 0. in
     for l = 0 to k - 1 do
       let a = Hierarchy.ancestor hy ~level:j l in
       loads.(a) <- loads.(a) +. leaf_loads.(l)
     done;
-    let cap = Hierarchy.capacity hy j in
-    Array.iter
-      (fun load -> level_violation.(j) <- Float.max level_violation.(j) (load /. cap))
+    (* Violation is per NODE: each node's load against its own capacity
+       (uniform per level on regular trees, heterogeneous on ragged ones). *)
+    Array.iteri
+      (fun idx load ->
+        level_violation.(j) <-
+          Float.max level_violation.(j) (load /. Hierarchy.capacity_of hy ~level:j idx))
       loads
   done;
   let max_violation = ref 0. in

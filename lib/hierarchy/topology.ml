@@ -1,26 +1,169 @@
-let parse_result s =
-  match String.split_on_char '@' s with
-  | [ preset ] -> (
-    match List.assoc_opt preset Hierarchy.Presets.all with
-    | Some h -> Ok h
-    | None ->
-      Error
-        (Printf.sprintf "unknown hierarchy preset %S (know: %s)" preset
-           (String.concat ", " (List.map fst Hierarchy.Presets.all))))
-  | [ degs_s; cms_s ] -> (
-    try
-      let degs =
-        if degs_s = "" then [||]
-        else String.split_on_char 'x' degs_s |> List.map int_of_string |> Array.of_list
-      in
+(* Textual hierarchy specs.
+
+   Regular grammar (historical): "DEGSxDEGS@CM,CM,...", e.g.
+   "2x4x2@100,30,8,0", or a preset name.
+
+   Ragged grammar (see docs/HIERARCHY.md): a bracketed node
+   "[CM,ITEM,ITEM,...]" whose items are child nodes or leaves; a leaf is
+   "CAP" or "CAP:CM".  E.g. "[100,[10,4,4,4,4],[10,4,4,2],[5,8,8]]".
+   The spec is a single shell- and instance-file-friendly token (no
+   whitespace).
+
+   Parse errors name the offending token and its character position. *)
+
+(* ---- positioned errors ---- *)
+
+exception Bad of string (* detail, already carrying token + position *)
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let wrap s f =
+  try Ok (f ()) with
+  | Bad detail -> Error (Printf.sprintf "malformed hierarchy spec %S: %s" s detail)
+  | Invalid_argument m -> Error m
+
+(* ---- regular grammar ---- *)
+
+(* [split_positions sep s off] splits [s] on [sep], returning each field with
+   its character position in the overall spec ([off] = where [s] starts). *)
+let split_positions sep s off =
+  let parts = String.split_on_char sep s in
+  let rec go pos = function
+    | [] -> []
+    | p :: rest -> (pos, p) :: go (pos + String.length p + 1) rest
+  in
+  go off parts
+
+let parse_regular s degs_s cms_s =
+  ignore s;
+  let degs =
+    if degs_s = "" then [||]
+    else
+      split_positions 'x' degs_s 0
+      |> List.map (fun (pos, tok) ->
+             match int_of_string_opt tok with
+             | Some d -> d
+             | None -> bad "bad fan-out %S at char %d (expected an integer)" tok pos)
+      |> Array.of_list
+  in
+  let cm =
+    split_positions ',' cms_s (String.length degs_s + 1)
+    |> List.map (fun (pos, tok) ->
+           match float_of_string_opt tok with
+           | Some c -> c
+           | None -> bad "bad multiplier %S at char %d (expected a number)" tok pos)
+    |> Array.of_list
+  in
+  Hierarchy.create ~degs ~cm ~leaf_capacity:1.0
+
+(* ---- ragged grammar ---- *)
+
+type token = Open of int | Close of int | Comma of int | Atom of int * string
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '[' ->
+      toks := Open !i :: !toks;
+      incr i
+    | ']' ->
+      toks := Close !i :: !toks;
+      incr i
+    | ',' ->
+      toks := Comma !i :: !toks;
+      incr i
+    | _ ->
+      let start = !i in
+      while !i < n && s.[!i] <> '[' && s.[!i] <> ']' && s.[!i] <> ',' do
+        incr i
+      done;
+      toks := Atom (start, String.sub s start (!i - start)) :: !toks);
+    ()
+  done;
+  List.rev !toks
+
+let token_pos = function Open p | Close p | Comma p | Atom (p, _) -> p
+
+let parse_ragged s =
+  let toks = ref (tokenize s) in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let next () =
+    match !toks with
+    | [] -> bad "unexpected end of spec at char %d" (String.length s)
+    | t :: rest ->
+      toks := rest;
+      t
+  in
+  let number tok pos what =
+    match float_of_string_opt tok with
+    | Some v -> v
+    | None -> bad "bad %s %S at char %d (expected a number)" what tok pos
+  in
+  let leaf_of_atom pos tok =
+    match String.index_opt tok ':' with
+    | None -> Hierarchy.Leaf { capacity = number tok pos "leaf capacity"; cm = 0. }
+    | Some i ->
+      let cap = String.sub tok 0 i in
+      let cm = String.sub tok (i + 1) (String.length tok - i - 1) in
+      Hierarchy.Leaf
+        {
+          capacity = number cap pos "leaf capacity";
+          cm = number cm (pos + i + 1) "leaf multiplier";
+        }
+  in
+  let rec node () =
+    match next () with
+    | Open _ -> (
       let cm =
-        String.split_on_char ',' cms_s |> List.map float_of_string |> Array.of_list
+        match next () with
+        | Atom (pos, tok) -> number tok pos "multiplier"
+        | t -> bad "expected a multiplier after '[' at char %d" (token_pos t)
       in
-      Ok (Hierarchy.create ~degs ~cm ~leaf_capacity:1.0)
-    with
-    | Invalid_argument m -> Error m
-    | Failure _ -> Error (Printf.sprintf "malformed hierarchy spec %S" s))
-  | _ -> Error "expected PRESET or DEGSxDEGS@CM,CM,..."
+      let children = ref [] in
+      let rec items () =
+        match next () with
+        | Comma _ ->
+          (match peek () with
+          | Some (Open _) -> children := node () :: !children
+          | Some (Atom (pos, tok)) ->
+            ignore (next ());
+            children := leaf_of_atom pos tok :: !children
+          | Some t -> bad "expected a child or leaf at char %d" (token_pos t)
+          | None -> bad "unexpected end of spec at char %d" (String.length s));
+          items ()
+        | Close _ -> ()
+        | t -> bad "expected ',' or ']' at char %d" (token_pos t)
+      in
+      items ();
+      match List.rev !children with
+      | [] -> Hierarchy.Leaf { capacity = cm; cm = 0. } (* "[4]" = lone leaf *)
+      | children -> Hierarchy.Node { cm; children })
+    | t -> bad "expected '[' at char %d" (token_pos t)
+  in
+  let spec = node () in
+  (match peek () with
+  | Some t -> bad "trailing input %S at char %d" s (token_pos t)
+  | None -> ());
+  Hierarchy.create_ragged spec
+
+(* ---- entry points ---- *)
+
+let parse_result s =
+  if String.length s > 0 && s.[0] = '[' then wrap s (fun () -> parse_ragged s)
+  else
+    match String.split_on_char '@' s with
+    | [ preset ] -> (
+      match List.assoc_opt preset Hierarchy.Presets.all_named with
+      | Some h -> Ok h
+      | None ->
+        Error
+          (Printf.sprintf "unknown hierarchy preset %S (know: %s)" preset
+             (String.concat ", " (List.map fst Hierarchy.Presets.all_named))))
+    | [ degs_s; cms_s ] -> wrap s (fun () -> parse_regular s degs_s cms_s)
+    | _ -> Error "expected PRESET, DEGSxDEGS@CM,CM,..., or a ragged [..] spec"
 
 let parse s =
   match parse_result s with
@@ -28,22 +171,33 @@ let parse s =
   | Error m -> invalid_arg ("Topology.parse: " ^ m)
 
 let to_spec h =
-  let degs =
-    Hierarchy.degs h |> Array.map string_of_int |> Array.to_list |> String.concat "x"
-  in
-  let cms =
-    List.init
-      (Hierarchy.height h + 1)
-      (fun j -> Printf.sprintf "%g" (Hierarchy.cm h j))
-    |> String.concat ","
-  in
-  degs ^ "@" ^ cms
+  if Hierarchy.is_regular h then
+    let degs =
+      Hierarchy.degs h |> Array.map string_of_int |> Array.to_list |> String.concat "x"
+    in
+    let cms =
+      List.init
+        (Hierarchy.height h + 1)
+        (fun j -> Printf.sprintf "%g" (Hierarchy.cm h j))
+      |> String.concat ","
+    in
+    degs ^ "@" ^ cms
+  else
+    let rec render = function
+      | Hierarchy.Leaf { capacity; cm } ->
+        if cm = 0. then Printf.sprintf "%g" capacity
+        else Printf.sprintf "%g:%g" capacity cm
+      | Hierarchy.Node { cm; children } ->
+        Printf.sprintf "[%g,%s]" cm (String.concat "," (List.map render children))
+    in
+    render (Hierarchy.spec_of h)
 
 let of_latencies ~degs ~latencies ~leaf_capacity =
   Hierarchy.create ~degs ~cm:latencies ~leaf_capacity
 
 let level_name j h =
-  (* Conventional names for common heights; generic otherwise. *)
+  (* Conventional names for common heights; clean generic fallback (root /
+     leaf / level-j) for heights without a naming table. *)
   let names =
     match h with
     | 1 -> [| "root"; "core" |]
@@ -52,7 +206,14 @@ let level_name j h =
     | 4 -> [| "pod"; "rack"; "server"; "socket"; "core" |]
     | _ -> [||]
   in
-  if j < Array.length names then names.(j) else Printf.sprintf "level-%d" j
+  if Array.length names = h + 1 && j >= 0 && j <= h then names.(j)
+  else if j = 0 then "root"
+  else if j = h then "leaf"
+  else Printf.sprintf "level-%d" j
+
+let range_s fmt (lo, hi) =
+  if lo = hi then Printf.sprintf fmt lo
+  else Printf.sprintf (fmt ^^ "..") lo ^ Printf.sprintf fmt hi
 
 let describe h =
   let buf = Buffer.create 256 in
@@ -60,10 +221,13 @@ let describe h =
   Buffer.add_string buf (Format.asprintf "%a\n" Hierarchy.pp h);
   for j = 0 to height do
     Buffer.add_string buf
-      (Printf.sprintf "  level %d (%s): %d node(s), capacity %g, cm %g%s\n" j
+      (Printf.sprintf "  level %d (%s): %d node(s), capacity %s, cm %s%s\n" j
          (level_name j height)
          (Hierarchy.nodes_at_level h j)
-         (Hierarchy.capacity h j) (Hierarchy.cm h j)
-         (if j < height then Printf.sprintf ", fan-out %d" (Hierarchy.deg h j) else ""))
+         (range_s "%g" (Hierarchy.capacity_range h j))
+         (range_s "%g" (Hierarchy.cm_range h j))
+         (if j < height then
+            Printf.sprintf ", fan-out %s" (range_s "%d" (Hierarchy.deg_range h j))
+          else ""))
   done;
   Buffer.contents buf

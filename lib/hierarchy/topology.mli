@@ -1,21 +1,31 @@
 (** Parsing, rendering and derivation of hierarchy topologies.
 
-    The textual format is ["DEGSxDEGS@CM,CM,..."], e.g. ["2x4x2@100,30,8,0"]
-    for a dual-socket server, or a preset name from
-    {!Hierarchy.Presets.all}.  This module also derives cost multipliers from
-    physical latency tables (the way a practitioner would calibrate [cm] from
-    measured core-to-core latencies). *)
+    Two textual formats (see [docs/HIERARCHY.md]):
+
+    - regular: ["DEGSxDEGS@CM,CM,..."], e.g. ["2x4x2@100,30,8,0"] for a
+      dual-socket server, or a preset name from
+      {!Hierarchy.Presets.all_named};
+    - ragged: a bracketed node ["[CM,ITEM,ITEM,...]"] whose items are child
+      nodes or leaves (["CAP"] or ["CAP:CM"]), e.g.
+      ["[100,[10,4,4,4,4],[10,4,4,2],[5,8,8]]"].  The whole spec is a
+      single whitespace-free token.
+
+    This module also derives cost multipliers from physical latency tables
+    (the way a practitioner would calibrate [cm] from measured core-to-core
+    latencies). *)
 
 (** [parse s] accepts a preset name or an explicit spec.
     @raise Invalid_argument on malformed input. *)
 val parse : string -> Hierarchy.t
 
 (** [parse_result s] is [parse] with an error message instead of an
-    exception. *)
+    exception; the message names the offending token and its character
+    position. *)
 val parse_result : string -> (Hierarchy.t, string) result
 
-(** [to_spec h] renders a hierarchy back to the ["degs@cms"] format
-    (round-trips through {!parse}). *)
+(** [to_spec h] renders a hierarchy back to its textual format — the
+    regular ["degs@cms"] grammar when [Hierarchy.is_regular h], the ragged
+    bracket grammar otherwise (round-trips through {!parse}). *)
 val to_spec : Hierarchy.t -> string
 
 (** [of_latencies ~degs ~latencies ~leaf_capacity] builds a hierarchy whose
@@ -27,5 +37,6 @@ val of_latencies :
   degs:int array -> latencies:float array -> leaf_capacity:float -> Hierarchy.t
 
 (** [describe h] is a human-readable multi-line description: one line per
-    level with node counts, capacities, and multipliers. *)
+    level with node counts, capacity / multiplier / fan-out ranges
+    (collapsed to a single value when uniform). *)
 val describe : Hierarchy.t -> string

@@ -25,7 +25,13 @@ let refine csr hy assignment ~slack ~max_passes =
       loads.(j).(a) <- loads.(j).(a) +. d
     done
   done;
-  let cap = Array.init (h + 1) (fun j -> slack *. Hierarchy.capacity hy j) in
+  let cap =
+    Array.init (h + 1) (fun j ->
+        if j = 0 then [||]
+        else
+          Array.init (Hierarchy.nodes_at_level hy j) (fun idx ->
+              slack *. Hierarchy.capacity_of hy ~level:j idx))
+  in
   (* A move to leaf [l] is safe when every ancestor of [l] that is NOT also
      an ancestor of the current leaf keeps its load within the band; shared
      ancestors see no load change. *)
@@ -35,7 +41,7 @@ let refine csr hy assignment ~slack ~max_passes =
     while !ok && !j <= h do
       let a = Hierarchy.ancestor hy ~level:!j l in
       if a <> Hierarchy.ancestor hy ~level:!j from then
-        if loads.(!j).(a) +. d > cap.(!j) then ok := false;
+        if loads.(!j).(a) +. d > cap.(!j).(a) then ok := false;
       incr j
     done;
     !ok

@@ -68,7 +68,10 @@ let solve ?(options = default_options) (inst : Instance.t) =
   let hy = inst.Instance.hierarchy in
   let eps = options.solver.Pipeline.eps in
   let seed = options.solver.Pipeline.seed in
-  let max_weight = Hierarchy.leaf_capacity hy in
+  (* Coarsening must never grow a super-vertex past what the SMALLEST leaf
+     can host, or projection could strand it on an undersized leaf; on
+     regular trees min = max, preserving historical chain cache keys. *)
+  let max_weight = Hierarchy.min_leaf_capacity hy in
   let fine =
     Obs.span "multilevel.csr_build" (fun () ->
         let before = Gc.allocated_bytes () in

@@ -13,14 +13,14 @@ type spec = {
 let uniform_clamped g hy ~load_factor =
   let n = Hgp_graph.Graph.n g in
   let cap = Hgp_hierarchy.Hierarchy.leaf_capacity hy in
-  let total_cap = float_of_int (Hgp_hierarchy.Hierarchy.num_leaves hy) *. cap in
+  let total_cap = Hgp_hierarchy.Hierarchy.total_capacity hy in
   let d = Float.min cap (load_factor *. total_cap /. float_of_int n) in
   Instance.create g ~demands:(Array.make n d) hy
 
 let random_clamped rng g hy ~load_factor =
   let n = Hgp_graph.Graph.n g in
   let cap = Hgp_hierarchy.Hierarchy.leaf_capacity hy in
-  let total_cap = float_of_int (Hgp_hierarchy.Hierarchy.num_leaves hy) *. cap in
+  let total_cap = Hgp_hierarchy.Hierarchy.total_capacity hy in
   let raw = Array.init n (fun _ -> 0.1 +. Prng.float rng 0.9) in
   let sum = Array.fold_left ( +. ) 0. raw in
   let scale = load_factor *. total_cap /. sum in

@@ -101,10 +101,7 @@ let generate rng p =
 
 let to_instance w hierarchy ~load_factor =
   let n = Graph.n w.graph in
-  let total_cap =
-    float_of_int (Hgp_hierarchy.Hierarchy.num_leaves hierarchy)
-    *. Hgp_hierarchy.Hierarchy.leaf_capacity hierarchy
-  in
+  let total_cap = Hgp_hierarchy.Hierarchy.total_capacity hierarchy in
   let total_rate = Array.fold_left ( +. ) 0. w.rates in
   let scale = load_factor *. total_cap /. total_rate in
   let cap = Hgp_hierarchy.Hierarchy.leaf_capacity hierarchy in

@@ -43,6 +43,30 @@ let gen_hierarchy =
   done;
   return (Hgp_hierarchy.Hierarchy.create ~degs ~cm ~leaf_capacity:1.0)
 
+(* Small random ragged hierarchy: all leaves at one depth 1..3, per-node
+   fan-out 1..3, per-leaf capacities, non-increasing cm along every path.
+   All capacities and multipliers are quarter-integers, so the "%g" used by
+   Topology.to_spec prints them exactly and parse/to_spec round-trips are
+   lossless. *)
+let gen_ragged_hierarchy =
+  let open QCheck2.Gen in
+  let module H = Hgp_hierarchy.Hierarchy in
+  let* h = int_range 1 3 in
+  let* seed = int_bound 1_000_000 in
+  let rng = Hgp_util.Prng.create seed in
+  let quarter lo hi = 0.25 *. float_of_int (lo + Hgp_util.Prng.int rng (hi - lo + 1)) in
+  let rec build depth cm =
+    if depth = h then H.Leaf { capacity = quarter 1 16; cm }
+    else begin
+      let n_children = 1 + Hgp_util.Prng.int rng 3 in
+      let children =
+        List.init n_children (fun _ -> build (depth + 1) (Float.max 0. (cm -. quarter 0 12)))
+      in
+      H.Node { cm; children }
+    end
+  in
+  return (H.create_ragged (build 0 (quarter 4 60)))
+
 (* Random assignment of [n] vertices to hierarchy leaves (ignores capacity —
    for cost-identity style properties). *)
 let gen_assignment n hy =

@@ -73,7 +73,7 @@ let test_flat_refine_never_worse () =
   let parts = Array.init 25 (fun v -> v mod 4) in
   let before = Hgp_graph.Cuts.kway_cut g parts in
   let _, after =
-    B.Multilevel.flat_refine rng g ~demands ~k:4 ~capacity:8.0 parts ~max_passes:6
+    B.Multilevel.flat_refine rng g ~demands ~k:4 ~caps:(Array.make 4 8.0) parts ~max_passes:6
   in
   Alcotest.(check bool) "refinement helps" true (after <= before)
 

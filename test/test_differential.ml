@@ -1,0 +1,192 @@
+(* Differential bit-identity suite for regular hierarchies.
+
+   The heterogeneous-hierarchy refactor (irregular trees, per-leaf
+   capacities, per-subtree multipliers) must leave every regular hierarchy
+   exactly where it was: same fingerprints, same navigation, same solver
+   output bit for bit.  This suite pins that contract with a golden file
+   recorded from the pre-refactor build: ≥ 50 seeded instances across the
+   existing presets, each contributing the hierarchy fingerprint, a digest
+   of the full navigation tables (ancestor / lca / edge-cost), and the
+   solver's assignment, cost and violation.
+
+   To (re)record (only legitimate when adding NEW lines, never to paper
+   over a bit-level change to existing ones):
+
+     dune build && HGP_GOLDEN_PROMOTE=1 ./_build/default/test/test_differential.exe
+*)
+
+module Fp = Hgp_util.Fingerprint
+module Prng = Hgp_util.Prng
+module Gen = Hgp_graph.Generators
+module H = Hgp_hierarchy.Hierarchy
+module Instance = Hgp_core.Instance
+module Solver = Hgp_core.Solver
+
+(* ---- golden plumbing (same layout as test_golden.ml) ---- *)
+
+let base_dir =
+  let d = Filename.dirname Sys.executable_name in
+  if Filename.is_relative d then Filename.concat (Sys.getcwd ()) d else d
+
+let build_golden_dir = Filename.concat base_dir "golden"
+
+let find_substring hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i =
+    if i + nl > hl then None
+    else if String.sub hay i nl = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let source_golden_dir () =
+  match Sys.getenv_opt "HGP_GOLDEN_DIR" with
+  | Some d -> d
+  | None -> (
+    let marker = "_build/default/" in
+    match find_substring base_dir marker with
+    | Some i ->
+      let src =
+        String.sub base_dir 0 i
+        ^ String.sub base_dir
+            (i + String.length marker)
+            (String.length base_dir - i - String.length marker)
+      in
+      Filename.concat src "golden"
+    | None -> build_golden_dir)
+
+let promote = Sys.getenv_opt "HGP_GOLDEN_PROMOTE" <> None
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+(* ---- the instance matrix ---- *)
+
+let presets =
+  [
+    ("flat16", H.Presets.flat ~k:16);
+    ("dual_socket", H.Presets.dual_socket);
+    ("quad_socket", H.Presets.quad_socket);
+    ("cluster", H.Presets.cluster);
+    ("datacenter", H.Presets.datacenter);
+  ]
+
+let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11 ]
+(* 5 presets x 11 seeds = 55 instances >= 50. *)
+
+let instance_of hy seed =
+  let rng = Prng.create (97 * seed) in
+  let n = 14 + (seed mod 5) in
+  let g = Gen.gnp_connected rng n 0.35 in
+  let g = Gen.randomize_weights rng g ~lo:1.0 ~hi:9.0 in
+  (* Per-vertex demand must fit a leaf: cap the load factor so the uniform
+     demand share stays below leaf capacity on the wide presets. *)
+  let lf =
+    Float.min 0.55 (0.8 *. float_of_int n /. float_of_int (H.num_leaves hy))
+  in
+  if seed mod 2 = 0 then Instance.uniform_demands g hy ~load_factor:lf
+  else Instance.random_demands rng g hy ~load_factor:lf
+
+(* Digest of the full arithmetic-navigation semantics of [hy]: per-level
+   ancestors of every leaf, pairwise lca levels and edge costs over a seeded
+   sample of leaf pairs.  Any drift in navigation — not just in the solver —
+   shows up here. *)
+let navigation_digest hy =
+  let k = H.num_leaves hy in
+  let h = H.height hy in
+  let fp = ref Fp.seed in
+  for j = 0 to h do
+    for leaf = 0 to k - 1 do
+      fp := Fp.add_int !fp (H.ancestor hy ~level:j leaf)
+    done
+  done;
+  let rng = Prng.create 42 in
+  for _ = 1 to 256 do
+    let a = Prng.int rng k and b = Prng.int rng k in
+    fp := Fp.add_int !fp (H.lca_level hy a b);
+    fp := Fp.add_float !fp (H.edge_cost hy a b)
+  done;
+  for j = 0 to h do
+    fp := Fp.add_float !fp (H.capacity hy j);
+    fp := Fp.add_int !fp (H.nodes_at_level hy j)
+  done;
+  !fp
+
+let line_of name hy seed =
+  let inst = instance_of hy seed in
+  let options =
+    { Solver.default_options with seed = 1000 + seed; ensemble_size = 2 }
+  in
+  let sol = Solver.solve ~options inst in
+  let assignment_fp =
+    Fp.seed |> Fun.flip Fp.add_int_array sol.Solver.assignment
+  in
+  Printf.sprintf "%s seed=%d fp=%s nav=%s cost=%016Lx viol=%016Lx asg=%s"
+    name seed
+    (Fp.to_hex (H.fingerprint hy))
+    (Fp.to_hex (navigation_digest hy))
+    (Int64.bits_of_float sol.Solver.cost)
+    (Int64.bits_of_float sol.Solver.max_violation)
+    (Fp.to_hex assignment_fp)
+
+let test_regular_bit_identity () =
+  let lines =
+    List.concat_map
+      (fun (name, hy) -> List.map (line_of name hy) seeds)
+      presets
+  in
+  let actual = String.concat "\n" lines ^ "\n" in
+  let file = "regular_differential.golden" in
+  if promote then begin
+    let dir = source_golden_dir () in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    write_file (Filename.concat dir file) actual;
+    Printf.printf "promoted %s\n" (Filename.concat dir file)
+  end
+  else begin
+    let path = Filename.concat build_golden_dir file in
+    if not (Sys.file_exists path) then
+      Alcotest.failf
+        "missing golden %s — record from a known-good build with:\n\
+        \  dune build && HGP_GOLDEN_PROMOTE=1 \
+         ./_build/default/test/test_differential.exe"
+        file;
+    let expected = read_file path in
+    if expected <> actual then begin
+      (* Report the first differing line, not the full 55-line dump. *)
+      let el = String.split_on_char '\n' expected
+      and al = String.split_on_char '\n' actual in
+      let rec first_diff i = function
+        | e :: es, a :: as_ ->
+          if e <> a then Some (i, e, a) else first_diff (i + 1) (es, as_)
+        | e :: _, [] -> Some (i, e, "<missing>")
+        | [], a :: _ -> Some (i, "<missing>", a)
+        | [], [] -> None
+      in
+      match first_diff 1 (el, al) with
+      | Some (i, e, a) ->
+        Alcotest.failf
+          "regular-hierarchy bit-identity broken at line %d\n\
+           expected: %s\n\
+           actual:   %s"
+          i e a
+      | None -> ()
+    end
+  end
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "regular",
+        [
+          Alcotest.test_case "55 instances x presets bit-identical" `Quick
+            test_regular_bit_identity;
+        ] );
+    ]

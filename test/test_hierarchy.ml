@@ -76,6 +76,94 @@ let test_presets_valid () =
   Alcotest.(check bool) "quad socket not normalized" false
     (H.is_normalized H.Presets.quad_socket)
 
+(* ---- ragged hierarchies ---- *)
+
+let ragged_sample () =
+  (* Root cm 100 over three unequal racks; 9 leaves, caps 2..8. *)
+  H.create_ragged
+    (H.Node
+       {
+         cm = 100.;
+         children =
+           [
+             H.Node
+               {
+                 cm = 10.;
+                 children =
+                   List.init 4 (fun _ -> H.Leaf { capacity = 4.; cm = 0. });
+               };
+             H.Node
+               {
+                 cm = 10.;
+                 children =
+                   [
+                     H.Leaf { capacity = 4.; cm = 0. };
+                     H.Leaf { capacity = 4.; cm = 0. };
+                     H.Leaf { capacity = 2.; cm = 0. };
+                   ];
+               };
+             H.Node
+               {
+                 cm = 5.;
+                 children = [ H.Leaf { capacity = 8.; cm = 0. }; H.Leaf { capacity = 8.; cm = 0. } ];
+               };
+           ];
+       })
+
+let test_ragged_shape () =
+  let t = ragged_sample () in
+  Alcotest.(check bool) "not regular" false (H.is_regular t);
+  Alcotest.(check int) "height" 2 (H.height t);
+  Alcotest.(check int) "leaves" 9 (H.num_leaves t);
+  Alcotest.(check int) "level-1 nodes" 3 (H.nodes_at_level t 1);
+  Alcotest.(check int) "fan-out of node 1" 3 (H.deg_of t ~level:1 1);
+  Alcotest.(check (pair int int)) "children of node 2" (7, 8) (H.children_of t ~level:1 2);
+  Test_support.check_close "per-leaf capacity" 2. (H.leaf_cap t 6);
+  Test_support.check_close "subtree capacity" 10. (H.capacity_of t ~level:1 1);
+  Test_support.check_close "total capacity" 42. (H.total_capacity t);
+  Test_support.check_close "min leaf cap" 2. (H.min_leaf_capacity t);
+  Test_support.check_close "max leaf cap" 8. (H.leaf_capacity t);
+  (* Per-subtree multipliers drive edge costs. *)
+  Test_support.check_close "within cheap rack" 5. (H.edge_cost t 7 8);
+  Test_support.check_close "within dear rack" 10. (H.edge_cost t 0 1);
+  Test_support.check_close "cross rack" 100. (H.edge_cost t 0 8)
+
+let test_ragged_regular_detection () =
+  (* Equal content through either constructor yields one fingerprint, so
+     caches cannot split on the construction path. *)
+  let reg = H.create ~degs:[| 2; 2 |] ~cm:[| 9.; 3.; 0. |] ~leaf_capacity:1.0 in
+  let leaf = H.Leaf { capacity = 1.; cm = 0. } in
+  let sock = H.Node { cm = 3.; children = [ leaf; leaf ] } in
+  let ragged = H.create_ragged (H.Node { cm = 9.; children = [ sock; sock ] }) in
+  Alcotest.(check bool) "detected regular" true (H.is_regular ragged);
+  Alcotest.(check string) "same fingerprint"
+    (Hgp_util.Fingerprint.to_hex (H.fingerprint reg))
+    (Hgp_util.Fingerprint.to_hex (H.fingerprint ragged))
+
+let test_ragged_validation () =
+  let leaf c = H.Leaf { capacity = c; cm = 0. } in
+  Alcotest.(check bool) "uneven depths rejected" true
+    (match
+       H.create_ragged
+         (H.Node { cm = 1.; children = [ H.Node { cm = 0.; children = [ leaf 1. ] }; leaf 1. ] })
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "empty internal node rejected" true
+    (match H.create_ragged (H.Node { cm = 1.; children = [] }) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "nonpositive capacity rejected" true
+    (match H.create_ragged (H.Node { cm = 1.; children = [ leaf 0. ] }) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "increasing cm rejected" true
+    (match
+       H.create_ragged (H.Node { cm = 1.; children = [ H.Leaf { capacity = 1.; cm = 2. } ] })
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 module Topology = Hgp_hierarchy.Topology
 
 let test_topology_parse () =
@@ -91,7 +179,27 @@ let test_topology_parse_errors () =
     (fun s ->
       Alcotest.(check bool) (s ^ " rejected") true
         (match Topology.parse_result s with Error _ -> true | Ok _ -> false))
-    [ "nope"; "2x2@1"; "2x2@1,2,3"; "a@1,0"; "2@x,y"; "1@2@3" ]
+    [ "nope"; "2x2@1"; "2x2@1,2,3"; "a@1,0"; "2@x,y"; "1@2@3";
+      "[100,[10,x4],[5,8]]"; "[100,[10,4],[5,8]"; "[100,[10,4],8]"; "[]"; "[100,]" ]
+
+let test_topology_error_positions () =
+  (* Satellite: a rejected spec must name the offending token and its
+     character position, in both grammars. *)
+  let err s =
+    match Topology.parse_result s with
+    | Error m -> m
+    | Ok _ -> Alcotest.failf "%S unexpectedly accepted" s
+  in
+  Alcotest.(check string) "regular grammar: token and position"
+    "malformed hierarchy spec \"2xq@1,0\": bad fan-out \"q\" at char 2 (expected an integer)"
+    (err "2xq@1,0");
+  Alcotest.(check string) "ragged grammar: token and position"
+    "malformed hierarchy spec \"[100,[10,x4],[5,8]]\": bad leaf capacity \"x4\" at char 9 \
+     (expected a number)"
+    (err "[100,[10,x4],[5,8]]");
+  Alcotest.(check string) "ragged grammar: truncated spec position"
+    "malformed hierarchy spec \"[100,[10,4],[5,8]\": unexpected end of spec at char 17"
+    (err "[100,[10,4],[5,8]")
 
 let test_topology_roundtrip () =
   List.iter
@@ -103,6 +211,16 @@ let test_topology_roundtrip () =
       done)
     H.Presets.all
 
+let test_topology_ragged_roundtrip () =
+  List.iter
+    (fun (name, h) ->
+      let h' = Topology.parse (Topology.to_spec h) in
+      Alcotest.(check string)
+        (name ^ " round-trips to the same fingerprint")
+        (Hgp_util.Fingerprint.to_hex (H.fingerprint h))
+        (Hgp_util.Fingerprint.to_hex (H.fingerprint h')))
+    H.Presets.all_named
+
 let contains s sub =
   let n = String.length s and m = String.length sub in
   let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
@@ -112,6 +230,15 @@ let test_topology_describe () =
   let d = Topology.describe H.Presets.dual_socket in
   Alcotest.(check bool) "mentions socket" true (contains d "socket");
   Alcotest.(check bool) "mentions capacity" true (contains d "capacity")
+
+let test_topology_describe_ragged_golden () =
+  (* Full golden output: capacity/cm/fan-out ranges per level. *)
+  Alcotest.(check string) "ragged_rack description"
+    "H(h=2, ragged, k=9, nodes=13, cm0=100, caps=2..8)\n\
+    \  level 0 (machine): 1 node(s), capacity 42, cm 100, fan-out 3\n\
+    \  level 1 (socket): 3 node(s), capacity 10..16, cm 5..10, fan-out 2..4\n\
+    \  level 2 (core): 9 node(s), capacity 2..8, cm 0\n"
+    (Topology.describe H.Presets.ragged_rack)
 
 let test_of_latencies () =
   let h = Topology.of_latencies ~degs:[| 2; 2 |] ~latencies:[| 300.; 80.; 20. |] ~leaf_capacity:2.0 in
@@ -132,6 +259,28 @@ let prop_lca_properties =
       && (a = b
          || H.ancestor t ~level:l a = H.ancestor t ~level:l b
             && H.ancestor t ~level:(l + 1) a <> H.ancestor t ~level:(l + 1) b))
+
+let prop_spec_fixpoint =
+  (* parse∘to_spec is a fixpoint of the spec STRING for both grammars: one
+     trip through "%g" may truncate, but the printed form then reparses and
+     reprints to itself. *)
+  Test_support.qtest ~count:200 "to_spec . parse . to_spec is to_spec"
+    QCheck2.Gen.(oneof [ Test_support.gen_hierarchy; Test_support.gen_ragged_hierarchy ])
+    (fun t ->
+      let s = Topology.to_spec t in
+      Topology.to_spec (Topology.parse s) = s)
+
+let prop_ragged_roundtrip_exact =
+  (* The ragged generator only emits quarter-integer values, which "%g"
+     prints exactly, so the round-trip preserves the full hierarchy
+     fingerprint.  Trees that happen to be regular with a non-unit leaf
+     capacity are excluded: the regular grammar carries no capacity field
+     (Instance_io stores it separately). *)
+  Test_support.qtest ~count:200 "ragged parse . to_spec preserves the fingerprint"
+    Test_support.gen_ragged_hierarchy
+    (fun t ->
+      H.is_regular t
+      || H.fingerprint (Topology.parse (Topology.to_spec t)) = H.fingerprint t)
 
 let prop_uniform_preset =
   Test_support.qtest ~count:50 "uniform preset shape"
@@ -154,11 +303,24 @@ let () =
           Alcotest.test_case "trivial hierarchy" `Quick test_trivial_hierarchy;
           Alcotest.test_case "validation" `Quick test_validation;
           Alcotest.test_case "presets" `Quick test_presets_valid;
+          Alcotest.test_case "ragged shape" `Quick test_ragged_shape;
+          Alcotest.test_case "ragged regular detection" `Quick test_ragged_regular_detection;
+          Alcotest.test_case "ragged validation" `Quick test_ragged_validation;
           Alcotest.test_case "topology parse" `Quick test_topology_parse;
           Alcotest.test_case "topology parse errors" `Quick test_topology_parse_errors;
+          Alcotest.test_case "topology error positions" `Quick test_topology_error_positions;
           Alcotest.test_case "topology roundtrip" `Quick test_topology_roundtrip;
+          Alcotest.test_case "topology ragged roundtrip" `Quick test_topology_ragged_roundtrip;
           Alcotest.test_case "topology describe" `Quick test_topology_describe;
+          Alcotest.test_case "topology describe ragged (golden)" `Quick
+            test_topology_describe_ragged_golden;
           Alcotest.test_case "of_latencies" `Quick test_of_latencies;
         ] );
-      ("property", [ prop_lca_properties; prop_uniform_preset ]);
+      ( "property",
+        [
+          prop_lca_properties;
+          prop_spec_fixpoint;
+          prop_ragged_roundtrip_exact;
+          prop_uniform_preset;
+        ] );
     ]

@@ -104,6 +104,36 @@ let test_instance_io_roundtrip () =
     (Hgp_core.Cost.assignment_cost inst p)
     (Hgp_core.Cost.assignment_cost inst' p)
 
+let test_instance_io_ragged_roundtrip () =
+  (* A ragged hierarchy serializes as its bracket spec with no separate
+     capacity field (the spec embeds per-leaf capacities), and round-trips
+     to the same fingerprint. *)
+  let rng = Prng.create 9 in
+  let g = Gen.gnp_connected rng 12 0.35 in
+  let hy = H.Presets.ragged_rack in
+  let inst = Instance.uniform_demands g hy ~load_factor:0.5 in
+  let text = Instance_io.to_string inst in
+  let lines = String.split_on_char '\n' text in
+  let is_hline l = String.length l > 10 && String.sub l 0 10 = "hierarchy " in
+  let hline = List.find is_hline lines in
+  Alcotest.(check int) "hierarchy line is just the spec (no capacity field)" 2
+    (List.length (String.split_on_char ' ' hline));
+  let inst' = Instance_io.of_string text in
+  Alcotest.(check string) "hierarchy fingerprint preserved"
+    (Hgp_util.Fingerprint.to_hex (H.fingerprint hy))
+    (Hgp_util.Fingerprint.to_hex (H.fingerprint inst'.Instance.hierarchy));
+  Alcotest.(check bool) "demands bit-identical" true (inst.demands = inst'.demands);
+  (* 'capacity' on a ragged spec is a parse error, not a silent override. *)
+  let with_capacity =
+    List.map (fun l -> if is_hline l then l ^ " capacity 2.0" else l) lines
+    |> String.concat "\n"
+  in
+  Alcotest.(check bool) "ragged + capacity rejected" true
+    (try
+       ignore (Instance_io.of_string with_capacity);
+       false
+     with Hgp_resilience.Hgp_error.Error (Hgp_resilience.Hgp_error.Parse _) -> true)
+
 let test_instance_io_file () =
   let g = Gen.path 4 in
   let inst = Instance.uniform_demands g (hy ()) ~load_factor:0.5 in
@@ -203,6 +233,8 @@ let () =
           Alcotest.test_case "resolution for eps" `Quick test_resolution_for_eps;
           Alcotest.test_case "capacity units" `Quick test_capacity_units;
           Alcotest.test_case "instance io roundtrip" `Quick test_instance_io_roundtrip;
+          Alcotest.test_case "instance io ragged roundtrip" `Quick
+            test_instance_io_ragged_roundtrip;
           Alcotest.test_case "instance io file" `Quick test_instance_io_file;
           Alcotest.test_case "instance io crlf" `Quick test_instance_io_crlf;
           Alcotest.test_case "instance io malformed" `Quick test_instance_io_malformed;

@@ -12,6 +12,10 @@ let hierarchies =
     ("flat8", H.Presets.flat ~k:8);
     ("dual_socket", H.Presets.dual_socket);
     ("uniform-3x3", H.Presets.uniform ~branching:3 ~height:2);
+    (* Heterogeneous fleets: irregular fan-out, per-leaf capacities,
+       per-subtree multipliers. *)
+    ("ragged_rack", H.Presets.ragged_rack);
+    ("gpu_cpu_tier", H.Presets.gpu_cpu_tier);
   ]
 
 let pipeline_case (spec : Hgp_workloads.Presets.spec) (hname, hy) () =

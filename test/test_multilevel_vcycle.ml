@@ -134,6 +134,55 @@ let test_zero_refinement_exactness () =
         cert.Verify.max_violation sol.Pipeline.max_violation)
     [ 3; 17; 4242 ]
 
+(* ---- ragged hierarchies through the V-cycle ---- *)
+
+let test_ragged_vcycle () =
+  (* Heterogeneous fleet: coarsening must cap super-vertices at the SMALLEST
+     leaf capacity, refinement at each node's own capacity; the result stays
+     inside the certified band. *)
+  List.iter
+    (fun (hname, rhy) ->
+      List.iter
+        (fun seed ->
+          let g = Gen.gnp_connected (Prng.create seed) 60 0.12 in
+          let g = Gen.randomize_weights (Prng.create (seed + 1)) g ~lo:0.5 ~hi:4.5 in
+          let inst =
+            Instance.random_demands (Prng.create (seed * 7919)) g rhy ~load_factor:0.5
+          in
+          let r = Vcycle.solve ~options:(vcycle_options ~threshold:16 seed) inst in
+          let cert = r.Vcycle.coarse_certificate in
+          if not cert.Verify.assignment_complete then
+            Alcotest.failf "%s seed=%d: incomplete coarse assignment" hname seed;
+          if not cert.Verify.within_theorem_bound then
+            Alcotest.failf "%s seed=%d: coarse certificate outside band" hname seed;
+          let sol = r.Vcycle.solution in
+          if sol.Pipeline.max_violation > cert.Verify.theorem_bound +. 1e-9 then
+            Alcotest.failf "%s seed=%d: fine violation %.4f outside band %.4f" hname seed
+              sol.Pipeline.max_violation cert.Verify.theorem_bound;
+          if r.Vcycle.levels < 1 then
+            Alcotest.failf "%s seed=%d: expected coarsening to engage" hname seed;
+          (* Per-leaf honesty: recompute loads and compare against each
+             leaf's OWN capacity, not the envelope. *)
+          let k = Hierarchy.num_leaves rhy in
+          let loads = Array.make k 0. in
+          Array.iteri
+            (fun v l -> loads.(l) <- loads.(l) +. inst.Instance.demands.(v))
+            sol.Pipeline.assignment;
+          Array.iteri
+            (fun l load ->
+              if
+                load
+                > (cert.Verify.theorem_bound *. Hierarchy.leaf_cap rhy l) +. 1e-9
+              then
+                Alcotest.failf "%s seed=%d: leaf %d load %.3f over its banded cap" hname
+                  seed l load)
+            loads)
+        [ 3; 11; 29 ])
+    [
+      ("ragged_rack", Hierarchy.Presets.ragged_rack);
+      ("gpu_cpu_tier", Hierarchy.Presets.gpu_cpu_tier);
+    ]
+
 (* ---- matching determinism and invariants ---- *)
 
 let test_matching_deterministic () =
@@ -233,6 +282,7 @@ let () =
             test_differential;
           Alcotest.test_case "zero-refinement exactness" `Quick
             test_zero_refinement_exactness;
+          Alcotest.test_case "ragged hierarchies stay in band" `Quick test_ragged_vcycle;
         ] );
       ( "matching",
         [

@@ -200,6 +200,57 @@ let test_single_field_perturbation_misses () =
         ((packed_stats ()).Lru.misses > misses0))
     perturbations
 
+(* ---- hierarchy perturbations => new cache keys ---- *)
+
+(* One ragged tree, with hooks to nudge exactly one leaf capacity or one
+   subtree multiplier; everything downstream of Hierarchy.fingerprint
+   (pipeline artifact keys, server/batch keys, the multilevel chain key)
+   must treat each variant as a different hierarchy. *)
+let ragged_spec ?(cap0 = 4.) ?(cm1 = 10.) () =
+  let leaf capacity = H.Leaf { capacity; cm = 0. } in
+  H.Node
+    {
+      cm = 100.;
+      children =
+        [
+          H.Node { cm = cm1; children = [ H.Leaf { capacity = cap0; cm = 0. }; leaf 4. ] };
+          H.Node { cm = 5.; children = [ leaf 8.; leaf 8. ] };
+        ];
+    }
+
+let test_hierarchy_perturbation_changes_fingerprint () =
+  let fp s = Fingerprint.to_hex (H.fingerprint (H.create_ragged s)) in
+  let base = fp (ragged_spec ()) in
+  Alcotest.(check string) "equal content, equal key" base (fp (ragged_spec ()));
+  Alcotest.(check bool) "one leaf capacity changes the key" true
+    (base <> fp (ragged_spec ~cap0:5. ()));
+  Alcotest.(check bool) "one subtree multiplier changes the key" true
+    (base <> fp (ragged_spec ~cm1:9. ()))
+
+let test_hierarchy_perturbation_misses_cache () =
+  let rng = Prng.create 11 in
+  let g = Gen.gnp_connected rng 16 0.4 in
+  let mk s = Instance.uniform_demands g (H.create_ragged s) ~load_factor:0.5 in
+  let options = { Solver.default_options with ensemble_size = 2; seed = 3 } in
+  Pipeline.clear_caches ();
+  ignore (Solver.solve ~options (mk (ragged_spec ())));
+  (* Control: the same hierarchy content, rebuilt from scratch, hits. *)
+  let hits0 = (packed_stats ()).Lru.hits in
+  ignore (Solver.solve ~options (mk (ragged_spec ())));
+  Alcotest.(check bool) "control hits" true ((packed_stats ()).Lru.hits > hits0);
+  List.iter
+    (fun (what, s) ->
+      let misses0 = (packed_stats ()).Lru.misses in
+      ignore (Solver.solve ~options (mk s));
+      Alcotest.(check bool)
+        (what ^ " perturbation misses the packed cache")
+        true
+        ((packed_stats ()).Lru.misses > misses0))
+    [
+      ("single leaf capacity", ragged_spec ~cap0:5. ());
+      ("single subtree multiplier", ragged_spec ~cm1:9. ());
+    ]
+
 let test_embedding_reuse_is_key_precise () =
   (* eps is not part of the ensemble key (the embedding never sees demands),
      so an eps change re-packs but re-uses the sampled trees; a seed change
@@ -362,6 +413,10 @@ let () =
         [
           Alcotest.test_case "single-field perturbation misses" `Quick
             test_single_field_perturbation_misses;
+          Alcotest.test_case "hierarchy perturbation changes fingerprint" `Quick
+            test_hierarchy_perturbation_changes_fingerprint;
+          Alcotest.test_case "hierarchy perturbation misses the cache" `Quick
+            test_hierarchy_perturbation_misses_cache;
           Alcotest.test_case "embedding reuse is key-precise" `Quick
             test_embedding_reuse_is_key_precise;
           Alcotest.test_case "retry reuses the ensemble" `Quick test_retry_reuses_ensemble;
