@@ -50,6 +50,7 @@ let () =
         ("E17", Experiments.e17_batch_service);
         ("E18", Experiments.e18_dp_kernel);
         ("E19", Experiments.e19_multilevel_vcycle);
+        ("E20", Experiments.e20_fm_refinement);
         ("micro", Microbench.run);
       ]
     in

@@ -220,8 +220,32 @@ let solve_cmd =
              exact solver's reach (see docs/MULTILEVEL.md)."
           ~docv:"THRESHOLD")
   in
+  let multilevel_refine =
+    (* The value is (engine, boundary re-solve); "fm,boundary" is a single
+       enum token — cmdliner only treats commas specially in list converters. *)
+    let engine_conv =
+      Arg.enum
+        [
+          ("greedy", (Hgp_multilevel.Refine.Greedy, false));
+          ("fm", (Hgp_multilevel.Refine.Fm { hill_climb = true }, false));
+          ("fm,boundary", (Hgp_multilevel.Refine.Fm { hill_climb = true }, true));
+        ]
+    in
+    Arg.(
+      value
+      & opt engine_conv (Hgp_multilevel.Refine.Greedy, false)
+      & info [ "multilevel-refine" ]
+          ~doc:
+            "Refinement engine for the --multilevel uncoarsening phase: greedy \
+             (default, single-vertex descent), fm (gain-bucket \
+             Fiduccia-Mattheyses with hill-climbing and best-prefix rollback), \
+             or fm,boundary (fm plus an exact re-solve of each level's \
+             boundary subgraph, spliced back only when it improves cost and \
+             stays inside the certified band).  See docs/MULTILEVEL.md."
+          ~docv:"ENGINE")
+  in
   let run path hierarchy load seed ensemble resolution deadline_ms slack metrics repeat
-      cache_stats multilevel =
+      cache_stats multilevel multilevel_refine =
     handle_errors @@ fun () ->
     let hierarchy = resolve_hierarchy hierarchy in
     with_metrics metrics @@ fun () ->
@@ -243,7 +267,10 @@ let solve_cmd =
     (match multilevel with
      | Some threshold ->
        let module V = Hgp_multilevel.Vcycle in
-       let mopts = { V.default_options with V.threshold; solver = options } in
+       let refine_algo, boundary_resolve = multilevel_refine in
+       let mopts =
+         { V.default_options with V.threshold; refine_algo; boundary_resolve; solver = options }
+       in
        let solve_once () = V.solve ~options:mopts inst in
        let r = ref (solve_once ()) in
        for _ = 2 to max 1 repeat do
@@ -260,6 +287,24 @@ let solve_cmd =
        Printf.printf "# coarse-certified within-band=%b violation=%.4f bound=%.4f\n"
          cert.Hgp_core.Verify.within_theorem_bound cert.Hgp_core.Verify.max_violation
          cert.Hgp_core.Verify.theorem_bound;
+       (* Describe line only in FM modes — the greedy output (and its golden)
+          stays byte-identical. *)
+       (match refine_algo with
+        | Hgp_multilevel.Refine.Greedy -> ()
+        | Hgp_multilevel.Refine.Fm { hill_climb } ->
+          let rollbacks =
+            List.fold_left (fun acc (lr : V.level_report) -> acc + lr.V.rollbacks) 0
+              r.V.level_reports
+          in
+          let resolves =
+            List.fold_left
+              (fun acc (lr : V.level_report) -> if lr.V.boundary_resolved then acc + 1 else acc)
+              0 r.V.level_reports
+          in
+          Printf.printf
+            "# multilevel-refine engine=fm hill-climb=%b boundary=%b rollbacks=%d \
+             boundary-resolves=%d\n"
+            hill_climb boundary_resolve rollbacks resolves);
        List.iter
          (fun (lr : V.level_report) ->
            Printf.printf "# refine level=%d n=%d moves=%d gain=%.6g\n" lr.V.level lr.V.n
@@ -304,7 +349,8 @@ let solve_cmd =
   let term =
     Term.(
       const run $ graph_arg $ hierarchy_arg $ load_arg $ seed_arg $ ensemble $ resolution
-      $ deadline $ slack_arg $ metrics_arg $ repeat $ cache_stats $ multilevel)
+      $ deadline $ slack_arg $ metrics_arg $ repeat $ cache_stats $ multilevel
+      $ multilevel_refine)
   in
   Cmd.v (Cmd.info "solve" ~doc:"Solve HGP on a graph; prints 'vertex leaf' lines.") term
 

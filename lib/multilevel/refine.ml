@@ -5,14 +5,112 @@ type stats = {
   passes : int;
   moves : int;
   gain : float;
+  rollbacks : int;
 }
 
-let refine csr hy assignment ~slack ~max_passes =
+type algo = Greedy | Fm of { hill_climb : bool }
+
+type move = {
+  vertex : int;
+  src : int;
+  dst : int;
+  move_gain : float;
+  undo : bool;
+}
+
+(* ---- level cost and boundary (shared with Vcycle and the test layer) ---- *)
+
+let cost csr hy assignment =
+  let acc = ref 0. in
+  Csr.iter_edges
+    (fun u v w -> acc := !acc +. (w *. Hierarchy.edge_cost hy assignment.(u) assignment.(v)))
+    csr;
+  !acc
+
+let boundary csr assignment =
+  let n = Csr.n csr in
+  let b = Array.make n false in
+  for v = 0 to n - 1 do
+    let l = assignment.(v) in
+    Csr.iter_neighbors (fun u _ -> if assignment.(u) <> l then b.(v) <- true) csr v
+  done;
+  b
+
+(* ---- bucket queue on quantized gains ----
+
+   Entries land in bucket [floor (gain / quantum)]; [pop] serves the highest
+   non-empty bucket FIFO.  Quantization only affects the *order* candidates
+   are tried in, never the gains that are applied — the FM engine revalidates
+   every popped entry against exact recomputed gains (lazy invalidation), so
+   a coarse quantum costs move-ordering quality, not correctness. *)
+
+module Bucketq = struct
+  type 'a t = {
+    quantum : float;
+    buckets : (int, 'a Queue.t) Hashtbl.t;
+    mutable best : int;  (* max key present; min_int when empty *)
+    mutable size : int;
+  }
+
+  let create ~quantum =
+    {
+      quantum = Float.max 1e-18 quantum;
+      buckets = Hashtbl.create 64;
+      best = min_int;
+      size = 0;
+    }
+
+  let length t = t.size
+  let index_of t gain = int_of_float (Float.floor (gain /. t.quantum))
+
+  let push t ~gain x =
+    let i = index_of t gain in
+    let q =
+      match Hashtbl.find_opt t.buckets i with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.add t.buckets i q;
+        q
+    in
+    Queue.push x q;
+    if i > t.best then t.best <- i;
+    t.size <- t.size + 1
+
+  (* Only non-empty buckets are kept in the table, so [best] always names a
+     live bucket while [size > 0]. *)
+  let pop t =
+    if t.size = 0 then None
+    else begin
+      let i = t.best in
+      let q = Hashtbl.find t.buckets i in
+      let x = Queue.pop q in
+      t.size <- t.size - 1;
+      if Queue.is_empty q then begin
+        Hashtbl.remove t.buckets i;
+        t.best <- Hashtbl.fold (fun k _ acc -> max k acc) t.buckets min_int
+      end;
+      Some (i, x)
+    end
+
+  let clear t =
+    Hashtbl.reset t.buckets;
+    t.best <- min_int;
+    t.size <- 0
+end
+
+(* ---- per-node banded load bookkeeping (shared by both engines) ---- *)
+
+type band = {
+  hy : Hierarchy.t;
+  h : int;
+  loads : float array array;  (* level 1..h; level 0 never changes *)
+  caps : float array array;
+}
+
+let band_init csr hy assignment ~slack =
   let n = Csr.n csr in
   let h = Hierarchy.height hy in
-  let assignment = Array.copy assignment in
-  (* Load per node at every level 1..h (level 0 is the root: moves never
-     change the total, so it needs no bookkeeping). *)
   let loads =
     Array.init (h + 1) (fun j ->
         if j = 0 then [||] else Array.make (Hierarchy.nodes_at_level hy j) 0.)
@@ -25,37 +123,84 @@ let refine csr hy assignment ~slack ~max_passes =
       loads.(j).(a) <- loads.(j).(a) +. d
     done
   done;
-  let cap =
+  let caps =
     Array.init (h + 1) (fun j ->
         if j = 0 then [||]
         else
           Array.init (Hierarchy.nodes_at_level hy j) (fun idx ->
               slack *. Hierarchy.capacity_of hy ~level:j idx))
   in
-  (* A move to leaf [l] is safe when every ancestor of [l] that is NOT also
-     an ancestor of the current leaf keeps its load within the band; shared
-     ancestors see no load change. *)
-  let fits ~from l d =
-    let ok = ref true in
-    let j = ref 1 in
-    while !ok && !j <= h do
-      let a = Hierarchy.ancestor hy ~level:!j l in
-      if a <> Hierarchy.ancestor hy ~level:!j from then
-        if loads.(!j).(a) +. d > cap.(!j).(a) then ok := false;
-      incr j
-    done;
-    !ok
-  in
-  let apply ~from l d =
-    for j = 1 to h do
-      let a = Hierarchy.ancestor hy ~level:j l in
-      let b = Hierarchy.ancestor hy ~level:j from in
-      if a <> b then begin
-        loads.(j).(a) <- loads.(j).(a) +. d;
-        loads.(j).(b) <- loads.(j).(b) -. d
-      end
-    done
-  in
+  { hy; h; loads; caps }
+
+(* A move to leaf [l] is safe when every ancestor of [l] that is NOT also an
+   ancestor of the current leaf keeps its load within the band; shared
+   ancestors see no load change. *)
+let band_fits b ~from l d =
+  let ok = ref true in
+  let j = ref 1 in
+  while !ok && !j <= b.h do
+    let a = Hierarchy.ancestor b.hy ~level:!j l in
+    if a <> Hierarchy.ancestor b.hy ~level:!j from then
+      if b.loads.(!j).(a) +. d > b.caps.(!j).(a) then ok := false;
+    incr j
+  done;
+  !ok
+
+let band_apply b ~from l d =
+  for j = 1 to b.h do
+    let a = Hierarchy.ancestor b.hy ~level:j l in
+    let p = Hierarchy.ancestor b.hy ~level:j from in
+    if a <> p then begin
+      b.loads.(j).(a) <- b.loads.(j).(a) +. d;
+      b.loads.(j).(p) <- b.loads.(j).(p) -. d
+    end
+  done
+
+let in_band csr hy assignment ~slack =
+  let b = band_init csr hy assignment ~slack in
+  let ok = ref true in
+  for j = 1 to b.h do
+    Array.iteri
+      (fun i load -> if load > b.caps.(j).(i) +. 1e-9 then ok := false)
+      b.loads.(j)
+  done;
+  !ok
+
+(* ---- incremental boundary counts ----
+
+   [cnt.(v)] is the number of adjacency entries of [v] whose endpoint sits on
+   a different leaf; [v] is a boundary vertex iff [cnt.(v) > 0].  Moving [v]
+   only changes the boundary status of [v] itself and of its direct
+   neighbors, so one move costs O(deg v) to maintain — the full recompute is
+   kept in {!boundary} as the differential oracle for the regression test. *)
+
+let cnt_init csr assignment =
+  let n = Csr.n csr in
+  let cnt = Array.make n 0 in
+  for v = 0 to n - 1 do
+    let l = assignment.(v) in
+    Csr.iter_neighbors (fun u _ -> if assignment.(u) <> l then cnt.(v) <- cnt.(v) + 1) csr v
+  done;
+  cnt
+
+(* Call with [assignment] already updated to place [v] on [dst]. *)
+let cnt_move csr cnt assignment v ~src ~dst =
+  cnt.(v) <- 0;
+  Csr.iter_neighbors
+    (fun u _ ->
+      let lu = assignment.(u) in
+      if lu <> dst then cnt.(v) <- cnt.(v) + 1;
+      let before = if src <> lu then 1 else 0 in
+      let after = if dst <> lu then 1 else 0 in
+      cnt.(u) <- cnt.(u) + after - before)
+    csr v
+
+(* ---- the greedy engine (historical semantics, bit-identical moves) ---- *)
+
+let refine csr hy assignment ~slack ~max_passes =
+  let n = Csr.n csr in
+  let assignment = Array.copy assignment in
+  let band = band_init csr hy assignment ~slack in
   let incident l v =
     let acc = ref 0. in
     Csr.iter_neighbors
@@ -67,54 +212,220 @@ let refine csr hy assignment ~slack ~max_passes =
   let improved = ref true in
   (* Candidate targets: only leaves hosting a neighbor — the classic
      boundary-refinement restriction that keeps a pass O(sum deg^2 / n) per
-     vertex instead of O(k). *)
+     vertex instead of O(k).  Interior vertices (no cross-leaf edge) have no
+     candidates, so the incremental count lets each pass skip them in O(1)
+     instead of rescanning their adjacency; the visit order and the move
+     decisions over boundary vertices are unchanged. *)
+  let cnt = cnt_init csr assignment in
   let cand = Array.make 8 0 in
   let cand = ref cand in
   while !improved && !passes < max_passes do
     improved := false;
     incr passes;
     for v = 0 to n - 1 do
-      let from = assignment.(v) in
-      let ncand = ref 0 in
-      Csr.iter_neighbors
-        (fun u _ ->
-          let l = assignment.(u) in
-          if l <> from then begin
-            let dup = ref false in
-            for i = 0 to !ncand - 1 do
-              if !cand.(i) = l then dup := true
-            done;
-            if not !dup then begin
-              if !ncand >= Array.length !cand then begin
-                let bigger = Array.make (2 * Array.length !cand) 0 in
-                Array.blit !cand 0 bigger 0 !ncand;
-                cand := bigger
-              end;
-              !cand.(!ncand) <- l;
-              incr ncand
+      if cnt.(v) > 0 then begin
+        let from = assignment.(v) in
+        let ncand = ref 0 in
+        Csr.iter_neighbors
+          (fun u _ ->
+            let l = assignment.(u) in
+            if l <> from then begin
+              let dup = ref false in
+              for i = 0 to !ncand - 1 do
+                if !cand.(i) = l then dup := true
+              done;
+              if not !dup then begin
+                if !ncand >= Array.length !cand then begin
+                  let bigger = Array.make (2 * Array.length !cand) 0 in
+                  Array.blit !cand 0 bigger 0 !ncand;
+                  cand := bigger
+                end;
+                !cand.(!ncand) <- l;
+                incr ncand
+              end
+            end)
+          csr v;
+        if !ncand > 0 then begin
+          let here = incident from v in
+          let d = Csr.vertex_weight csr v in
+          let best_l = ref from and best_gain = ref 1e-12 in
+          for i = 0 to !ncand - 1 do
+            let l = !cand.(i) in
+            let gain = here -. incident l v in
+            if gain > !best_gain && band_fits band ~from l d then begin
+              best_gain := gain;
+              best_l := l
             end
-          end)
-        csr v;
-      if !ncand > 0 then begin
-        let here = incident from v in
-        let d = Csr.vertex_weight csr v in
-        let best_l = ref from and best_gain = ref 1e-12 in
-        for i = 0 to !ncand - 1 do
-          let l = !cand.(i) in
-          let gain = here -. incident l v in
-          if gain > !best_gain && fits ~from l d then begin
-            best_gain := gain;
-            best_l := l
+          done;
+          if !best_l <> from then begin
+            band_apply band ~from !best_l d;
+            assignment.(v) <- !best_l;
+            cnt_move csr cnt assignment v ~src:from ~dst:!best_l;
+            moves := !moves + 1;
+            total_gain := !total_gain +. !best_gain;
+            improved := true
           end
-        done;
-        if !best_l <> from then begin
-          apply ~from !best_l d;
-          assignment.(v) <- !best_l;
-          moves := !moves + 1;
-          total_gain := !total_gain +. !best_gain;
-          improved := true
         end
       end
     done
   done;
-  (assignment, { passes = !passes; moves = !moves; gain = !total_gain })
+  (assignment, { passes = !passes; moves = !moves; gain = !total_gain; rollbacks = 0 })
+
+(* ---- the FM engine ---- *)
+
+(* One logged application; [log] is kept most-recent-first so rolling back to
+   the best prefix pops from the head. *)
+type logged = { lv : int; lsrc : int; ldst : int; lgain : float }
+
+let refine_fm csr hy assignment ~slack ~max_passes ~hill_climb ?observe () =
+  let n = Csr.n csr in
+  let assignment = Array.copy assignment in
+  let band = band_init csr hy assignment ~slack in
+  let cnt = cnt_init csr assignment in
+  let incident l v =
+    let acc = ref 0. in
+    Csr.iter_neighbors
+      (fun u w -> if u <> v then acc := !acc +. (w *. Hierarchy.edge_cost hy l assignment.(u)))
+      csr v;
+    !acc
+  in
+  let notify mv =
+    match observe with
+    | None -> ()
+    | Some f -> f mv (Array.map (fun c -> c > 0) cnt)
+  in
+  (* Quantum: gains scale with (edge weight x cost multiplier); an average
+     edge at the root multiplier split across 64 buckets orders candidates
+     finely enough that bucket ties are rare. *)
+  let quantum =
+    let m = Csr.m csr in
+    let avg_w = if m = 0 then 1. else Csr.total_edge_weight csr /. float_of_int m in
+    let c0 = Hierarchy.cm hy 0 in
+    Float.max 1e-12 (avg_w *. (if c0 > 0. then c0 else 1.) /. 64.)
+  in
+  let bq = Bucketq.create ~quantum in
+  let stamp = Array.make n 0 in
+  let locked = Array.make n false in
+  (* Best single-vertex move of [v] under the current assignment, restricted
+     to band-legal targets.  With [hill_climb] the best may have negative
+     gain; without it, callers drop non-positive candidates. *)
+  let best_move v =
+    if cnt.(v) = 0 then None
+    else begin
+      let from = assignment.(v) in
+      let d = Csr.vertex_weight csr v in
+      let here = incident from v in
+      let best_l = ref from and best_g = ref neg_infinity in
+      Csr.iter_neighbors
+        (fun u _ ->
+          let l = assignment.(u) in
+          (* Ascending-id neighbor iteration makes the first occurrence of a
+             leaf the canonical candidate, so ties are deterministic. *)
+          if l <> from && l <> !best_l then begin
+            let g = here -. incident l v in
+            if g > !best_g +. 1e-15 && band_fits band ~from l d then begin
+              best_g := g;
+              best_l := l
+            end
+          end)
+        csr v;
+      if !best_l = from then None else Some (!best_l, !best_g)
+    end
+  in
+  let push_candidate v =
+    if (not locked.(v)) && cnt.(v) > 0 then
+      match best_move v with
+      | None -> ()
+      | Some (_, g) ->
+        if hill_climb || g > 1e-12 then Bucketq.push bq ~gain:g (v, stamp.(v))
+  in
+  let moves = ref 0
+  and rollbacks = ref 0
+  and total_gain = ref 0.
+  and passes = ref 0 in
+  let improved = ref true in
+  while !improved && !passes < max_passes do
+    improved := false;
+    incr passes;
+    Array.fill locked 0 n false;
+    Bucketq.clear bq;
+    for v = 0 to n - 1 do
+      push_candidate v
+    done;
+    let log = ref [] and log_len = ref 0 in
+    let cum = ref 0. and best_cum = ref 0. and best_len = ref 0 in
+    let apply v dst g =
+      let src = assignment.(v) in
+      let d = Csr.vertex_weight csr v in
+      band_apply band ~from:src dst d;
+      assignment.(v) <- dst;
+      cnt_move csr cnt assignment v ~src ~dst;
+      locked.(v) <- true;
+      stamp.(v) <- stamp.(v) + 1;
+      incr moves;
+      log := { lv = v; lsrc = src; ldst = dst; lgain = g } :: !log;
+      incr log_len;
+      cum := !cum +. g;
+      if !cum > !best_cum +. 1e-12 then begin
+        best_cum := !cum;
+        best_len := !log_len
+      end;
+      notify { vertex = v; src; dst; move_gain = g; undo = false };
+      (* Lazy gain update: a neighbor's cached candidates are stale now —
+         bump its stamp so queued entries die at pop, and queue a fresh
+         candidate computed against the new assignment. *)
+      Csr.iter_neighbors
+        (fun u _ ->
+          stamp.(u) <- stamp.(u) + 1;
+          push_candidate u)
+        csr v
+    in
+    let draining = ref true in
+    while !draining do
+      match Bucketq.pop bq with
+      | None -> draining := false
+      | Some (popped_bucket, (v, st)) ->
+        if st = stamp.(v) && not locked.(v) then begin
+          (* Stamps only change when a neighbor moves, so a fresh entry's
+             gain is exact; band legality, however, depends on loads anywhere
+             in the tree, so revalidate against the current loads. *)
+          match best_move v with
+          | None -> ()
+          | Some (dst, g) ->
+            if (not hill_climb) && g <= 1e-12 then ()
+            else if Bucketq.index_of bq g < popped_bucket then
+              (* The band shrank under this entry: requeue at its real
+                 priority instead of applying out of order. *)
+              Bucketq.push bq ~gain:g (v, st)
+            else apply v dst g
+        end
+    done;
+    (* Best-prefix rollback: keep the prefix with the highest cumulative
+       gain (possibly empty), undoing the tail most-recent-first.  Every
+       prefix state was reached through band-checked moves, so the restored
+       state is in-band by construction. *)
+    let pass_gain =
+      if hill_climb then begin
+        while !log_len > !best_len do
+          match !log with
+          | [] -> assert false
+          | mv :: rest ->
+            log := rest;
+            decr log_len;
+            let d = Csr.vertex_weight csr mv.lv in
+            band_apply band ~from:mv.ldst mv.lsrc d;
+            assignment.(mv.lv) <- mv.lsrc;
+            cnt_move csr cnt assignment mv.lv ~src:mv.ldst ~dst:mv.lsrc;
+            stamp.(mv.lv) <- stamp.(mv.lv) + 1;
+            incr rollbacks;
+            notify { vertex = mv.lv; src = mv.ldst; dst = mv.lsrc; move_gain = -.mv.lgain; undo = true }
+        done;
+        !best_cum
+      end
+      else !cum
+    in
+    total_gain := !total_gain +. pass_gain;
+    if pass_gain > 1e-9 then improved := true
+  done;
+  ( assignment,
+    { passes = !passes; moves = !moves; gain = !total_gain; rollbacks = !rollbacks } )

@@ -10,15 +10,30 @@ module Lru = Hgp_util.Lru
 module Fingerprint = Hgp_util.Fingerprint
 module Prng = Hgp_util.Prng
 
+module Graph = Hgp_graph.Graph
+
 type options = {
   threshold : int;
   max_levels : int;
   refine_passes : int;
+  refine_algo : Refine.algo;
+  boundary_resolve : bool;
+  boundary_max : int;
+  on_level : int -> float -> Csr.t -> int array -> unit;
   solver : Pipeline.options;
 }
 
 let default_options =
-  { threshold = 128; max_levels = 40; refine_passes = 2; solver = Pipeline.default_options }
+  {
+    threshold = 128;
+    max_levels = 40;
+    refine_passes = 2;
+    refine_algo = Refine.Greedy;
+    boundary_resolve = false;
+    boundary_max = 128;
+    on_level = (fun _ _ _ _ -> ());
+    solver = Pipeline.default_options;
+  }
 
 type level_report = {
   level : int;
@@ -26,6 +41,10 @@ type level_report = {
   m : int;
   moves : int;
   gain : float;
+  rollbacks : int;
+  cost_before : float;
+  cost_after : float;
+  boundary_resolved : bool;
 }
 
 type result = {
@@ -62,6 +81,74 @@ let chain_key fine ~threshold ~max_levels ~seed ~max_weight =
   |> Fun.flip Fingerprint.add_int max_levels
   |> Fun.flip Fingerprint.add_int seed
   |> Fun.flip Fingerprint.add_float max_weight
+
+(* ---- boundary re-solve (KaHIP-style local exact V-cycle) ----
+
+   Extract the induced subgraph of the level's boundary vertices, re-solve it
+   exactly through the staged pipeline (hitting the same artifact caches and
+   worker-domain pool as any other solve), and splice the sub-assignment back
+   only when it strictly improves the level cost AND the spliced assignment
+   stays inside the certified band — so the coarse certificate survives even
+   though the exact solver knew nothing about the non-boundary context.
+
+   The sub-instance must be connected ([Decomposition.build] rejects
+   disconnected graphs), so components are chained together with
+   negligible-weight edges between their smallest-id vertices; the splice
+   guard recomputes the true cost on the full graph, so that distortion
+   cannot leak into the accepted solution. *)
+let boundary_resolve_level csr hy assignment ~slack ~boundary_max ~solver_options =
+  let flags = Refine.boundary csr assignment in
+  let k = ref 0 in
+  Array.iter (fun b -> if b then incr k) flags;
+  if !k < 2 || !k > boundary_max then None
+  else begin
+    let kk = !k in
+    let ids = Array.make kk 0 in
+    let sub = Array.make (Csr.n csr) (-1) in
+    let next = ref 0 in
+    Array.iteri
+      (fun v b ->
+        if b then begin
+          ids.(!next) <- v;
+          sub.(v) <- !next;
+          incr next
+        end)
+      flags;
+    try
+      let bld = Graph.Builder.create kk in
+      let parent = Array.init kk (fun i -> i) in
+      let rec find i = if parent.(i) = i then i else find parent.(i) in
+      Csr.iter_edges
+        (fun u v w ->
+          if sub.(u) >= 0 && sub.(v) >= 0 then begin
+            Graph.Builder.add_edge bld sub.(u) sub.(v) w;
+            let ru = find sub.(u) and rv = find sub.(v) in
+            if ru <> rv then parent.(ru) <- rv
+          end)
+        csr;
+      let prev = ref (-1) in
+      for i = 0 to kk - 1 do
+        if find i = i then begin
+          if !prev >= 0 then Graph.Builder.add_edge bld !prev i 1e-9;
+          prev := i
+        end
+      done;
+      let demands = Array.map (Csr.vertex_weight csr) ids in
+      let sub_inst = Instance.create (Graph.Builder.build bld) ~demands hy in
+      let sol = Solver.solve ~options:solver_options sub_inst in
+      let candidate = Array.copy assignment in
+      Array.iteri (fun i v -> candidate.(v) <- sol.Pipeline.assignment.(i)) ids;
+      let before = Refine.cost csr hy assignment in
+      let after = Refine.cost csr hy candidate in
+      if after < before -. 1e-9 && Refine.in_band csr hy candidate ~slack then
+        Some (candidate, before -. after)
+      else None
+    with _ ->
+      (* The sub-instance can be unsolvable under the exact options (e.g.
+         [Infeasible] after retry, or a super-vertex demand the ragged
+         validation rejects); the re-solve is opportunistic, so skip it. *)
+      None
+  end
 
 let solve ?(options = default_options) (inst : Instance.t) =
   Obs.span "multilevel.solve" @@ fun () ->
@@ -122,6 +209,14 @@ let solve ?(options = default_options) (inst : Instance.t) =
      cmap and refining within the certified band. *)
   let reports = ref [] in
   let total_moves = ref 0 in
+  let is_fm = match options.refine_algo with Refine.Fm _ -> true | Refine.Greedy -> false in
+  let fm_passes = ref 0
+  and fm_moves = ref 0
+  and fm_rollbacks = ref 0
+  and fm_boundary = ref 0 in
+  (* CI's refinement smoke divides this by nothing — it is an absolute
+     per-solve ceiling in test/perf_budget.json ("refine.fm.bytes_allocated_max"). *)
+  let refine_bytes_before = Gc.allocated_bytes () in
   let assignment =
     Obs.span "multilevel.refine" @@ fun () ->
     List.fold_left
@@ -131,26 +226,91 @@ let solve ?(options = default_options) (inst : Instance.t) =
         in
         if options.refine_passes <= 0 then projected
         else begin
-          let refined, (st : Refine.stats) =
-            Refine.refine lvl.Coarsen.fine hy projected ~slack
-              ~max_passes:options.refine_passes
-          in
           let level = List.length chain - 1 - List.length !reports in
+          let cost_before = Refine.cost lvl.Coarsen.fine hy projected in
+          let refined, (st : Refine.stats) =
+            match options.refine_algo with
+            | Refine.Greedy ->
+              Refine.refine lvl.Coarsen.fine hy projected ~slack
+                ~max_passes:options.refine_passes
+            | Refine.Fm { hill_climb } ->
+              (* Stacked refinement: FM polishes the greedy fixed point, so
+                 positive-only FM is never worse than the greedy engine BY
+                 CONSTRUCTION (every FM move has positive gain from greedy's
+                 endpoint) and hill-climbing escapes the single-move local
+                 minimum both engines share.  Cold-started FM explores better
+                 on average but loses to greedy on a third of instances —
+                 the warm start is what makes the E20 dominance uncondi-
+                 tional. *)
+              let warm, (gst : Refine.stats) =
+                Refine.refine lvl.Coarsen.fine hy projected ~slack
+                  ~max_passes:options.refine_passes
+              in
+              let refined, (fst : Refine.stats) =
+                Refine.refine_fm lvl.Coarsen.fine hy warm ~slack
+                  ~max_passes:options.refine_passes ~hill_climb ()
+              in
+              ( refined,
+                {
+                  Refine.passes = gst.Refine.passes + fst.Refine.passes;
+                  moves = gst.Refine.moves + fst.Refine.moves;
+                  gain = gst.Refine.gain +. fst.Refine.gain;
+                  rollbacks = fst.Refine.rollbacks;
+                } )
+          in
+          let refined, extra_gain, resolved =
+            if not (is_fm && options.boundary_resolve) then (refined, 0., false)
+            else
+              match
+                boundary_resolve_level lvl.Coarsen.fine hy refined ~slack
+                  ~boundary_max:options.boundary_max ~solver_options:options.solver
+              with
+              | None -> (refined, 0., false)
+              | Some (spliced, g) ->
+                incr fm_boundary;
+                (spliced, g, true)
+          in
+          let cost_after = Refine.cost lvl.Coarsen.fine hy refined in
           reports :=
             {
               level;
               n = Csr.n lvl.Coarsen.fine;
               m = Csr.m lvl.Coarsen.fine;
               moves = st.Refine.moves;
-              gain = st.Refine.gain;
+              gain = st.Refine.gain +. extra_gain;
+              rollbacks = st.Refine.rollbacks;
+              cost_before;
+              cost_after;
+              boundary_resolved = resolved;
             }
             :: !reports;
           total_moves := !total_moves + st.Refine.moves;
-          Obs.gauge (Printf.sprintf "multilevel.refine_gain.level%d" level) st.Refine.gain;
+          Obs.gauge
+            (Printf.sprintf "multilevel.refine_gain.level%d" level)
+            (st.Refine.gain +. extra_gain);
+          if is_fm then begin
+            fm_passes := !fm_passes + st.Refine.passes;
+            fm_moves := !fm_moves + st.Refine.moves;
+            fm_rollbacks := !fm_rollbacks + st.Refine.rollbacks;
+            Obs.gauge
+              (Printf.sprintf "refine.fm.cost_delta.level%d" level)
+              (cost_before -. cost_after)
+          end;
+          options.on_level level slack lvl.Coarsen.fine refined;
           refined
         end)
       coarse_sol.Pipeline.assignment (List.rev chain)
   in
+  (* FM-only telemetry keeps the greedy path's metrics schema — and its
+     goldens — byte-identical. *)
+  if is_fm then begin
+    Obs.count "refine.fm.passes" !fm_passes;
+    Obs.count "refine.fm.moves" !fm_moves;
+    Obs.count "refine.fm.rollbacks" !fm_rollbacks;
+    Obs.count "refine.fm.boundary_resolves" !fm_boundary;
+    Obs.count "refine.fm.bytes_allocated"
+      (int_of_float (Gc.allocated_bytes () -. refine_bytes_before))
+  end;
   let levels = List.length chain in
   let ratio =
     if Csr.n coarsest = 0 then 1.

@@ -35,6 +35,25 @@ type options = {
   refine_passes : int;
       (** boundary-refinement passes per level on the way back up
           (default 2; 0 = pure projection) *)
+  refine_algo : Refine.algo;
+      (** which engine polishes each level: the historical greedy pass
+          (default, bit-identical to pre-FM builds) or the FM gain-bucket
+          engine, optionally with hill-climbing ({!Refine.refine_fm}).  FM is
+          {e stacked}: it warm-starts from the greedy fixed point, so with
+          hill-climbing disabled it is never worse than greedy by
+          construction (the ISSUE 9 differential suite pins this). *)
+  boundary_resolve : bool;
+      (** FM only: after refining a level, extract the induced subgraph of
+          its boundary vertices, re-solve it exactly through the staged
+          pipeline (same artifact caches and domain pool), and splice the
+          result back iff it improves cost and stays in-band (default false) *)
+  boundary_max : int;
+      (** skip the boundary re-solve when the boundary has more vertices than
+          this — the exact pipeline's comfort zone (default 128) *)
+  on_level : int -> float -> Hgp_graph.Csr.t -> int array -> unit;
+      (** test/bench hook, called after each level is refined with
+          [level slack fine_csr assignment]; default no-op.  E20 and the
+          per-level band re-verification hang off this. *)
   solver : Hgp_core.Pipeline.options;  (** exact-solver options for the coarsest graph *)
 }
 
@@ -45,7 +64,15 @@ type level_report = {
   n : int;  (** fine vertices at this transition *)
   m : int;
   moves : int;  (** refinement moves applied after projecting to this level *)
-  gain : float;  (** refinement cost decrease at this level *)
+  gain : float;
+      (** refinement cost decrease at this level, boundary re-solve included *)
+  rollbacks : int;  (** FM best-prefix rollback moves (greedy: 0) *)
+  cost_before : float;  (** level cost right after projection *)
+  cost_after : float;
+      (** level cost after refinement (and boundary re-solve, if any) — the
+          E20 ledger's per-level monotonicity check is
+          [cost_after <= cost_before] *)
+  boundary_resolved : bool;  (** a boundary re-solve was spliced in here *)
 }
 
 type result = {
@@ -69,5 +96,9 @@ type result = {
     Telemetry: [multilevel.{csr_build,coarsen,coarse_solve,refine}] spans,
     [multilevel.solves] / [multilevel.refine_moves] counters,
     [multilevel.levels] / [multilevel.coarsening_ratio] gauges and a
-    [multilevel.refine_gain.levelN] gauge per level. *)
+    [multilevel.refine_gain.levelN] gauge per level.  When [refine_algo] is
+    FM, additionally [refine.fm.{passes,moves,rollbacks,boundary_resolves,
+    bytes_allocated}] counters and a [refine.fm.cost_delta.levelN] gauge per
+    level — emitted {e only} in FM mode so the greedy path's metrics schema
+    (and its goldens) stay byte-identical. *)
 val solve : ?options:options -> Hgp_core.Instance.t -> result

@@ -159,7 +159,10 @@ let normalize_metrics_json s =
              | None -> (
                  match find_substring line "\"name\":\"multilevel.csr_build_bytes\"" with
                  | Some _ -> normalize_json_field "value" line
-                 | None -> line)))
+                 | None -> (
+                     match find_substring line "\"name\":\"refine.fm.bytes_allocated\"" with
+                     | Some _ -> normalize_json_field "value" line
+                     | None -> line))))
 
 let normalize_cache_stats s = map_lines normalize_stage_line s
 
@@ -248,6 +251,24 @@ let test_multilevel_schema () =
   check_golden "solve_multilevel_stdout" out;
   check_golden "solve_multilevel_stderr" (normalize_cache_stats (normalize_metrics_json err))
 
+let test_multilevel_fm_schema () =
+  with_fixture_file @@ fun inst ->
+  (* The FM + boundary-re-solve path: stdout gains the "# multilevel-refine"
+     describe line (emitted ONLY in FM modes — the greedy golden above pins
+     that the default output is untouched) and stderr gains the refine.fm.*
+     counters and per-level cost-delta gauges. *)
+  let code, out, err =
+    run_cli
+      [
+        "solve"; inst; "--seed"; "3"; "--trees"; "2"; "--multilevel=8";
+        "--multilevel-refine=fm,boundary"; "--cache-stats"; "--metrics=json";
+      ]
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_golden "solve_multilevel_fm_stdout" out;
+  check_golden "solve_multilevel_fm_stderr"
+    (normalize_cache_stats (normalize_metrics_json err))
+
 let test_batch_response_schema () =
   with_fixture_file @@ fun inst ->
   let req ~id ~seed = Protocol.request ~id ~trees:2 ~seed (Protocol.Path inst) in
@@ -284,6 +305,8 @@ let () =
           Alcotest.test_case "--cache-stats" `Quick test_cache_stats_schema;
           Alcotest.test_case "--metrics=json" `Quick test_metrics_json_schema;
           Alcotest.test_case "--multilevel" `Quick test_multilevel_schema;
+          Alcotest.test_case "--multilevel-refine=fm,boundary" `Quick
+            test_multilevel_fm_schema;
           Alcotest.test_case "batch responses" `Quick test_batch_response_schema;
         ] );
     ]

@@ -183,6 +183,124 @@ let test_ragged_vcycle () =
       ("gpu_cpu_tier", Hierarchy.Presets.gpu_cpu_tier);
     ]
 
+(* ---- ISSUE 9: FM refinement differential + per-level ledger ---- *)
+
+module Refine = Hgp_multilevel.Refine
+
+let fm_options ?(hill_climb = true) ?(boundary = false) ?on_level seed =
+  let base = vcycle_options seed in
+  {
+    base with
+    Vcycle.refine_algo = Refine.Fm { hill_climb };
+    boundary_resolve = boundary;
+    on_level = Option.value ~default:base.Vcycle.on_level on_level;
+  }
+
+(* The ISSUE 9 differential: FM with hill-climbing disabled warm-starts from
+   the greedy fixed point, so its final cost can never exceed the greedy
+   path's — pinned over the full 105-instance corpus (5 presets x 21 seeds).
+   Hill-climbing is deliberately NOT in this assertion: a hill-climb pass is
+   per-level monotone (next test) but a different level-l outcome projects a
+   different level-(l-1) starting point, and that divergence can finish
+   either way. *)
+let test_fm_never_worse_than_greedy () =
+  let cases = ref 0 in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (name, g) ->
+          incr cases;
+          let inst = instance_of seed g in
+          let rg = Vcycle.solve ~options:(vcycle_options seed) inst in
+          let rp = Vcycle.solve ~options:(fm_options ~hill_climb:false seed) inst in
+          let cg = rg.Vcycle.solution.Pipeline.cost in
+          let cp = rp.Vcycle.solution.Pipeline.cost in
+          if cp > cg +. 1e-9 then
+            Alcotest.failf "%s seed=%d: positive-only FM cost %.6g worse than greedy %.6g"
+              name seed cp cg)
+        (preset seed))
+    (List.init 21 (fun i -> (i * 131) + 11));
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 100 differential cases (%d run)" !cases)
+    true (!cases >= 100)
+
+(* Full FM (hill-climbing + boundary re-solve): every level's report must be
+   cost-monotone — the E20 ledger sense — and every level's partition must
+   re-verify inside the certified band, on regular AND ragged hierarchies.
+   The [on_level] hook receives each level's fine CSR and refined assignment,
+   so the in-band check is against the real per-node loads, not a summary. *)
+let test_fm_monotone_per_level () =
+  List.iter
+    (fun (hname, rhy) ->
+      List.iter
+        (fun seed ->
+          let g = Gen.gnp_connected (Prng.create seed) 60 0.12 in
+          let g = Gen.randomize_weights (Prng.create (seed + 1)) g ~lo:0.5 ~hi:4.5 in
+          let inst =
+            Instance.random_demands (Prng.create (seed * 7919)) g rhy ~load_factor:0.5
+          in
+          let checked = ref 0 in
+          let on_level level slack csr a =
+            incr checked;
+            if not (Refine.in_band csr rhy a ~slack) then
+              Alcotest.failf "%s seed=%d level=%d: refined level out of band" hname seed
+                level
+          in
+          let r = Vcycle.solve ~options:(fm_options ~boundary:true ~on_level seed) inst in
+          Alcotest.(check int)
+            (Printf.sprintf "%s seed=%d: every level verified" hname seed)
+            r.Vcycle.levels !checked;
+          List.iter
+            (fun (lr : Vcycle.level_report) ->
+              if lr.Vcycle.cost_after > lr.Vcycle.cost_before +. 1e-9 then
+                Alcotest.failf "%s seed=%d level=%d: cost %.6g -> %.6g not monotone" hname
+                  seed lr.Vcycle.level lr.Vcycle.cost_before lr.Vcycle.cost_after;
+              Test_support.check_close ~eps:1e-6
+                (Printf.sprintf "%s seed=%d level=%d: gain = cost delta" hname seed
+                   lr.Vcycle.level)
+                lr.Vcycle.gain
+                (lr.Vcycle.cost_before -. lr.Vcycle.cost_after))
+            r.Vcycle.level_reports;
+          let cert = r.Vcycle.coarse_certificate in
+          if r.Vcycle.solution.Pipeline.max_violation > cert.Verify.theorem_bound +. 1e-9
+          then Alcotest.failf "%s seed=%d: final violation out of band" hname seed)
+        [ 3; 11; 29; 142; 1845 ])
+    [
+      ("dual_socket", hy);
+      ("ragged_rack", Hierarchy.Presets.ragged_rack);
+      ("gpu_cpu_tier", Hierarchy.Presets.gpu_cpu_tier);
+    ]
+
+(* Boundary re-solve actually splices on these pinned instances (found by
+   corpus scan: the barbell's clique boundary is small enough for the exact
+   pipeline and greedy+FM leave it in a local minimum the DP escapes). *)
+let test_boundary_resolve_splices () =
+  let fired = ref 0 in
+  List.iter
+    (fun seed ->
+      let name, g = List.nth (preset seed) 4 (* barbell-20+8 *) in
+      let inst = instance_of seed g in
+      let rb = Vcycle.solve ~options:(fm_options ~boundary:true seed) inst in
+      let resolved =
+        List.filter (fun lr -> lr.Vcycle.boundary_resolved) rb.Vcycle.level_reports
+      in
+      fired := !fired + List.length resolved;
+      (* A splice is only accepted when it strictly improves the level... *)
+      List.iter
+        (fun (lr : Vcycle.level_report) ->
+          if lr.Vcycle.cost_after >= lr.Vcycle.cost_before then
+            Alcotest.failf "%s seed=%d level=%d: splice did not improve" name seed
+              lr.Vcycle.level)
+        resolved;
+      (* ...and never at the price of the certificate. *)
+      let cert = rb.Vcycle.coarse_certificate in
+      if rb.Vcycle.solution.Pipeline.max_violation > cert.Verify.theorem_bound +. 1e-9
+      then Alcotest.failf "%s seed=%d: boundary re-solve broke the band" name seed)
+    [ 2107; 2631 ];
+  Alcotest.(check bool)
+    (Printf.sprintf "boundary re-solve spliced at least twice (%d)" !fired)
+    true (!fired >= 2)
+
 (* ---- matching determinism and invariants ---- *)
 
 let test_matching_deterministic () =
@@ -283,6 +401,15 @@ let () =
           Alcotest.test_case "zero-refinement exactness" `Quick
             test_zero_refinement_exactness;
           Alcotest.test_case "ragged hierarchies stay in band" `Quick test_ragged_vcycle;
+        ] );
+      ( "fm_refinement",
+        [
+          Alcotest.test_case "positive-only FM never worse than greedy (105 cases)" `Slow
+            test_fm_never_worse_than_greedy;
+          Alcotest.test_case "full FM cost-monotone and in-band per level" `Quick
+            test_fm_monotone_per_level;
+          Alcotest.test_case "boundary re-solve splices and stays certified" `Quick
+            test_boundary_resolve_splices;
         ] );
       ( "matching",
         [

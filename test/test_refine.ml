@@ -1,0 +1,357 @@
+(* Refinement test layer (ISSUE 9).
+
+   Uncoarsening refinement is the one solver stage with no differential
+   oracle — there is no "reference refiner" to compare against — so the FM
+   engine is pinned by structural properties on its observable event stream
+   instead:
+
+   - bucket queue: a model test against the documented contract (highest
+     bucket first, FIFO within a bucket, exact bucket indices);
+   - gain exactness: every reported move gain equals the recomputed cost
+     delta on a shadow assignment, across arbitrary interleavings of moves,
+     lazy updates and rollbacks;
+   - band legality: after EVERY event (including mid-rollback states) the
+     shadow assignment stays inside the slack band on every hierarchy node —
+     regular and ragged trees alike — which is the invariant the certified
+     (1+eps)(1+h) argument needs;
+   - incremental boundary: the boundary flags the engine maintains in O(deg)
+     per move match the brute O(n + m) recomputation after every event (the
+     ISSUE 9 regression guard for the incremental-boundary fix);
+   - best-prefix rollback: in a single hill-climbing pass the kept prefix is
+     the earliest maximum of the cumulative-gain sequence, undone strictly
+     LIFO;
+   - positive-only FM vs greedy: the V-cycle stacks FM on the greedy fixed
+     point (Vcycle's refine dispatch), so with hill-climbing disabled the
+     composite can never end worse than greedy; 120 seeded instances pin
+     that construction — and that hill-climbing keeps the dominance while
+     escaping greedy's local minimum. *)
+
+module Graph = Hgp_graph.Graph
+module Csr = Hgp_graph.Csr
+module Gen = Hgp_graph.Generators
+module Prng = Hgp_util.Prng
+module Hierarchy = Hgp_hierarchy.Hierarchy
+module Refine = Hgp_multilevel.Refine
+
+(* ---- helpers ---- *)
+
+(* Demands small enough that several vertices fit on any leaf, so the band
+   actually admits moves. *)
+let csr_of rng g hy =
+  let n = Graph.n g in
+  let dmax = Hierarchy.min_leaf_capacity hy in
+  let vwgt = Array.init n (fun _ -> dmax *. (0.05 +. Prng.float rng 0.2)) in
+  Csr.of_graph ~vwgt g
+
+(* Smallest multiplier under which [assignment] fits every node's capacity:
+   random assignments ignore capacities, so each case derives the slack that
+   makes its own starting point band-feasible — exactly how the V-cycle's
+   certified bound relates to the projected assignment. *)
+let min_slack csr hy assignment =
+  let h = Hierarchy.height hy in
+  let worst = ref 1.0 in
+  for j = 1 to h do
+    let loads = Array.make (Hierarchy.nodes_at_level hy j) 0. in
+    for v = 0 to Csr.n csr - 1 do
+      let a = Hierarchy.ancestor hy ~level:j assignment.(v) in
+      loads.(a) <- loads.(a) +. Csr.vertex_weight csr v
+    done;
+    Array.iteri
+      (fun i load -> worst := Float.max !worst (load /. Hierarchy.capacity_of hy ~level:j i))
+      loads
+  done;
+  !worst
+
+let slack_for csr hy assignment = (min_slack csr hy assignment *. 1.25) +. 0.01
+
+(* ---- bucket queue model ---- *)
+
+let gen_bucketq_case =
+  let open QCheck2.Gen in
+  let* quantum = float_range 0.001 10.0 in
+  let* gains = list_size (int_range 0 40) (float_range (-50.) 50.) in
+  return (quantum, gains)
+
+let prop_bucketq (quantum, gains) =
+  let bq = Refine.Bucketq.create ~quantum in
+  List.iteri (fun i g -> Refine.Bucketq.push bq ~gain:g i) gains;
+  let n = List.length gains in
+  if Refine.Bucketq.length bq <> n then QCheck2.Test.fail_report "length after pushes";
+  let gains = Array.of_list gains in
+  let pops = ref [] in
+  let rec drain () =
+    match Refine.Bucketq.pop bq with
+    | None -> ()
+    | Some (bucket, id) ->
+      pops := (bucket, id) :: !pops;
+      drain ()
+  in
+  drain ();
+  let pops = Array.of_list (List.rev !pops) in
+  if Array.length pops <> n then QCheck2.Test.fail_report "pop count";
+  if Refine.Bucketq.length bq <> 0 then QCheck2.Test.fail_report "length after drain";
+  Array.iteri
+    (fun i (bucket, id) ->
+      (* Exact bucket: an entry comes out of floor (gain / quantum). *)
+      if bucket <> Refine.Bucketq.index_of bq gains.(id) then
+        QCheck2.Test.fail_reportf "pop %d: bucket %d but index_of says %d" i bucket
+          (Refine.Bucketq.index_of bq gains.(id));
+      (* Highest bucket first. *)
+      if i > 0 then begin
+        let prev, _ = pops.(i - 1) in
+        if bucket > prev then QCheck2.Test.fail_reportf "pop %d: bucket order violated" i
+      end)
+    pops;
+  (* FIFO within a bucket: ids sharing a bucket come out in push order. *)
+  let last_id = Hashtbl.create 8 in
+  Array.iter
+    (fun (bucket, id) ->
+      (match Hashtbl.find_opt last_id bucket with
+      | Some prev when prev > id ->
+        QCheck2.Test.fail_reportf "bucket %d: id %d popped after %d" bucket id prev
+      | _ -> ());
+      Hashtbl.replace last_id bucket id)
+    pops;
+  (* clear resets to a working empty queue. *)
+  Refine.Bucketq.push bq ~gain:1.0 0;
+  Refine.Bucketq.clear bq;
+  if Refine.Bucketq.pop bq <> None then QCheck2.Test.fail_report "pop after clear";
+  true
+
+(* ---- FM event-stream properties ---- *)
+
+(* Shared harness: run [refine_fm] with an observer that replays every event
+   on a shadow assignment and checks gain exactness, band legality and
+   boundary-flag equality at each step; returns the data the individual
+   properties then assert on. *)
+type harness = {
+  initial_cost : float;
+  final_cost : float;
+  result : int array;
+  shadow : int array;
+  stats : Refine.stats;
+  events : Refine.move list;  (** in emission order *)
+}
+
+let run_harness ?(max_passes = 3) csr hy a0 ~hill_climb ~slack =
+  let shadow = Array.copy a0 in
+  let shadow_cost = ref (Refine.cost csr hy shadow) in
+  let events = ref [] in
+  let applied = ref [] in
+  let observe (mv : Refine.move) flags =
+    events := mv :: !events;
+    if shadow.(mv.Refine.vertex) <> mv.Refine.src then
+      Alcotest.failf "event for vertex %d: shadow on %d, event says src %d" mv.Refine.vertex
+        shadow.(mv.Refine.vertex) mv.Refine.src;
+    shadow.(mv.Refine.vertex) <- mv.Refine.dst;
+    (* Gain exactness: the engine's incremental bookkeeping vs the full
+       objective recomputation. *)
+    let c = Refine.cost csr hy shadow in
+    Test_support.check_close ~eps:1e-6 "move gain = recomputed cost delta"
+      mv.Refine.move_gain (!shadow_cost -. c);
+    shadow_cost := c;
+    (* Band legality of every intermediate state. *)
+    if not (Refine.in_band csr hy shadow ~slack) then
+      Alcotest.failf "vertex %d -> %d pushed some node out of band" mv.Refine.vertex
+        mv.Refine.dst;
+    (* Incremental boundary flags vs brute recomputation. *)
+    let brute = Refine.boundary csr shadow in
+    Array.iteri
+      (fun v b ->
+        if b <> brute.(v) then
+          Alcotest.failf "boundary flag of %d diverged from brute recomputation" v)
+      flags;
+    (* Rollbacks undo applied moves strictly LIFO. *)
+    if mv.Refine.undo then begin
+      match !applied with
+      | [] -> Alcotest.fail "undo with no live applied move"
+      | (top : Refine.move) :: rest ->
+        if
+          top.Refine.vertex <> mv.Refine.vertex
+          || top.Refine.src <> mv.Refine.dst
+          || top.Refine.dst <> mv.Refine.src
+        then Alcotest.failf "undo of vertex %d is not LIFO" mv.Refine.vertex;
+        Test_support.check_close ~eps:1e-9 "undo gain negates the application"
+          (-.top.Refine.move_gain) mv.Refine.move_gain;
+        applied := rest
+    end
+    else applied := mv :: !applied
+  in
+  let initial_cost = Refine.cost csr hy a0 in
+  let result, stats = Refine.refine_fm csr hy a0 ~slack ~max_passes ~hill_climb ~observe () in
+  {
+    initial_cost;
+    final_cost = Refine.cost csr hy result;
+    result;
+    shadow;
+    stats;
+    events = List.rev !events;
+  }
+
+let gen_fm_case hy_gen =
+  let open QCheck2.Gen in
+  let* g = Test_support.gen_graph ~max_n:14 () in
+  let* hy = hy_gen in
+  let* a0 = Test_support.gen_assignment (Graph.n g) hy in
+  let* hill_climb = bool in
+  let* dseed = int_bound 1_000_000 in
+  return (g, hy, a0, hill_climb, dseed)
+
+let prop_fm_events (g, hy, a0, hill_climb, dseed) =
+  let csr = csr_of (Prng.create dseed) g hy in
+  let slack = slack_for csr hy a0 in
+  let h = run_harness csr hy a0 ~hill_climb ~slack in
+  (* The observer replayed exactly the engine's state evolution. *)
+  if h.result <> h.shadow then QCheck2.Test.fail_report "result <> event replay";
+  let applies = List.filter (fun (m : Refine.move) -> not m.Refine.undo) h.events in
+  let undos = List.filter (fun (m : Refine.move) -> m.Refine.undo) h.events in
+  if h.stats.Refine.moves <> List.length applies then
+    QCheck2.Test.fail_report "stats.moves <> applied events";
+  if h.stats.Refine.rollbacks <> List.length undos then
+    QCheck2.Test.fail_report "stats.rollbacks <> undo events";
+  if (not hill_climb) && h.stats.Refine.rollbacks <> 0 then
+    QCheck2.Test.fail_report "positive-only mode rolled back";
+  (* A pass never makes things worse, and stats.gain is the true total. *)
+  Test_support.check_close ~eps:1e-6 "stats.gain = initial - final" h.stats.Refine.gain
+    (h.initial_cost -. h.final_cost);
+  if h.final_cost > h.initial_cost +. 1e-9 then
+    QCheck2.Test.fail_report "refinement increased the cost";
+  (* Determinism: the engine is seed-free, so a rerun is bit-identical. *)
+  let again, stats2 =
+    Refine.refine_fm csr hy a0 ~slack ~max_passes:3 ~hill_climb ()
+  in
+  if again <> h.result || stats2 <> h.stats then
+    QCheck2.Test.fail_report "refine_fm is not deterministic";
+  true
+
+(* Best-prefix rollback, isolated to a single pass so the event stream is
+   unambiguous: applies (in order), then the rolled-back tail. *)
+let prop_best_prefix (g, hy, a0, _hill, dseed) =
+  let csr = csr_of (Prng.create dseed) g hy in
+  let slack = slack_for csr hy a0 in
+  let h = run_harness ~max_passes:1 csr hy a0 ~hill_climb:true ~slack in
+  let gains =
+    h.events
+    |> List.filter (fun (m : Refine.move) -> not m.Refine.undo)
+    |> List.map (fun (m : Refine.move) -> m.Refine.move_gain)
+    |> Array.of_list
+  in
+  let k = Array.length gains in
+  let kept = k - h.stats.Refine.rollbacks in
+  if kept < 0 then QCheck2.Test.fail_report "more undos than applies";
+  let prefix = Array.make (k + 1) 0. in
+  for i = 0 to k - 1 do
+    prefix.(i + 1) <- prefix.(i) +. gains.(i)
+  done;
+  (* The kept prefix attains the maximum cumulative gain (never negative —
+     the empty prefix is always available)... *)
+  Array.iter
+    (fun s ->
+      if prefix.(kept) < s -. 1e-9 then
+        QCheck2.Test.fail_reportf "kept prefix %.9g below reachable %.9g" prefix.(kept) s)
+    prefix;
+  if prefix.(kept) < -1e-9 then QCheck2.Test.fail_report "kept a negative prefix";
+  (* ...and the single-pass gain is exactly that prefix sum. *)
+  Test_support.check_close ~eps:1e-6 "pass gain = best prefix sum" h.stats.Refine.gain
+    prefix.(kept);
+  true
+
+(* ---- greedy engine: incremental boundary + band stay intact ---- *)
+
+let prop_greedy_invariants (g, hy, a0, _hill, dseed) =
+  let csr = csr_of (Prng.create dseed) g hy in
+  let slack = slack_for csr hy a0 in
+  let refined, stats = Refine.refine csr hy a0 ~slack ~max_passes:3 in
+  if stats.Refine.rollbacks <> 0 then QCheck2.Test.fail_report "greedy reported rollbacks";
+  Test_support.check_close ~eps:1e-6 "greedy gain = cost delta" stats.Refine.gain
+    (Refine.cost csr hy a0 -. Refine.cost csr hy refined);
+  if not (Refine.in_band csr hy refined ~slack) then
+    QCheck2.Test.fail_report "greedy left the band";
+  true
+
+(* ---- positive-only FM vs greedy over seeded instances ---- *)
+
+let test_fm_positive_only_never_worse () =
+  let hierarchies =
+    [
+      ("dual_socket", Hierarchy.Presets.dual_socket);
+      ("flat16", Hierarchy.Presets.flat ~k:16);
+      ("ragged_rack", Hierarchy.Presets.ragged_rack);
+      ("gpu_cpu_tier", Hierarchy.Presets.gpu_cpu_tier);
+    ]
+  in
+  let cases = ref 0 in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (hname, hy) ->
+          incr cases;
+          let rng = Prng.create seed in
+          let g = Gen.gnp_connected rng 48 0.12 in
+          let g = Gen.randomize_weights rng g ~lo:0.5 ~hi:4.5 in
+          let csr = csr_of rng g hy in
+          let k = Hierarchy.num_leaves hy in
+          let a0 = Array.init (Graph.n g) (fun _ -> Prng.int rng k) in
+          let slack = slack_for csr hy a0 in
+          (* The production composite (Vcycle's FM dispatch): FM warm-starts
+             from the greedy fixed point. *)
+          let greedy, _ = Refine.refine csr hy a0 ~slack ~max_passes:4 in
+          let cg = Refine.cost csr hy greedy in
+          let pos, _ =
+            Refine.refine_fm csr hy greedy ~slack ~max_passes:4 ~hill_climb:false ()
+          in
+          let cpos = Refine.cost csr hy pos in
+          if cpos > cg +. 1e-9 then
+            Alcotest.failf "%s seed=%d: positive-only FM %.6g worse than greedy %.6g" hname
+              seed cpos cg;
+          let hill, _ =
+            Refine.refine_fm csr hy greedy ~slack ~max_passes:4 ~hill_climb:true ()
+          in
+          let chill = Refine.cost csr hy hill in
+          if chill > cg +. 1e-9 then
+            Alcotest.failf "%s seed=%d: hill-climb FM %.6g worse than greedy %.6g" hname
+              seed chill cg)
+        hierarchies)
+    (List.init 30 (fun i -> (i * 271) + 5));
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 120 seeded cases (%d run)" !cases)
+    true (!cases >= 120)
+
+let () =
+  let qtest = Test_support.qtest in
+  Alcotest.run "refine"
+    [
+      ("bucketq", [ qtest ~count:300 "bucket queue model" gen_bucketq_case prop_bucketq ]);
+      ( "fm_regular",
+        [
+          qtest ~count:150 "event stream: gains, band, boundary (regular)"
+            (gen_fm_case Test_support.gen_hierarchy)
+            prop_fm_events;
+          qtest ~count:150 "best-prefix rollback (regular)"
+            (gen_fm_case Test_support.gen_hierarchy)
+            prop_best_prefix;
+        ] );
+      ( "fm_ragged",
+        [
+          qtest ~count:150 "event stream: gains, band, boundary (ragged)"
+            (gen_fm_case Test_support.gen_ragged_hierarchy)
+            prop_fm_events;
+          qtest ~count:150 "best-prefix rollback (ragged)"
+            (gen_fm_case Test_support.gen_ragged_hierarchy)
+            prop_best_prefix;
+        ] );
+      ( "greedy",
+        [
+          qtest ~count:150 "incremental boundary keeps greedy in band"
+            (gen_fm_case Test_support.gen_hierarchy)
+            prop_greedy_invariants;
+          qtest ~count:100 "greedy in band (ragged)"
+            (gen_fm_case Test_support.gen_ragged_hierarchy)
+            prop_greedy_invariants;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "positive-only FM never worse than greedy (120 cases)" `Slow
+            test_fm_positive_only_never_worse;
+        ] );
+    ]
