@@ -869,6 +869,7 @@ let e17_batch_service () =
       | Protocol.Solved s ->
         let i = Scanf.sscanf r.Protocol.id "i%d-d%d" (fun i _ -> i) in
         if s.Protocol.assignment <> reference.(i) then identical := false
+      | Protocol.Updated _ -> failwith ("E17: unexpected update response " ^ r.Protocol.id)
       | Protocol.Failed e ->
         failwith ("E17: " ^ r.Protocol.id ^ " failed: " ^ Hgp_resilience.Hgp_error.to_string e))
     !responses;
@@ -1188,6 +1189,140 @@ let e20_fm_refinement () =
         "(s)"; "delta"; "resolves"; "bands ok"; "monotone"; "certified" ]
     rows
 
+(* ------------------------------------------------------------------ *)
+(* E21 — incremental re-partitioning (docs/INCREMENTAL.md).  Part A:    *)
+(* single-edge reweights against a warm multilevel session vs a         *)
+(* cache-disabled cold solve on the post-delta instance — the cold run  *)
+(* doubles as the bit-identity oracle, and every re-solve must come     *)
+(* back certified.  Part B: drift streams (reweights + periodic         *)
+(* structural edits) through Des.run_drift on both session backends,    *)
+(* with the amortized incremental/cold ratio in the ledger.  The        *)
+(* timing gate itself lives in CI (hgp_cli drift --assert-amortized);   *)
+(* here only a conservative 5x tripwire guards the 1e5 speedup claim    *)
+(* against wholesale regressions of the fast path.                      *)
+
+module Delta = Hgp_core.Delta
+module Des = Hgp_sim.Des
+
+let e21_incremental () =
+  let hy = H.Presets.dual_socket in
+  let solver = { Solver.default_options with ensemble_size = 2; seed = 21 } in
+  let vopts = { V.default_options with solver } in
+  let make n_sources =
+    let rng = Prng.create (2100 + n_sources) in
+    let w =
+      Hgp_workloads.Stream_dag.generate rng
+        { Hgp_workloads.Stream_dag.default_params with n_sources }
+    in
+    Hgp_workloads.Stream_dag.to_instance w hy ~load_factor:0.6
+  in
+  let single_rows =
+    List.map
+      (fun (label, n_sources) ->
+        let inst = make n_sources in
+        let n = Instance.n inst in
+        Pipeline.clear_caches ();
+        let sess, _ = V.start_session ~options:vopts inst in
+        let rng = Prng.create (31 + n_sources) in
+        let steps = 3 in
+        let t_incr = ref 0. and resolved = ref 0 and reused = ref 0 in
+        let certified = ref true in
+        for _ = 1 to steps do
+          let delta =
+            Des.drift_delta rng (V.session_instance sess) ~edits:1
+              ~magnitude:0.05 ~structural:false
+          in
+          let rep, dt = time (fun () -> V.resolve_delta sess delta) in
+          t_incr := !t_incr +. dt;
+          resolved := !resolved + rep.V.u_resolved_subtrees;
+          reused := !reused + rep.V.u_reused_subtrees;
+          certified := !certified && rep.V.u_certified
+        done;
+        let mean_incr = !t_incr /. float_of_int steps in
+        (* the oracle: a cold solve of the drifted instance with every
+           cache bypassed must be bit-identical to the session's state *)
+        let cold, t_cold =
+          Pipeline.set_caching false;
+          Fun.protect
+            ~finally:(fun () -> Pipeline.set_caching true)
+            (fun () ->
+              Pipeline.clear_caches ();
+              time (fun () -> V.solve ~options:vopts (V.session_instance sess)))
+        in
+        let identical =
+          cold.V.solution.Pipeline.assignment = V.session_assignment sess
+        in
+        if not identical then
+          failwith
+            (Printf.sprintf "E21 %s: incremental state diverged from cold" label);
+        if not !certified then
+          failwith (Printf.sprintf "E21 %s: uncertified incremental result" label);
+        let speedup = t_cold /. Float.max 1e-9 mean_incr in
+        if label = "1e5" && speedup < 5. then
+          failwith
+            (Printf.sprintf
+               "E21 %s: single-edge re-solve only %.1fx faster than cold" label
+               speedup);
+        Hgp_obs.Obs.gauge (Printf.sprintf "e21.incr_ms.%s" label)
+          (mean_incr *. 1000.);
+        Hgp_obs.Obs.gauge (Printf.sprintf "e21.cold_ms.%s" label) (t_cold *. 1000.);
+        Hgp_obs.Obs.gauge (Printf.sprintf "e21.speedup.%s" label) speedup;
+        [
+          "single-edge"; label; string_of_int n; Printf.sprintf "%.2f" t_cold;
+          Printf.sprintf "%.1f" (mean_incr *. 1000.);
+          Printf.sprintf "%.1fx" speedup;
+          string_of_int (!resolved / steps); string_of_int (!reused / steps);
+          "-"; "YES"; "YES";
+        ])
+      [ ("1e4", 1830); ("1e5", 18300) ]
+  in
+  let drift_rows =
+    List.map
+      (fun (kind, label, n_sources, backend, params) ->
+        let inst = make n_sources in
+        let n = Instance.n inst in
+        Pipeline.clear_caches ();
+        let rng = Prng.create (77 + n_sources) in
+        let r = Des.run_drift ~params rng inst backend in
+        if not r.Des.d_all_identical then
+          failwith (Printf.sprintf "E21 drift %s: diverged from cold" label);
+        if not r.Des.d_all_certified then
+          failwith (Printf.sprintf "E21 drift %s: uncertified step" label);
+        Hgp_obs.Obs.gauge (Printf.sprintf "e21.amortized.%s.%s" kind label)
+          r.Des.d_amortized;
+        [
+          Printf.sprintf "drift/%s" kind; label; string_of_int n;
+          Printf.sprintf "%.2f" (r.Des.d_mean_cold_ms /. 1000.);
+          Printf.sprintf "%.1f" r.Des.d_mean_incr_ms;
+          Printf.sprintf "%.0f%%" (r.Des.d_amortized *. 100.);
+          "-"; "-";
+          Printf.sprintf "%d" r.Des.d_final_n;
+          "YES"; "YES";
+        ])
+      [
+        ( "exact", "1e3", 180,
+          Des.Exact solver,
+          { Des.default_drift_params with Des.steps = 8; structural_every = 4;
+            cold_every = 4 } );
+        ( "vcycle", "1e4", 1830,
+          Des.Multilevel vopts,
+          { Des.default_drift_params with Des.steps = 10; structural_every = 5;
+            cold_every = 5 } );
+        ( "vcycle", "1e5", 18300,
+          Des.Multilevel vopts,
+          { Des.default_drift_params with Des.steps = 10; magnitude = 0.05;
+            cold_every = 5 } );
+      ]
+  in
+  Tablefmt.print
+    ~title:
+      "E21  incremental re-partitioning: session re-solves vs cache-disabled \
+       cold solves (bit-identity enforced, all steps certified)"
+    ~header:
+      [ "mode"; "size"; "n"; "cold (s)"; "incr (ms)"; "speedup"; "resolved";
+        "reused"; "final n"; "identical"; "certified" ]
+    (single_rows @ drift_rows)
+
 let run_all () =
   let experiments =
     [
@@ -1211,6 +1346,7 @@ let run_all () =
       ("E18", e18_dp_kernel);
       ("E19", e19_multilevel_vcycle);
       ("E20", e20_fm_refinement);
+      ("E21", e21_incremental);
     ]
   in
   List.iter

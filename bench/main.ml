@@ -51,6 +51,7 @@ let () =
         ("E18", Experiments.e18_dp_kernel);
         ("E19", Experiments.e19_multilevel_vcycle);
         ("E20", Experiments.e20_fm_refinement);
+        ("E21", Experiments.e21_incremental);
         ("micro", Microbench.run);
       ]
     in

@@ -244,8 +244,22 @@ let solve_cmd =
              stays inside the certified band).  See docs/MULTILEVEL.md."
           ~docv:"ENGINE")
   in
+  let delta_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "delta" ]
+          ~doc:
+            "Apply the delta file (%hgp-delta text format) after solving: the \
+             base instance is solved once to open an incremental session, the \
+             delta is re-solved through the dirty-cone path, and the \
+             post-delta assignment is printed with '# incremental ...' \
+             accounting.  Composes with --multilevel.  See \
+             docs/INCREMENTAL.md."
+          ~docv:"FILE")
+  in
   let run path hierarchy load seed ensemble resolution deadline_ms slack metrics repeat
-      cache_stats multilevel multilevel_refine =
+      cache_stats multilevel multilevel_refine delta_file =
     handle_errors @@ fun () ->
     let hierarchy = resolve_hierarchy hierarchy in
     with_metrics metrics @@ fun () ->
@@ -261,11 +275,53 @@ let solve_cmd =
          eps=%g no longer binds — pass --resolution to override)\n"
         (Solver.resolution_of inst options)
         options.Solver.eps;
-    (* Ladder rungs below the core pipeline: the refined heuristic portfolio
-       (sans the hgp candidate — it just failed above us), then plain dual
-       recursive bisection.  Each gets a fresh deterministic rng. *)
-    (match multilevel with
-     | Some threshold ->
+    (match (delta_file, multilevel) with
+     | Some dfile, Some threshold ->
+       (* Incremental multilevel: open a V-cycle session on the base
+          instance, stream the delta through the dirty-cone path. *)
+       let module V = Hgp_multilevel.Vcycle in
+       let refine_algo, boundary_resolve = multilevel_refine in
+       let mopts =
+         { V.default_options with V.threshold; refine_algo; boundary_resolve; solver = options }
+       in
+       let delta = Hgp_core.Delta.load dfile in
+       let sess, _ = V.start_session ~options:mopts inst in
+       let u = V.resolve_delta sess delta in
+       let r = u.V.u_result in
+       let sol = r.V.solution in
+       Printf.printf "# cost %.6g\n# violation %.4f\n# tree %d\n# dp-states %d\n" sol.cost
+         sol.max_violation sol.tree_index sol.dp_states;
+       Printf.printf "# multilevel levels=%d coarse-n=%d ratio=%.2f cached=%b\n" r.V.levels
+         r.V.coarse_n r.V.coarsening_ratio r.V.hierarchy_cached;
+       Printf.printf
+         "# incremental resolved=%d reused=%d reused-levels=%d/%d churn=%.4f \
+          certified=%b incremental=%b\n"
+         u.V.u_resolved_subtrees u.V.u_reused_subtrees u.V.u_reused_levels
+         u.V.u_total_levels u.V.u_churn u.V.u_certified u.V.u_incremental;
+       Array.iteri (fun v leaf -> Printf.printf "%d %d\n" v leaf) sol.assignment
+     | Some dfile, None -> (
+       (* Incremental exact: a pipeline session plus one delta re-solve. *)
+       let delta = Hgp_core.Delta.load dfile in
+       let infeasible msg =
+         Hgp_error.error
+           (Hgp_error.Infeasible
+              { resolution = Solver.resolution_of inst options; retried = false; msg })
+       in
+       match Pipeline.start_session inst options with
+       | None -> infeasible "base instance infeasible; incremental sessions do not retry"
+       | Some (sess, _) -> (
+         match Pipeline.resolve_delta sess delta with
+         | None -> infeasible "post-delta instance infeasible at this resolution"
+         | Some u ->
+           let sol = u.Pipeline.u_solution in
+           Printf.printf "# cost %.6g\n# violation %.4f\n# tree %d\n# dp-states %d\n"
+             sol.cost sol.max_violation sol.tree_index sol.dp_states;
+           Printf.printf "# cached-dp-states %d\n" sol.cached_dp_states;
+           Printf.printf "# incremental resolved=%d reused=%d churn=%.4f certified=%b\n"
+             u.Pipeline.resolved_subtrees u.Pipeline.reused_subtrees u.Pipeline.churn
+             u.Pipeline.certified;
+           Array.iteri (fun v leaf -> Printf.printf "%d %d\n" v leaf) sol.assignment))
+     | None, Some threshold ->
        let module V = Hgp_multilevel.Vcycle in
        let refine_algo, boundary_resolve = multilevel_refine in
        let mopts =
@@ -311,7 +367,7 @@ let solve_cmd =
              lr.V.moves lr.V.gain)
          r.V.level_reports;
        Array.iteri (fun v leaf -> Printf.printf "%d %d\n" v leaf) sol.assignment
-     | None ->
+     | None, None ->
        (* Ladder rungs below the core pipeline: the refined heuristic portfolio
           (sans the hgp candidate — it just failed above us), then plain dual
           recursive bisection.  Each gets a fresh deterministic rng. *)
@@ -350,7 +406,7 @@ let solve_cmd =
     Term.(
       const run $ graph_arg $ hierarchy_arg $ load_arg $ seed_arg $ ensemble $ resolution
       $ deadline $ slack_arg $ metrics_arg $ repeat $ cache_stats $ multilevel
-      $ multilevel_refine)
+      $ multilevel_refine $ delta_arg)
   in
   Cmd.v (Cmd.info "solve" ~doc:"Solve HGP on a graph; prints 'vertex leaf' lines.") term
 
@@ -536,6 +592,144 @@ let simulate_cmd =
        ~doc:"Generate a stream workload, place it, and simulate its execution.")
     term
 
+(* ---- drift ---- *)
+
+let drift_cmd =
+  let module D = Hgp_sim.Des in
+  let n_sources =
+    Arg.(value & opt int 8 & info [ "sources" ] ~doc:"Stream sources to generate.")
+  in
+  let depth = Arg.(value & opt int 5 & info [ "depth" ] ~doc:"Pipeline depth.") in
+  let steps =
+    Arg.(value & opt int D.default_drift_params.D.steps & info [ "steps" ] ~doc:"Drift steps.")
+  in
+  let edits =
+    Arg.(
+      value
+      & opt int D.default_drift_params.D.edits_per_step
+      & info [ "edits" ] ~doc:"Edge reweights per drift step.")
+  in
+  let magnitude =
+    Arg.(
+      value
+      & opt float D.default_drift_params.D.magnitude
+      & info [ "magnitude" ] ~doc:"Max relative weight perturbation per edit.")
+  in
+  let structural_every =
+    Arg.(
+      value & opt int 0
+      & info [ "structural-every" ]
+          ~doc:"Every $(docv)-th step also adds/removes an edge (0 = never).")
+  in
+  let cold_every =
+    Arg.(
+      value
+      & opt int D.default_drift_params.D.cold_every
+      & info [ "cold-every" ]
+          ~doc:
+            "Sample a cache-bypassing cold full solve (timing + bit-identity \
+             check) every $(docv)-th step; 0 disables.")
+  in
+  let trees =
+    Arg.(value & opt int 2 & info [ "trees" ] ~doc:"Decomposition trees to sample.")
+  in
+  let multilevel =
+    Arg.(
+      value
+      & opt ~vopt:(Some Hgp_multilevel.Vcycle.default_options.Hgp_multilevel.Vcycle.threshold)
+          (some int) None
+      & info [ "multilevel" ]
+          ~doc:"Drive a multilevel V-cycle session (coarsening threshold $(docv))."
+          ~docv:"THRESHOLD")
+  in
+  let assert_amortized =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "assert-amortized" ]
+          ~doc:
+            "Fail (non-zero exit) unless amortized incremental cost is below \
+             $(docv) of a cold solve, every step certified, and every sampled \
+             step bit-identical — the CI incremental-smoke gate."
+          ~docv:"RATIO")
+  in
+  let run hierarchy load seed slack n_sources depth steps edits magnitude structural_every
+      cold_every trees multilevel assert_amortized metrics =
+    ignore slack;
+    handle_errors @@ fun () ->
+    let hierarchy = resolve_hierarchy hierarchy in
+    with_metrics metrics @@ fun () ->
+    let rng = Prng.create seed in
+    let w =
+      Hgp_workloads.Stream_dag.generate rng
+        { Hgp_workloads.Stream_dag.default_params with n_sources; pipeline_depth = depth }
+    in
+    let inst = Hgp_workloads.Stream_dag.to_instance w hierarchy ~load_factor:load in
+    let options = { Solver.default_options with ensemble_size = trees; seed } in
+    let backend =
+      match multilevel with
+      | None -> D.Exact options
+      | Some threshold ->
+        let module V = Hgp_multilevel.Vcycle in
+        D.Multilevel { V.default_options with V.threshold; solver = options }
+    in
+    let params =
+      {
+        D.steps;
+        edits_per_step = edits;
+        magnitude;
+        structural_every;
+        cold_every;
+      }
+    in
+    let r = D.run_drift ~params rng inst backend in
+    Printf.printf "# drift n=%d steps=%d edits=%d backend=%s\n" r.D.d_final_n steps edits
+      (match backend with D.Exact _ -> "exact" | D.Multilevel _ -> "multilevel");
+    Printf.printf "# step edits structural incr-ms cold-ms churn certified identical\n";
+    List.iter
+      (fun (s : D.drift_step) ->
+        Printf.printf "%d %d %b %.3f %s %.4f %b %s\n" s.D.d_step s.D.d_edits
+          s.D.d_structural s.D.d_incr_ms
+          (if Float.is_nan s.D.d_cold_ms then "-" else Printf.sprintf "%.3f" s.D.d_cold_ms)
+          s.D.d_churn s.D.d_certified
+          (if Float.is_nan s.D.d_cold_ms then "-" else string_of_bool s.D.d_identical))
+      r.D.d_steps;
+    Printf.printf
+      "# summary mean-incr-ms=%.3f mean-cold-ms=%.3f amortized=%.4f all-certified=%b \
+       all-identical=%b\n"
+      r.D.d_mean_incr_ms r.D.d_mean_cold_ms r.D.d_amortized r.D.d_all_certified
+      r.D.d_all_identical;
+    match assert_amortized with
+    | None -> ()
+    | Some bound ->
+      let fails =
+        (if not r.D.d_all_certified then [ "a step's solution is not certified" ] else [])
+        @ (if not r.D.d_all_identical then
+             [ "a sampled step is not bit-identical to its cold solve" ]
+           else [])
+        @
+        if Float.is_nan r.D.d_amortized || r.D.d_amortized > bound then
+          [ Printf.sprintf "amortized ratio %.4f exceeds %.4f" r.D.d_amortized bound ]
+        else []
+      in
+      if fails <> [] then
+        Hgp_error.error
+          (Hgp_error.Internal { stage = "drift"; msg = String.concat "; " fails })
+  in
+  let term =
+    Term.(
+      const run $ hierarchy_arg $ load_arg $ seed_arg $ slack_arg $ n_sources $ depth
+      $ steps $ edits $ magnitude $ structural_every $ cold_every $ trees $ multilevel
+      $ assert_amortized $ metrics_arg)
+  in
+  Cmd.v
+    (Cmd.info "drift"
+       ~doc:
+         "Stream drift deltas through an incremental solve session and compare \
+          amortized re-solve cost against sampled cold solves.  See \
+          docs/INCREMENTAL.md.")
+    term
+
 (* ---- batch / serve ---- *)
 
 let workers_arg =
@@ -571,16 +765,17 @@ let parse_error_response ~lineno msg =
 
 (* Submit a window of [(lineno, raw-line)] pairs, drain, and emit one response
    line per request in input order — rejections (parse, overloaded, resolve)
-   are merged back among the drained responses. *)
+   are merged back among the drained responses.  A line carrying a "delta"
+   field is an update against a named session (docs/INCREMENTAL.md). *)
 let run_window server window =
   let rejects = ref [] in
   let admitted = ref [] in
   List.iter
     (fun (lineno, raw) ->
-      match Protocol.parse_request raw with
+      match Protocol.parse_any raw with
       | Error msg -> rejects := (lineno, parse_error_response ~lineno msg) :: !rejects
       | Ok req -> (
-        match Server.submit server req with
+        match Server.submit_any server req with
         | `Admitted -> admitted := lineno :: !admitted
         | `Rejected r -> rejects := (lineno, r) :: !rejects))
     window;
@@ -693,5 +888,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; solve_cmd; compare_cmd; validate_cmd; describe_cmd; portfolio_cmd;
-            simulate_cmd; serve_cmd; batch_cmd;
+            simulate_cmd; drift_cmd; serve_cmd; batch_cmd;
           ]))

@@ -571,3 +571,221 @@ let solve_on_decomposition inst d ~options =
   | Some tr ->
     let assignment = pack_tree p d tr in
     finish inst assignment tr.dp.Tree_dp.cost 0 tr.dp.Tree_dp.states_explored
+
+(* ---- incremental re-solve: per-subtree DP snapshots + sessions ----
+
+   The snapshot cache is keyed by decomposition-tree SHAPE (parents array +
+   slot-determining option fields): the per-node Merkle keys inside the
+   snapshot do the data diffing, so a re-solve after a delta reuses every
+   subtree whose inputs are unchanged and recomputes only the dirty cone
+   (docs/INCREMENTAL.md). *)
+
+let subtree_cache : (Fingerprint.t, Tree_dp.snapshot) Lru.t =
+  Lru.create ~capacity:16
+
+let subtree_lock = Mutex.create ()
+
+let () =
+  register_external_cache ~name:"subtree_dp"
+    ~stats:(fun () ->
+      Mutex.lock subtree_lock;
+      let s = Lru.stats subtree_cache in
+      Mutex.unlock subtree_lock;
+      s)
+    ~clear:(fun () ->
+      Mutex.lock subtree_lock;
+      Lru.clear subtree_cache;
+      Mutex.unlock subtree_lock)
+    ~reset_stats:(fun () ->
+      Mutex.lock subtree_lock;
+      Lru.reset_stats subtree_cache;
+      Mutex.unlock subtree_lock)
+
+(* Only shape and slot identity: the snapshot's Merkle keys already digest
+   demands, edge weights, and the DP config, so the cache key needs just
+   enough to make node ids align (parents) and to keep distinct solve
+   configurations in distinct slots. *)
+let shape_key (p : prepared) d ~tree_index =
+  let t = Decomposition.tree d in
+  let parents = Array.init (Tree.n_nodes t) (Tree.parent t) in
+  Fingerprint.add_string Fingerprint.seed "pipeline.subtree_dp"
+  |> Fun.flip Fingerprint.add_int_array parents
+  |> Fun.flip Fingerprint.combine (Hierarchy.fingerprint p.inst.Instance.hierarchy)
+  |> Fun.flip Fingerprint.add_int p.resolution
+  |> Fun.flip Fingerprint.add_bool (p.options.rounding = Demand.Ceil)
+  |> Fun.flip Fingerprint.add_int tree_index
+
+(* {!relax_tree} with snapshot reuse: consult the subtree cache, run the
+   Merkle-diffing DP, publish the stitched snapshot back.  Bit-identical
+   results by {!Tree_dp.solve_snap}'s contract. *)
+let relax_tree_incr ?(deadline = Deadline.none) ?workspace (p : prepared) d
+    ~tree_index =
+  let t = Decomposition.tree d in
+  let n_nodes = Tree.n_nodes t in
+  let demand_units = Array.make n_nodes 0 in
+  Array.iter
+    (fun l ->
+      demand_units.(l) <- p.quantized.Demand.units.(Decomposition.vertex_of_leaf d l))
+    (Tree.leaves t);
+  let cfg =
+    Tree_dp.config_of_hierarchy p.inst.Instance.hierarchy ~resolution:p.resolution
+      ?bucketing:p.options.bucketing ?beam_width:p.options.beam_width ()
+  in
+  let key = shape_key p d ~tree_index in
+  let prev =
+    if not (cache_active ()) then None
+    else begin
+      Mutex.lock subtree_lock;
+      let r = Lru.find subtree_cache key in
+      Mutex.unlock subtree_lock;
+      r
+    end
+  in
+  match
+    Obs.span "solver.tree_dp" (fun () ->
+        Tree_dp.solve_snap ~deadline ?workspace ?prev t ~demand_units cfg)
+  with
+  | None -> None
+  | Some (r, snap, st) ->
+    if cache_active () then begin
+      Mutex.lock subtree_lock;
+      Lru.add subtree_cache key snap;
+      Mutex.unlock subtree_lock
+    end;
+    Some ({ demand_units; dp = r }, st)
+
+(* [run] with the relax stage routed through the snapshot cache.  The
+   packed-solution cache is NOT consulted (an incremental solve must report
+   its true per-subtree work), but healthy results are still published to
+   it — they are bit-identical to what a cold run would cache.  Returns the
+   solution plus [(resolved_subtrees, reused_subtrees)] summed over the
+   ensemble.  Sequential by design: one workspace lease threads every
+   tree's DP, keeping arena scratch warm across re-solves. *)
+let run_incremental ?supervision inst options =
+  let p = prepare inst options in
+  let key =
+    packed_key p
+      ~e_key:
+        (Ensemble_cache.key inst.Instance.graph ~strategy:options.strategy
+           ~seed:options.seed ~size:options.ensemble_size)
+  in
+  let deadline_seen = ref false in
+  let lost = ref false in
+  let e = embed ?supervision p in
+  if not e.complete then lost := true;
+  let resolved = ref 0 and reused = ref 0 in
+  let outcomes =
+    stage 2 @@ fun () ->
+    Workspace.with_ws (fun lease ->
+        Array.init (Ensemble.size e.ensemble) (fun i ->
+            let d = Ensemble.get e.ensemble i in
+            let solve_one ?deadline () =
+              match relax_tree_incr ?deadline ~workspace:lease p d ~tree_index:i with
+              | None -> None
+              | Some (tr, st) ->
+                resolved := !resolved + st.Tree_dp.resolved_nodes;
+                reused := !reused + st.Tree_dp.reused_nodes;
+                Some tr
+            in
+            match supervision with
+            | None -> Ok (solve_one ())
+            | Some sv -> (
+              try
+                Deadline.check sv.deadline ~stage:"ensemble";
+                Ok (solve_one ~deadline:sv.deadline ())
+              with exn -> Error exn)))
+  in
+  let result = pack_and_select ?supervision ~deadline_seen ~lost e outcomes in
+  (match result with
+  | Some sol when (not !lost) && not !deadline_seen -> packed_add key sol
+  | _ -> ());
+  match result with
+  | None -> None
+  | Some sol -> Some (sol, (!resolved, !reused))
+
+(* ---- sessions: named solve state for delta streams ---- *)
+
+type session = {
+  mutable s_inst : Instance.t;
+  s_options : options;
+  mutable s_assignment : int array;
+  mutable s_cost : float;
+}
+
+type update_report = {
+  u_solution : solution;
+  churn : float;
+  resolved_subtrees : int;
+  reused_subtrees : int;
+  certified : bool;
+  cert_violation : float;
+  cert_bound : float;
+}
+
+let start_session inst options =
+  match run_incremental inst options with
+  | None -> None
+  | Some (sol, _) ->
+    Some
+      ( {
+          s_inst = inst;
+          s_options = options;
+          s_assignment = Array.copy sol.assignment;
+          s_cost = sol.cost;
+        },
+        sol )
+
+let session_instance s = s.s_inst
+let session_options s = s.s_options
+let session_assignment s = Array.copy s.s_assignment
+let session_cost s = s.s_cost
+
+(* Churn = exact fraction of the NEW instance's vertices whose leaf differs
+   from the session's previous assignment; vertices that did not exist
+   before count as changed, removed vertices are out of the denominator. *)
+let churn_of ~mapping ~old_assignment ~assignment ~n_new =
+  let changed = ref 0 in
+  let covered = Array.make (max 1 n_new) false in
+  Array.iteri
+    (fun old_v new_v ->
+      if new_v >= 0 then begin
+        covered.(new_v) <- true;
+        if old_assignment.(old_v) <> assignment.(new_v) then incr changed
+      end)
+    mapping;
+  for v = 0 to n_new - 1 do
+    if not covered.(v) then incr changed
+  done;
+  float_of_int !changed /. float_of_int (max 1 n_new)
+
+let resolve_delta ?supervision (s : session) delta =
+  let inst', mapping = Delta.apply_mapped s.s_inst delta in
+  match run_incremental ?supervision inst' s.s_options with
+  | None -> None
+  | Some (sol, (resolved_subtrees, reused_subtrees)) ->
+    let churn =
+      churn_of ~mapping ~old_assignment:s.s_assignment ~assignment:sol.assignment
+        ~n_new:(Instance.n inst')
+    in
+    let cert = Verify.certify inst' sol.assignment ~eps:s.s_options.eps in
+    s.s_inst <- inst';
+    s.s_assignment <- Array.copy sol.assignment;
+    s.s_cost <- sol.cost;
+    Obs.count "incremental.updates" 1;
+    Obs.count "incremental.dirty_subtrees" resolved_subtrees;
+    Obs.count "incremental.reused_subtrees" reused_subtrees;
+    Obs.gauge "incremental.churn" churn;
+    Log.info (fun m ->
+        m "incremental update: resolved=%d reused=%d churn=%.4f certified=%b"
+          resolved_subtrees reused_subtrees churn
+          cert.Verify.within_theorem_bound);
+    Some
+      {
+        u_solution = sol;
+        churn;
+        resolved_subtrees;
+        reused_subtrees;
+        certified = cert.Verify.within_theorem_bound;
+        cert_violation = cert.Verify.max_violation;
+        cert_bound = cert.Verify.theorem_bound;
+      }

@@ -126,6 +126,82 @@ val run : ?supervision:supervision -> Instance.t -> options -> solution option
 val solve_on_decomposition :
   Instance.t -> Hgp_racke.Decomposition.t -> options:options -> solution
 
+(** {1 Incremental re-solve}
+
+    Sessions thread solve state across a delta stream: the per-subtree DP
+    snapshot cache (registered as [subtree_dp] in {!cache_stats}) lets each
+    re-solve recompute only the dirty cone of every decomposition tree,
+    splicing clean-subtree tables back in bit-identically
+    (docs/INCREMENTAL.md). *)
+
+(** [run_incremental ?supervision inst options] is {!run} with the relax
+    stage routed through the per-subtree snapshot cache.  The packed-
+    solution cache is not consulted (the report must reflect true
+    incremental work) but healthy results are still published to it.
+    Returns the solution plus [(resolved_subtrees, reused_subtrees)]:
+    decomposition-tree nodes recomputed vs spliced, summed over the
+    ensemble.  The solution is bit-identical to a cold {!run} on the same
+    instance. *)
+val run_incremental :
+  ?supervision:supervision ->
+  Instance.t ->
+  options ->
+  (solution * (int * int)) option
+
+(** A named incremental-solve session: the current instance, pinned
+    options, and the last assignment (for churn accounting). *)
+type session
+
+type update_report = {
+  u_solution : solution;
+  churn : float;
+      (** exact fraction of the new instance's vertices whose leaf changed
+          vs the session's previous assignment (new vertices count as
+          changed; removed vertices leave the denominator) *)
+  resolved_subtrees : int;  (** tree nodes recomputed (the dirty cone) *)
+  reused_subtrees : int;  (** tree nodes spliced from snapshots *)
+  certified : bool;  (** {!Verify.certify} within the (1+eps)(1+h) band *)
+  cert_violation : float;
+  cert_bound : float;
+}
+
+(** [start_session inst options] solves cold (warming the snapshot cache)
+    and opens a session; [None] when every tree is infeasible. *)
+val start_session : Instance.t -> options -> (session * solution) option
+
+(** [resolve_delta ?supervision session delta] applies the delta
+    ({!Delta.apply_mapped}), re-solves incrementally, re-certifies with
+    {!Verify.certify}, updates the session state, and bumps the
+    [incremental.{updates,dirty_subtrees,reused_subtrees}] counters and the
+    [incremental.churn] gauge.  [None] when the post-delta instance is
+    infeasible at this resolution (the session is left unchanged — callers
+    fall back to a cold {!Solver.solve}, which retries at higher
+    resolution).
+    @raise Hgp_resilience.Hgp_error.Error ([Invalid_input _]) when the
+    delta does not validate against the session's instance. *)
+val resolve_delta :
+  ?supervision:supervision -> session -> Delta.t -> update_report option
+
+(** [churn_of ~mapping ~old_assignment ~assignment ~n_new] is the exact
+    fraction of the new instance's vertices whose leaf assignment changed:
+    [mapping] is {!Delta.apply_mapped}'s old-id -> new-id map (new vertices,
+    i.e. ids not in its range, count as changed; removed old vertices are
+    out of the denominator).  Shared with the multilevel session layer. *)
+val churn_of :
+  mapping:int array ->
+  old_assignment:int array ->
+  assignment:int array ->
+  n_new:int ->
+  float
+
+val session_instance : session -> Instance.t
+val session_options : session -> options
+
+(** The session's current assignment (a fresh copy) and its cost. *)
+val session_assignment : session -> int array
+
+val session_cost : session -> float
+
 (** {1 Cache control and introspection} *)
 
 (** Packed-solution caching is on by default; [set_caching false] disables

@@ -38,6 +38,69 @@ type result = {
 (* w *. c with the convention inf *. 0. = 0. (uncut infinite edges are free). *)
 let pay w c = if c = 0. then 0. else w *. c
 
+(* --- per-subtree snapshots (incremental re-solve) ----------------------
+
+   A snapshot captures everything a later solve over the SAME tree shape
+   needs to reuse unchanged subtrees: per-node Merkle keys (a node's key
+   folds its children's keys plus its local DP inputs, so key equality
+   certifies that the whole subtree's inputs are unchanged), the packed
+   per-node state tables, the packed backpointer segments, and per-node
+   state counts (so [states_explored] stays bit-identical to a cold solve).
+
+   Soundness: node [v]'s final table is a pure function of subtree([v]) —
+   the children fold order, the weights of edges strictly inside the
+   subtree, the leaf demands, and the config — and so are the back
+   segments of all nodes strictly inside it.  Hence equal Merkle keys
+   imply bit-identical reusable DP data (docs/INCREMENTAL.md). *)
+
+type snapshot = {
+  snap_parents : int array;  (* shape pin: node ids must align *)
+  merkle : Hgp_util.Fingerprint.t array;
+  s_node_off : int array;
+  s_node_len : int array;
+  s_node_keys : int array;
+  s_node_costs : float array;
+  s_back_off : int array;  (* int offsets into s_back_store; stride-4 blocks *)
+  s_back_len : int array;
+  s_back_store : int array;
+  s_states : int array;  (* states created while processing node v itself *)
+}
+
+type incr_stats = {
+  reused_nodes : int;
+  resolved_nodes : int;
+  reused_states : int;
+}
+
+let no_stats = { reused_nodes = 0; resolved_nodes = 0; reused_states = 0 }
+
+let merkle_keys t ~demand_units cfg =
+  let module F = Hgp_util.Fingerprint in
+  let cfg_fp =
+    let h = F.add_float_array F.seed cfg.cm in
+    let h = F.add_int_array h cfg.cp_units in
+    let h = F.add_option F.add_float h cfg.bucketing in
+    let h = F.add_bool h cfg.prune in
+    F.add_option F.add_int h cfg.beam_width
+  in
+  let n = Tree.n_nodes t in
+  let keys = Array.make n F.seed in
+  Array.iter
+    (fun v ->
+      if Tree.is_leaf t v then
+        keys.(v) <- F.add_int (F.add_int cfg_fp 0x1ea5) demand_units.(v)
+      else begin
+        let cs = Tree.children t v in
+        let h = ref (F.add_int (F.add_int cfg_fp 0x0de) (Array.length cs)) in
+        Array.iter
+          (fun c ->
+            h := F.add_float (F.combine !h keys.(c)) (Tree.edge_weight t c))
+          cs;
+        keys.(v) <- !h
+      end)
+    (Tree.post_order t);
+  keys
+
 let validate_config cfg =
   let h = Array.length cfg.cm - 1 in
   if Array.length cfg.cp_units <> h + 1 then
@@ -67,7 +130,8 @@ let validate_config cfg =
    cost, smallest (cost, key) at the root — and the cost arithmetic keeps
    the reference's association order. *)
 
-let solve ?(deadline = Deadline.none) ?workspace t ~demand_units cfg =
+let solve_impl ?(deadline = Deadline.none) ?workspace ?prev ~want_snap t
+    ~demand_units cfg =
   Faults.fire "tree_dp.solve";
   let bytes0 = Gc.allocated_bytes () in
   let h = validate_config cfg in
@@ -116,10 +180,68 @@ let solve ?(deadline = Deadline.none) ?workspace t ~demand_units cfg =
     let a = Array.make h 0 in
     let infeasible_leaf = ref false in
     let tbl = ws.Workspace.tbl in
+    let po = Tree.post_order t in
+    (* Incremental machinery (all of it is inert — zero allocation, one
+       branch per node — on the plain [solve] path). *)
+    let incremental = want_snap || Option.is_some prev in
+    let parents = if incremental then Array.init n (Tree.parent t) else [||] in
+    let merkle = if incremental then merkle_keys t ~demand_units cfg else [||] in
+    let prev =
+      match (prev : snapshot option) with
+      | Some s when Array.length s.merkle = n && s.snap_parents = parents ->
+        Some s
+      | _ -> None
+    in
+    (* reuse.(v): some ancestor-or-self has an unchanged Merkle key, so v's
+       DP data is spliced or skipped.  Reversed post-order visits parents
+       before children, making the ancestor propagation a single pass. *)
+    let reuse = Array.make (if incremental then n else 0) false in
+    (match prev with
+    | Some s ->
+      for i = n - 1 downto 0 do
+        let v = po.(i) in
+        let p = parents.(v) in
+        reuse.(v) <-
+          Int64.equal merkle.(v) s.merkle.(v) || (p >= 0 && reuse.(p))
+      done
+    | None -> ());
+    let states_of = Array.make (if incremental then n else 0) 0 in
+    let reused_states = ref 0 in
     Array.iter
       (fun v ->
         Deadline.check deadline ~stage:"tree_dp";
-        if Tree.is_leaf t v then begin
+        if incremental && reuse.(v) then begin
+          let p = parents.(v) in
+          if p < 0 || not reuse.(p) then begin
+            (* Maximal clean root: splice its final table into the
+               workspace so the (dirty) parent's fold reads it exactly as
+               if it had just been computed; interior nodes stay in the
+               snapshot (their back segments are read from there during
+               reconstruction). *)
+            let s = match prev with Some s -> s | None -> assert false in
+            let len = s.s_node_len.(v) in
+            let off = Arena.Ibuf.alloc ws.Workspace.node_keys len in
+            let (_ : int) = Arena.Fbuf.alloc ws.Workspace.node_costs len in
+            Array.blit s.s_node_keys s.s_node_off.(v)
+              (Arena.Ibuf.data ws.Workspace.node_keys)
+              off len;
+            Array.blit s.s_node_costs s.s_node_off.(v)
+              (Arena.Fbuf.data ws.Workspace.node_costs)
+              off len;
+            node_off.(v) <- off;
+            node_len.(v) <- len;
+            let rec add_sub u =
+              states_of.(u) <- s.s_states.(u);
+              states := !states + s.s_states.(u);
+              reused_states := !reused_states + s.s_states.(u);
+              Array.iter add_sub (Tree.children t u)
+            in
+            add_sub v
+          end
+        end
+        else begin
+          let s0 = !states in
+          (if Tree.is_leaf t v then begin
           node_off.(v) <- Arena.Ibuf.length ws.Workspace.node_keys;
           match Signature.of_leaf space demand_units.(v) with
           | Some key ->
@@ -398,8 +520,10 @@ let solve ?(deadline = Deadline.none) ?workspace t ~demand_units cfg =
             cs;
           node_off.(v) <- !acc_off;
           node_len.(v) <- !acc_len
+        end);
+          if incremental then states_of.(v) <- !states - s0
         end)
-      (Tree.post_order t);
+      po;
     (* One registry update per solve keeps the DP loops free of telemetry
        calls; all are no-ops while collection is disabled. *)
     Obs.count "tree_dp.solves" 1;
@@ -427,15 +551,25 @@ let solve ?(deadline = Deadline.none) ?workspace t ~demand_units cfg =
         sv.(0) <- r;
         sk.(0) <- root_key;
         let sp = ref 1 in
-        let bdata = Arena.Ibuf.data ws.Workspace.back_store in
+        let bdata_ws = Arena.Ibuf.data ws.Workspace.back_store in
         while !sp > 0 do
           decr sp;
           let v = sv.(!sp) and key = sk.(!sp) in
           let cs = Tree.children t v in
+          (* A child's back segment was written when [v] folded it — fresh
+             in the workspace iff [v] was recomputed this run, otherwise it
+             lives in the snapshot (v is inside a clean subtree). *)
+          let from_prev = incremental && reuse.(v) in
           let k = ref key in
           for i = Array.length cs - 1 downto 0 do
             let c = cs.(i) in
-            let off = back_off.(c) and len = back_len.(c) in
+            let bdata, off, len =
+              if from_prev then begin
+                let s = match prev with Some s -> s | None -> assert false in
+                (s.s_back_store, s.s_back_off.(c), s.s_back_len.(c))
+              end
+              else (bdata_ws, back_off.(c), back_len.(c))
+            in
             let lo = ref 0 and hi = ref (len - 1) and found = ref (-1) in
             while !found < 0 && !lo <= !hi do
               let mid = (!lo + !hi) / 2 in
@@ -458,16 +592,116 @@ let solve ?(deadline = Deadline.none) ?workspace t ~demand_units cfg =
         (match Faults.corrupt_index "tree_dp.solve" ~len:n with
         | Some i -> kappa.(i) <- 0
         | None -> ());
+        let stats =
+          if not incremental then no_stats
+          else begin
+            let reused = ref 0 in
+            Array.iter (fun r -> if r then incr reused) reuse;
+            {
+              reused_nodes = !reused;
+              resolved_nodes = n - !reused;
+              reused_states = !reused_states;
+            }
+          end
+        in
+        let snap =
+          if not want_snap then None
+          else begin
+            (* Stitch the new snapshot from this run's workspace (recomputed
+               nodes and spliced clean roots) and the previous snapshot
+               (interiors of clean subtrees, never touched this run). *)
+            let nk = Arena.Ibuf.data ws.Workspace.node_keys in
+            let nc = Arena.Fbuf.data ws.Workspace.node_costs in
+            let bd = Arena.Ibuf.data ws.Workspace.back_store in
+            let interior v =
+              reuse.(v) && parents.(v) >= 0 && reuse.(parents.(v))
+            in
+            let tot_tab = ref 0 and tot_back = ref 0 in
+            for v = 0 to n - 1 do
+              (match prev with
+              | Some s when interior v -> tot_tab := !tot_tab + s.s_node_len.(v)
+              | _ -> tot_tab := !tot_tab + node_len.(v));
+              if parents.(v) >= 0 then
+                match prev with
+                | Some s when reuse.(parents.(v)) ->
+                  tot_back := !tot_back + s.s_back_len.(v)
+                | _ -> tot_back := !tot_back + back_len.(v)
+            done;
+            let o_no = Array.make n 0 and o_nl = Array.make n 0 in
+            let o_keys = Array.make (max 1 !tot_tab) 0 in
+            let o_costs = Array.make (max 1 !tot_tab) 0. in
+            let o_bo = Array.make n 0 and o_bl = Array.make n 0 in
+            let o_bs = Array.make (max 1 (4 * !tot_back)) 0 in
+            let tpos = ref 0 and bpos = ref 0 in
+            for v = 0 to n - 1 do
+              (match prev with
+              | Some s when interior v ->
+                let len = s.s_node_len.(v) in
+                Array.blit s.s_node_keys s.s_node_off.(v) o_keys !tpos len;
+                Array.blit s.s_node_costs s.s_node_off.(v) o_costs !tpos len;
+                o_no.(v) <- !tpos;
+                o_nl.(v) <- len;
+                tpos := !tpos + len
+              | _ ->
+                let len = node_len.(v) in
+                Array.blit nk node_off.(v) o_keys !tpos len;
+                Array.blit nc node_off.(v) o_costs !tpos len;
+                o_no.(v) <- !tpos;
+                o_nl.(v) <- len;
+                tpos := !tpos + len);
+              if parents.(v) >= 0 then
+                match prev with
+                | Some s when reuse.(parents.(v)) ->
+                  let len = s.s_back_len.(v) in
+                  Array.blit s.s_back_store s.s_back_off.(v) o_bs !bpos (4 * len);
+                  o_bo.(v) <- !bpos;
+                  o_bl.(v) <- len;
+                  bpos := !bpos + (4 * len)
+                | _ ->
+                  let len = back_len.(v) in
+                  Array.blit bd back_off.(v) o_bs !bpos (4 * len);
+                  o_bo.(v) <- !bpos;
+                  o_bl.(v) <- len;
+                  bpos := !bpos + (4 * len)
+            done;
+            Some
+              {
+                snap_parents = parents;
+                merkle;
+                s_node_off = o_no;
+                s_node_len = o_nl;
+                s_node_keys = o_keys;
+                s_node_costs = o_costs;
+                s_back_off = o_bo;
+                s_back_len = o_bl;
+                s_back_store = o_bs;
+                s_states = states_of;
+              }
+          end
+        in
         Some
-          {
-            cost;
-            kappa;
-            root_signature = Signature.decode space root_key;
-            states_explored = !states;
-          }
+          ( {
+              cost;
+              kappa;
+              root_signature = Signature.decode space root_key;
+              states_explored = !states;
+            },
+            snap,
+            stats )
       end
     end
   end
+
+let solve ?deadline ?workspace t ~demand_units cfg =
+  match solve_impl ?deadline ?workspace ~want_snap:false t ~demand_units cfg with
+  | Some (r, _, _) -> Some r
+  | None -> None
+
+let solve_snap ?deadline ?workspace ?prev t ~demand_units cfg =
+  match solve_impl ?deadline ?workspace ?prev ~want_snap:true t ~demand_units cfg with
+  | Some (r, Some snap, stats) -> Some (r, snap, stats)
+  | Some (_, None, _) -> assert false
+  | None -> None
 
 let kappa_cost t ~kappa ~cm =
   let acc = ref 0. in

@@ -92,6 +92,37 @@ val solve :
   config ->
   result option
 
+(** A per-subtree DP snapshot: per-node Merkle keys (a node's key folds its
+    children's keys plus its local inputs — demand units, child edge
+    weights, config) together with the packed per-node state tables and
+    backpointer segments of a completed solve.  A later {!solve_snap} over
+    the {e same tree shape} diffs Merkle keys and recomputes only the dirty
+    cone — ancestors of changed leaves/edges — splicing clean subtree
+    tables back in bit-identically (docs/INCREMENTAL.md). *)
+type snapshot
+
+type incr_stats = {
+  reused_nodes : int;  (** tree nodes spliced/skipped from the snapshot *)
+  resolved_nodes : int;  (** tree nodes recomputed (the dirty cone) *)
+  reused_states : int;  (** DP states carried over without recomputation *)
+}
+
+(** [solve_snap ?prev t ~demand_units config] is {!solve} extended with
+    snapshot capture and reuse.  Without [prev] it runs a full DP and
+    returns its snapshot; with [prev] (from an earlier [solve_snap] on the
+    same tree shape — a mismatched shape is detected and ignored) it
+    recomputes only nodes whose subtree Merkle key changed.  The [result]
+    (cost, kappa, root signature, and [states_explored]) is bit-identical
+    to a cold {!solve} on the same inputs. *)
+val solve_snap :
+  ?deadline:Hgp_resilience.Deadline.t ->
+  ?workspace:Hgp_util.Workspace.lease ->
+  ?prev:snapshot ->
+  Hgp_tree.Tree.t ->
+  demand_units:int array ->
+  config ->
+  (result * snapshot * incr_stats) option
+
 (** [brute_force t ~demand_units config] enumerates all [(h+1)^(n-1)] edge
     labelings — ground truth for testing, trees with at most ~12 edges. *)
 val brute_force : Hgp_tree.Tree.t -> demand_units:int array -> config -> float option

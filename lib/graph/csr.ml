@@ -168,6 +168,39 @@ let of_graph ?vwgt g =
     total_ew = Graph.total_weight g;
   }
 
+let slot t u v =
+  (* adjacency slot of [v] in row [u], or -1 — rows are ascending *)
+  let lo = ref t.xadj.(u) and hi = ref (t.xadj.(u + 1) - 1) in
+  let res = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x = t.adjncy.(mid) in
+    if x = v then begin
+      res := mid;
+      lo := !hi + 1
+    end
+    else if x < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !res
+
+let reweight t ~total_ew updates =
+  let context = "csr.reweight" in
+  let adjw = Array.copy t.adjw in
+  List.iter
+    (fun (u, v, w) ->
+      if u < 0 || u >= t.n || v < 0 || v >= t.n then
+        invalid context "reweight {%d, %d}: vertex out of range (n = %d)" u v t.n;
+      if u = v then invalid context "reweight {%d, %d}: self-loop" u v;
+      if not (w >= 0. && Float.is_finite w) then
+        invalid context "reweight {%d, %d}: invalid weight %g" u v w;
+      let i = slot t u v and j = slot t v u in
+      if i < 0 || j < 0 then invalid context "reweight {%d, %d}: no such edge" u v;
+      adjw.(i) <- w;
+      adjw.(j) <- w)
+    updates;
+  { t with adjw; total_ew }
+
 let n t = t.n
 
 let m t = Array.length t.adjncy / 2

@@ -49,6 +49,21 @@ val of_arrays :
     copied, already merged and sorted).  [vwgt] defaults to all-ones. *)
 val of_graph : ?vwgt:float array -> Graph.t -> t
 
+(** [reweight t ~total_ew updates] patches the weights of existing edges —
+    O(k log degree) slot lookups plus one O(m) copy of the weight array; the
+    CSR skeleton ([xadj]/[adjncy]) and the vertex weights are shared with
+    [t].  Both adjacency slots of each [{u, v}] receive exactly the listed
+    weight, which is also what {!of_graph} stores for every edge, so the
+    result is bit-identical to [of_graph] on the patched graph {e provided}
+    [total_ew] is the patched graph's own replayed total
+    ({!Graph.total_weight}) — the caller owns that sum because its float
+    accumulation order cannot be reproduced from a sparse patch.  This is
+    the incremental V-cycle's fast path for reweight-only deltas
+    (docs/INCREMENTAL.md).
+    @raise Hgp_resilience.Hgp_error.Error ([Invalid_input _]) on an unknown
+    edge, an out-of-range endpoint, a self-loop, or an invalid weight. *)
+val reweight : t -> total_ew:float -> (int * int * float) list -> t
+
 (** [to_graph t] converts back to the boxed representation.  The round trip
     [to_graph (of_graph g)] is an isomorphism: same vertex count, same edge
     multiset, same weights (property-tested in [test_csr.ml]). *)

@@ -157,6 +157,58 @@ let contract g partition ~n_parts =
     g;
   Builder.build b
 
+let reweight_edges g updates =
+  (* Patch weights of existing edges without touching the structure.  The
+     CSR skeleton (xadj/adjncy) and the (u, v) order of [edge_list] only
+     depend on the edge *set*, so both are shared; [adjw], the patched
+     [edge_list], and [total_w] are rebuilt by replaying exactly the fill
+     loop of [Builder.build], which makes the result bit-identical to a
+     from-scratch build on the patched edge list (including the float
+     summation order of [total_w]). *)
+  let m = Array.length g.edge_list in
+  let edge_list = Array.copy g.edge_list in
+  let find a b =
+    (* Binary search for (a, b) in the (u, v)-sorted edge list. *)
+    let lo = ref 0 and hi = ref (m - 1) and res = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let u, v, _ = edge_list.(mid) in
+      let c = compare (u, v) (a, b) in
+      if c = 0 then begin
+        res := mid;
+        lo := !hi + 1
+      end
+      else if c < 0 then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !res
+  in
+  List.iter
+    (fun (u, v, w) ->
+      if u < 0 || u >= g.n || v < 0 || v >= g.n then
+        invalid_arg "Graph.reweight_edges: vertex out of range";
+      if u = v then invalid_arg "Graph.reweight_edges: self-loop";
+      if not (w >= 0.) then invalid_arg "Graph.reweight_edges: negative weight";
+      let a = min u v and b = max u v in
+      let i = find a b in
+      if i < 0 then
+        invalid_arg
+          (Printf.sprintf "Graph.reweight_edges: no edge {%d, %d}" u v);
+      edge_list.(i) <- (a, b, w))
+    updates;
+  let adjw = Array.make (2 * m) 0. in
+  let fill = Array.copy g.xadj in
+  let total_w = ref 0. in
+  Array.iter
+    (fun (u, v, w) ->
+      adjw.(fill.(u)) <- w;
+      fill.(u) <- fill.(u) + 1;
+      adjw.(fill.(v)) <- w;
+      fill.(v) <- fill.(v) + 1;
+      total_w := !total_w +. w)
+    edge_list;
+  { g with adjw; edge_list; total_w = !total_w }
+
 let fingerprint g =
   let open Hgp_util.Fingerprint in
   (* The CSR triple determines the graph completely (edge_list and total_w

@@ -72,6 +72,15 @@ val induced : t -> int array -> t * int array
     [partition.(v)] is the part of [v], in [0..n_parts-1]. *)
 val contract : t -> int array -> n_parts:int -> t
 
+(** [reweight_edges g updates] is [g] with the weight of each edge
+    [{u, v}] in [updates] replaced by the given weight.  O(m) and
+    structure-sharing: the result is bit-identical (including the float
+    summation order of {!total_weight}) to rebuilding the graph from the
+    patched edge list, but reuses the adjacency skeleton.
+    @raise Invalid_argument if an edge is absent, an endpoint is out of
+    range, or a weight is negative. *)
+val reweight_edges : t -> (int * int * float) list -> t
+
 (** [fingerprint g] is a content fingerprint of the full CSR structure
     (vertex count, adjacency, weights) — two graphs that compare equal
     edge-for-edge share it.  Used as the graph component of solver cache

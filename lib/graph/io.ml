@@ -87,8 +87,25 @@ let to_edge_list_string g =
 
 module E = Hgp_resilience.Hgp_error
 
-let normalize_ids edges =
+let normalize_ids ?(vertices = []) edges =
   let module IS = Set.Make (Int) in
+  let ids =
+    (* Seed with the explicitly-kept vertices: ids that must survive even
+       when no edge mentions them (isolated vertices under edit streams —
+       an id set derived from edges alone would silently drop them and
+       shift every later id, breaking the dense-id contract). *)
+    List.fold_left
+      (fun acc v ->
+        if v < 0 then
+          E.error
+            (E.Invalid_input
+               {
+                 context = "io.normalize_ids";
+                 msg = Printf.sprintf "negative vertex id %d" v;
+               });
+        IS.add v acc)
+      IS.empty vertices
+  in
   let ids =
     List.fold_left
       (fun acc (u, v, _) ->
@@ -100,7 +117,7 @@ let normalize_ids edges =
                  msg = Printf.sprintf "negative vertex id in edge {%d, %d}" u v;
                });
         IS.add u (IS.add v acc))
-      IS.empty edges
+      ids edges
   in
   (* Dense ids 0..k-1 in ascending original-id order, so normalization of an
      already-dense list is the identity. *)

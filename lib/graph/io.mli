@@ -20,14 +20,18 @@ val load : string -> Graph.t
 (** [to_edge_list_string g] renders one ["u v w"] line per edge (0-based). *)
 val to_edge_list_string : Graph.t -> string
 
-(** [normalize_ids edges] compacts arbitrary non-negative vertex ids to the
-    dense [0..k-1] range every other layer (CSR construction, generators,
-    the DP) assumes, preserving ascending id order — normalizing an
-    already-dense edge list is the identity.  Returns the graph and the map
-    from new id to original id.
+(** [normalize_ids ?vertices edges] compacts arbitrary non-negative vertex
+    ids to the dense [0..k-1] range every other layer (CSR construction,
+    generators, the DP) assumes, preserving ascending id order —
+    normalizing an already-dense edge list is the identity.  [vertices]
+    lists ids that must exist in the result even if no edge mentions them
+    (isolated vertices, e.g. after an edit stream removed their last
+    incident edge).  Returns the graph and the map from new id to
+    original id.
     @raise Hgp_resilience.Hgp_error.Error ([Invalid_input _]) on a negative
     id. *)
-val normalize_ids : (int * int * float) list -> Graph.t * int array
+val normalize_ids :
+  ?vertices:int list -> (int * int * float) list -> Graph.t * int array
 
 (** [of_edge_list_string s] parses the edge-list format.  By default ids are
     taken literally and the vertex count is one plus the largest mentioned

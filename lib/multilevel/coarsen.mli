@@ -54,3 +54,32 @@ val build :
 (** [coarsest ~fine chain] is the last coarse graph, or [fine] itself for an
     empty chain. *)
 val coarsest : fine:Hgp_graph.Csr.t -> chain -> Hgp_graph.Csr.t
+
+type rebuild_result = {
+  r_chain : chain;  (** bit-identical to [build rng csr ...] on the new graph *)
+  r_fine_clean : bool array;
+      (** per transition (finest first): the transition's [fine] graph is
+          bit-identical to the previous run's graph at that depth *)
+  r_coarse_clean : bool;
+      (** the coarsest graph is bit-identical to the previous run's *)
+  r_reused_levels : int;  (** transitions spliced without matching/contract *)
+}
+
+(** [rebuild rng csr ~prev ~delta ~threshold ~max_levels ~max_weight]
+    recoarsens after an edge-weight-only change: [prev] is the chain a
+    previous [build] (same seed and parameters) produced on a graph that
+    differs from [csr] exactly on the undirected edge pairs in [delta]
+    (vertex weights must be unchanged).  The result chain is bit-identical
+    to a cold [build] on [csr] — matchings are recomputed per level so the
+    rng stays in lockstep — but once the mapped delta contracts away, the
+    cached suffix is reused wholesale.  [~prev:[] ~delta:[]] degenerates to
+    [build]. *)
+val rebuild :
+  Hgp_util.Prng.t ->
+  Hgp_graph.Csr.t ->
+  prev:chain ->
+  delta:(int * int) list ->
+  threshold:int ->
+  max_levels:int ->
+  max_weight:float ->
+  rebuild_result

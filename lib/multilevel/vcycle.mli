@@ -102,3 +102,58 @@ type result = {
     level — emitted {e only} in FM mode so the greedy path's metrics schema
     (and its goldens) stay byte-identical. *)
 val solve : ?options:options -> Hgp_core.Instance.t -> result
+
+(** {1 Incremental re-solve}
+
+    Multilevel sessions thread a delta stream through the whole V-cycle:
+    cached chain suffixes are spliced back once the mapped weight delta
+    contracts away, the coarse exact solve goes through
+    {!Hgp_core.Pipeline.run_incremental} (per-subtree DP snapshots) or is
+    skipped when the coarsest graph is unchanged, and refinement re-runs
+    only from the first dirty level down.  Every update is bit-identical to
+    a cold {!solve} on the post-delta instance (docs/INCREMENTAL.md). *)
+
+type session
+
+type update_report = {
+  u_result : result;  (** bit-identical to a cold {!solve} on the new instance *)
+  u_churn : float;
+      (** exact fraction of the new instance's vertices whose leaf changed
+          (new vertices count as changed) *)
+  u_resolved_subtrees : int;
+      (** decomposition-tree nodes the coarse solve recomputed *)
+  u_reused_subtrees : int;  (** tree nodes spliced from DP snapshots *)
+  u_reused_levels : int;  (** refinement levels spliced without re-running *)
+  u_total_levels : int;
+  u_incremental : bool;
+      (** [false] when a structural delta forced a cold re-solve *)
+  u_certified : bool;  (** coarse certificate within the (1+eps)(1+h) band *)
+  u_cert_violation : float;
+  u_cert_bound : float;
+}
+
+(** [start_session ?options inst] solves cold (warming chain and DP
+    snapshots) and opens a session.  Raises like {!solve}. *)
+val start_session : ?options:options -> Hgp_core.Instance.t -> session * result
+
+(** [resolve_delta session delta] applies the delta and re-solves, reusing
+    chain suffixes, DP snapshots and clean refinement levels; reweight-only
+    deltas take the incremental path, structural ones fall back to a cold
+    solve (reported via [u_incremental]).  Updates the session and bumps
+    [incremental.{updates,dirty_subtrees,reused_subtrees}] /
+    [multilevel.incremental.reused_levels] counters and the
+    [incremental.churn] gauge.  Sessions are not thread-safe; serialize
+    updates per session (the server drains them in submission order).
+    @raise Hgp_resilience.Hgp_error.Error ([Invalid_input _]) on a delta
+    that does not validate against the session's instance; raises like
+    {!solve} when the post-delta coarse instance is infeasible. *)
+val resolve_delta : session -> Hgp_core.Delta.t -> update_report
+
+val session_instance : session -> Hgp_core.Instance.t
+val session_options : session -> options
+
+(** The session's current fine assignment (a fresh copy). *)
+val session_assignment : session -> int array
+
+(** The full result of the session's last solve or update. *)
+val session_result : session -> result

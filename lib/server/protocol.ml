@@ -203,14 +203,16 @@ type request = {
   resolution : int option;
   deadline_ms : float option;
   priority : int;
+  session : string option;
 }
 
 let request ~id ?(trees = 4) ?(seed = 42) ?(eps = 0.25) ?resolution ?deadline_ms
-    ?(priority = 0) source =
-  { id; source; trees; seed; eps; resolution; deadline_ms; priority }
+    ?(priority = 0) ?session source =
+  { id; source; trees; seed; eps; resolution; deadline_ms; priority; session }
 
-let inline_request ~id ?trees ?seed ?eps ?resolution ?deadline_ms ?priority inst =
-  request ~id ?trees ?seed ?eps ?resolution ?deadline_ms ?priority
+let inline_request ~id ?trees ?seed ?eps ?resolution ?deadline_ms ?priority ?session
+    inst =
+  request ~id ?trees ?seed ?eps ?resolution ?deadline_ms ?priority ?session
     (Inline (Instance_io.to_string inst))
 
 let as_int = function
@@ -263,10 +265,15 @@ let parse_request line =
         ~default:None ~what:"a number"
     in
     let* priority = get kvs "priority" as_int ~default:0 ~what:"an integer" in
+    let* session =
+      get kvs "session"
+        (function Str s -> Some (Some s) | _ -> None)
+        ~default:None ~what:"a string"
+    in
     if trees < 1 then Error "field \"trees\" must be >= 1"
     else if not (Float.is_finite eps) || eps <= 0. then
       Error "field \"eps\" must be a finite positive number"
-    else Ok { id; source; trees; seed; eps; resolution; deadline_ms; priority }
+    else Ok { id; source; trees; seed; eps; resolution; deadline_ms; priority; session }
   | Ok _ -> Error "request line is not a JSON object"
 
 let request_to_line r =
@@ -287,7 +294,77 @@ let request_to_line r =
   (match r.deadline_ms with
   | None -> ()
   | Some d -> Printf.bprintf buf ",\"deadline_ms\":%.17g" d);
-  Printf.bprintf buf ",\"priority\":%d}" r.priority;
+  Printf.bprintf buf ",\"priority\":%d" r.priority;
+  (match r.session with
+  | None -> ()
+  | Some s ->
+    Buffer.add_string buf ",\"session\":";
+    add_json_string buf s);
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* ---- update requests ---- *)
+
+type update_request = {
+  u_id : string;
+  u_session : string;
+  u_delta : string;
+  u_deadline_ms : float option;
+}
+
+let update_request ~id ~session ?deadline_ms delta =
+  { u_id = id; u_session = session; u_delta = delta; u_deadline_ms = deadline_ms }
+
+let parse_update kvs =
+  let* u_id =
+    match List.assoc_opt "id" kvs with
+    | Some (Str id) -> Ok id
+    | _ -> Error "request is missing the string field \"id\""
+  in
+  let* u_session =
+    match List.assoc_opt "session" kvs with
+    | Some (Str s) -> Ok s
+    | _ -> Error "update request needs the string field \"session\""
+  in
+  let* u_delta =
+    match List.assoc_opt "delta" kvs with
+    | Some (Str d) -> Ok d
+    | _ -> Error "field \"delta\" must be a string"
+  in
+  let num = function Num f -> Some f | _ -> None in
+  let* u_deadline_ms =
+    get kvs "deadline_ms"
+      (fun v -> Option.map Option.some (num v))
+      ~default:None ~what:"a number"
+  in
+  Ok { u_id; u_session; u_delta; u_deadline_ms }
+
+type any_request = Solve of request | Update of update_request
+
+let parse_any line =
+  match parse_json line with
+  | Error m -> Error m
+  | Ok (Obj kvs) ->
+    if List.mem_assoc "delta" kvs then
+      let* u = parse_update kvs in
+      Ok (Update u)
+    else
+      let* r = parse_request line in
+      Ok (Solve r)
+  | Ok _ -> Error "request line is not a JSON object"
+
+let update_to_line u =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\"id\":";
+  add_json_string buf u.u_id;
+  Buffer.add_string buf ",\"session\":";
+  add_json_string buf u.u_session;
+  Buffer.add_string buf ",\"delta\":";
+  add_json_string buf u.u_delta;
+  (match u.u_deadline_ms with
+  | None -> ()
+  | Some d -> Printf.bprintf buf ",\"deadline_ms\":%.17g" d);
+  Buffer.add_char buf '}';
   Buffer.contents buf
 
 (* ---- resolution ---- *)
@@ -345,7 +422,18 @@ type solved = {
   assignment : int array;
 }
 
-type outcome = Solved of solved | Failed of Hgp_error.t
+type updated = {
+  up_cost : float;
+  up_violation : float;
+  up_churn : float;
+  up_resolved_subtrees : int;
+  up_reused_subtrees : int;
+  up_incremental : bool;
+  up_certified : bool;
+  up_assignment : int array;
+}
+
+type outcome = Solved of solved | Updated of updated | Failed of Hgp_error.t
 
 type response = { id : string; outcome : outcome; queue_ms : float; solve_ms : float }
 
@@ -362,20 +450,28 @@ let response_to_line resp =
     Printf.bprintf buf
       ",\"degraded\":%b,\"tree_failures\":%d,\"cache_hit\":%b,\"dp_states\":%d,\"cached_dp_states\":%d"
       s.degraded s.tree_failures s.cache_hit s.dp_states s.cached_dp_states
+  | Updated u ->
+    Printf.bprintf buf
+      ",\"status\":\"updated\",\"cost\":%.17g,\"violation\":%.17g,\"churn\":%.17g,\"resolved_subtrees\":%d,\"reused_subtrees\":%d,\"incremental\":%b,\"certified\":%b"
+      u.up_cost u.up_violation u.up_churn u.up_resolved_subtrees u.up_reused_subtrees
+      u.up_incremental u.up_certified
   | Failed e ->
     Printf.bprintf buf ",\"status\":\"error\",\"error\":\"%s\"" (Hgp_error.label e);
     Buffer.add_string buf ",\"message\":";
     add_json_string buf (Hgp_error.to_string e));
   Printf.bprintf buf ",\"queue_ms\":%.3f,\"solve_ms\":%.3f" resp.queue_ms resp.solve_ms;
-  (match resp.outcome with
-  | Solved s ->
+  let add_assignment assignment =
     Buffer.add_string buf ",\"assignment\":[";
     Array.iteri
       (fun i leaf ->
         if i > 0 then Buffer.add_char buf ',';
         Buffer.add_string buf (string_of_int leaf))
-      s.assignment;
+      assignment;
     Buffer.add_char buf ']'
+  in
+  (match resp.outcome with
+  | Solved s -> add_assignment s.assignment
+  | Updated u -> add_assignment u.up_assignment
   | Failed _ -> ());
   Buffer.add_char buf '}';
   Buffer.contents buf

@@ -65,6 +65,10 @@ type request = {
   resolution : int option;  (** default: derived from eps *)
   deadline_ms : float option;  (** per-request budget incl. queue wait *)
   priority : int;  (** higher first within a shard; default 0 *)
+  session : string option;
+      (** when set, a successful solve opens (or replaces) a named
+          incremental session on the server which later [update] requests
+          target (docs/INCREMENTAL.md); default [None] *)
 }
 
 (** [request ~id source] with the documented defaults. *)
@@ -76,6 +80,7 @@ val request :
   ?resolution:int ->
   ?deadline_ms:float ->
   ?priority:int ->
+  ?session:string ->
   source ->
   request
 
@@ -88,6 +93,7 @@ val inline_request :
   ?resolution:int ->
   ?deadline_ms:float ->
   ?priority:int ->
+  ?session:string ->
   Hgp_core.Instance.t ->
   request
 
@@ -95,6 +101,33 @@ val parse_request : string -> (request, string) result
 
 (** One line, no trailing newline. *)
 val request_to_line : request -> string
+
+(** {1 Update requests}
+
+    A delta against a named session opened by an earlier solve request:
+    {v
+      {"id":"u1","session":"s1","delta":"%hgp-delta 1\n...","deadline_ms":50.0}
+    v}
+    The delta travels inline in the [Hgp_core.Delta] text format.  A line is
+    classified as an update iff it carries a ["delta"] field ({!parse_any}). *)
+
+type update_request = {
+  u_id : string;
+  u_session : string;  (** must match a solve request's [session] *)
+  u_delta : string;  (** [Hgp_core.Delta] text, parsed at execution *)
+  u_deadline_ms : float option;
+}
+
+val update_request :
+  id:string -> session:string -> ?deadline_ms:float -> string -> update_request
+
+type any_request = Solve of request | Update of update_request
+
+(** [parse_any line] dispatches on the presence of a ["delta"] field. *)
+val parse_any : string -> (any_request, string) result
+
+(** One line, no trailing newline; round-trips through {!parse_any}. *)
+val update_to_line : update_request -> string
 
 (** {1 Resolution}
 
@@ -134,7 +167,22 @@ type solved = {
   assignment : int array;
 }
 
-type outcome = Solved of solved | Failed of Hgp_error.t
+(** Result of an update request: status ["updated"], with incremental-work
+    and churn accounting.  [up_incremental] is false when the delta was
+    structural and the server fell back to a full re-solve inside the
+    session. *)
+type updated = {
+  up_cost : float;
+  up_violation : float;
+  up_churn : float;  (** fraction of vertices whose leaf changed *)
+  up_resolved_subtrees : int;
+  up_reused_subtrees : int;
+  up_incremental : bool;
+  up_certified : bool;
+  up_assignment : int array;
+}
+
+type outcome = Solved of solved | Updated of updated | Failed of Hgp_error.t
 
 type response = {
   id : string;

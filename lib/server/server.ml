@@ -4,6 +4,8 @@ module Prng = Hgp_util.Prng
 module Obs = Hgp_obs.Obs
 module Hgp_error = Hgp_resilience.Hgp_error
 module Solver = Hgp_core.Solver
+module Pipeline = Hgp_core.Pipeline
+module Delta = Hgp_core.Delta
 module B = Hgp_baselines
 
 let log_src = Logs.Src.create "hgp.server" ~doc:"HGP batch solve service"
@@ -32,6 +34,7 @@ type stats = {
   cache_hits : int;
   steals : int;
   batches : int;
+  updates : int;
 }
 
 let zero_stats =
@@ -48,20 +51,31 @@ let zero_stats =
     cache_hits = 0;
     steals = 0;
     batches = 0;
+    updates = 0;
   }
 
 type pending = { resolved : Protocol.resolved; submit_ns : int64; index : int }
+
+type pending_update = {
+  update : Protocol.update_request;
+  delta : Delta.t;  (* parsed at admission, like [resolve] for solves *)
+  u_submit_ns : int64;
+  u_index : int;
+}
 
 type t = {
   config : config;
   pool : Domain_pool.t;
   mutex : Mutex.t;
   mutable queue : pending list;  (* newest first *)
+  mutable update_queue : pending_update list;  (* newest first *)
   mutable queued : int;
   mutable next_index : int;
   mutable stopping : bool;
   mutable stats : stats;
   coalesced_live : int Atomic.t;  (* bumped on worker domains, folded in [stats] *)
+  smutex : Mutex.t;  (* guards [sessions]; never held with [mutex] *)
+  sessions : (string, Pipeline.session) Hashtbl.t;
 }
 
 let create ?(config = default_config) () =
@@ -72,11 +86,14 @@ let create ?(config = default_config) () =
     pool = Domain_pool.create ~size:config.workers;
     mutex = Mutex.create ();
     queue = [];
+    update_queue = [];
     queued = 0;
     next_index = 0;
     stopping = false;
     stats = zero_stats;
     coalesced_live = Atomic.make 0;
+    smutex = Mutex.create ();
+    sessions = Hashtbl.create 8;
   }
 
 let config t = t.config
@@ -84,6 +101,12 @@ let config t = t.config
 let with_lock t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let with_slock t f =
+  Mutex.lock t.smutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.smutex) f
+
+let session_count t = with_slock t (fun () -> Hashtbl.length t.sessions)
 
 let pending t = with_lock t (fun () -> t.queued)
 
@@ -93,9 +116,10 @@ let stats t =
 let render_stats (s : stats) =
   Printf.sprintf
     "submitted=%d admitted=%d overloaded=%d resolve_rejects=%d deadline=%d \
-     coalesced=%d ok=%d errors=%d degraded=%d cache_hits=%d steals=%d batches=%d"
+     coalesced=%d ok=%d errors=%d degraded=%d cache_hits=%d steals=%d batches=%d \
+     updates=%d"
     s.submitted s.admitted s.rejected_overloaded s.rejected_resolve s.deadline_expired
-    s.coalesced s.ok s.errors s.degraded s.cache_hits s.steals s.batches
+    s.coalesced s.ok s.errors s.degraded s.cache_hits s.steals s.batches s.updates
 
 (* The same degradation ladder the CLI's one-shot solve installs: the refined
    heuristic portfolio (sans the hgp candidate — it just failed above), then
@@ -157,9 +181,84 @@ let submit t (req : Protocol.request) =
       Obs.count "server.admitted" 1;
       `Admitted)
 
+let rejected_update (u : Protocol.update_request) e =
+  {
+    Protocol.id = u.Protocol.u_id;
+    outcome = Protocol.Failed e;
+    queue_ms = 0.;
+    solve_ms = 0.;
+  }
+
+(* Updates share the solve queue's admission budget and index space, so
+   responses interleave in submission order and back-pressure covers both
+   kinds of work. *)
+let submit_update t (u : Protocol.update_request) =
+  Obs.count "server.requests" 1;
+  let verdict =
+    with_lock t (fun () ->
+        t.stats <- { t.stats with submitted = t.stats.submitted + 1 };
+        if t.stopping || t.queued >= t.config.queue_limit then begin
+          t.stats <- { t.stats with rejected_overloaded = t.stats.rejected_overloaded + 1 };
+          `Full t.queued
+        end
+        else begin
+          t.queued <- t.queued + 1;
+          let index = t.next_index in
+          t.next_index <- index + 1;
+          `Reserved index
+        end)
+  in
+  match verdict with
+  | `Full queued ->
+    Obs.count "server.rejected.overloaded" 1;
+    `Rejected
+      (rejected_update u (Hgp_error.Overloaded { queued; limit = t.config.queue_limit }))
+  | `Reserved u_index -> (
+    let u_submit_ns = Obs.now_ns () in
+    match Delta.of_string u.Protocol.u_delta with
+    | exception Hgp_error.Error e ->
+      with_lock t (fun () ->
+          t.queued <- t.queued - 1;
+          t.stats <- { t.stats with rejected_resolve = t.stats.rejected_resolve + 1 });
+      Obs.count "server.rejected.resolve" 1;
+      `Rejected (rejected_update u e)
+    | delta ->
+      with_lock t (fun () ->
+          t.update_queue <- { update = u; delta; u_submit_ns; u_index } :: t.update_queue;
+          t.stats <- { t.stats with admitted = t.stats.admitted + 1 });
+      Obs.count "server.admitted" 1;
+      `Admitted)
+
+let submit_any t = function
+  | Protocol.Solve r -> submit t r
+  | Protocol.Update u -> submit_update t u
+
 (* ---- dispatch ---- *)
 
 type group = { key : Fingerprint.t; members : pending list; priority : int }
+
+(* Session-bearing solves go through [Pipeline.start_session] fail-fast, so
+   the registered session state and the response embody the same
+   bit-identical pipeline solution.  On infeasibility or any raised error the
+   group falls back to the supervised ladder below with nothing registered —
+   a fallback-rung answer has no DP snapshots to update incrementally.
+   Distinct session names in one coalesced group each get their own session
+   (the repeat solves hit the warm caches); the solutions are bit-identical,
+   so answering the group from the first is sound. *)
+let register_sessions t ~inst ~options alive =
+  let names =
+    List.filter_map (fun p -> p.resolved.Protocol.request.Protocol.session) alive
+    |> List.sort_uniq compare
+  in
+  List.fold_left
+    (fun acc name ->
+      match (try Pipeline.start_session inst options with _ -> None) with
+      | None -> acc
+      | Some (sess, sol) ->
+        with_slock t (fun () -> Hashtbl.replace t.sessions name sess);
+        Obs.count "server.sessions.opened" 1;
+        (match acc with None -> Some sol | some -> some))
+    None names
 
 (* Runs on a shard worker.  Answers every member of one coalesced group:
    queue-expired members get their structured deadline error, the survivors
@@ -209,21 +308,41 @@ let handle t group =
     let t0 = Obs.now_ns () in
     let result =
       Obs.span "server.solve" (fun () ->
-          try
-            Solver.solve_supervised ~options ?deadline_ms:remaining
-              ~fallbacks:(ladder_fallbacks ~slack:t.config.slack ~seed:options.Solver.seed)
-              inst
-          with exn ->
-            (* [solve_supervised] promises not to raise; fence anyway so a
-               broken promise poisons one response, not the batch. *)
-            Error
-              (Hgp_error.Internal
-                 { stage = "server.solve"; msg = Hgp_error.message_of_exn exn }))
+          match register_sessions t ~inst ~options alive with
+          | Some sol -> `Session sol
+          | None -> (
+            try
+              `Ladder
+                (Solver.solve_supervised ~options ?deadline_ms:remaining
+                   ~fallbacks:
+                     (ladder_fallbacks ~slack:t.config.slack ~seed:options.Solver.seed)
+                   inst)
+            with exn ->
+              (* [solve_supervised] promises not to raise; fence anyway so a
+                 broken promise poisons one response, not the batch. *)
+              `Ladder
+                (Error
+                   (Hgp_error.Internal
+                      { stage = "server.solve"; msg = Hgp_error.message_of_exn exn }))))
     in
     let solve_ms = Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e6 in
     let outcome_of ~follower =
       match result with
-      | Ok s ->
+      | `Session sol ->
+        Protocol.Solved
+          {
+            cost = sol.Solver.cost;
+            violation = sol.Solver.max_violation;
+            rung = "ensemble";
+            degraded = false;
+            tree_failures = 0;
+            cache_hit =
+              follower || (sol.Solver.dp_states = 0 && sol.Solver.cached_dp_states > 0);
+            dp_states = sol.Solver.dp_states;
+            cached_dp_states = sol.Solver.cached_dp_states;
+            assignment = sol.Solver.assignment;
+          }
+      | `Ladder (Ok s) ->
         let sol = s.Solver.solution in
         Protocol.Solved
           {
@@ -238,7 +357,7 @@ let handle t group =
             cached_dp_states = sol.Solver.cached_dp_states;
             assignment = sol.Solver.assignment;
           }
-      | Error e -> Protocol.Failed e
+      | `Ladder (Error e) -> Protocol.Failed e
     in
     ( leader.index,
       {
@@ -259,6 +378,87 @@ let handle t group =
          followers
     @ expired_responses
 
+(* Runs on the drain thread, after the solve batch: sessions opened by
+   same-batch solves are visible, and per-session serialization (the
+   [Pipeline.resolve_delta] contract) comes for free. *)
+let run_update t (pu : pending_update) ~dispatch_ns =
+  let u = pu.update in
+  let queue_ms = Int64.to_float (Int64.sub dispatch_ns pu.u_submit_ns) /. 1e6 in
+  Obs.gauge_max "server.queue_wait_max_ms" queue_ms;
+  let expired =
+    match u.Protocol.u_deadline_ms with Some d -> queue_ms >= d | None -> false
+  in
+  if expired then
+    ( pu.u_index,
+      {
+        Protocol.id = u.Protocol.u_id;
+        outcome =
+          Protocol.Failed
+            (Hgp_error.Deadline_exceeded
+               {
+                 budget_ms = Option.value ~default:0. u.Protocol.u_deadline_ms;
+                 elapsed_ms = queue_ms;
+                 stage = "queue";
+               });
+        queue_ms;
+        solve_ms = 0.;
+      } )
+  else begin
+    let sess = with_slock t (fun () -> Hashtbl.find_opt t.sessions u.Protocol.u_session) in
+    let t0 = Obs.now_ns () in
+    let outcome =
+      match sess with
+      | None ->
+        Protocol.Failed
+          (Hgp_error.Invalid_input
+             {
+               context = "server.update";
+               msg =
+                 Printf.sprintf
+                   "unknown session %S (open one with a solve request carrying \
+                    \"session\")"
+                   u.Protocol.u_session;
+             })
+      | Some sess -> (
+        Obs.span "server.update" @@ fun () ->
+        try
+          match Pipeline.resolve_delta sess pu.delta with
+          | Some r ->
+            let sol = r.Pipeline.u_solution in
+            Protocol.Updated
+              {
+                up_cost = sol.Solver.cost;
+                up_violation = sol.Solver.max_violation;
+                up_churn = r.Pipeline.churn;
+                up_resolved_subtrees = r.Pipeline.resolved_subtrees;
+                up_reused_subtrees = r.Pipeline.reused_subtrees;
+                up_incremental = true;
+                up_certified = r.Pipeline.certified;
+                up_assignment = sol.Solver.assignment;
+              }
+          | None ->
+            let inst = Pipeline.session_instance sess in
+            let options = Pipeline.session_options sess in
+            Protocol.Failed
+              (Hgp_error.Infeasible
+                 {
+                   resolution = Pipeline.resolution_of inst options;
+                   retried = false;
+                   msg =
+                     "post-delta instance is infeasible at the session's \
+                      resolution; submit a fresh solve request";
+                 })
+        with
+        | Hgp_error.Error e -> Protocol.Failed e
+        | exn ->
+          Protocol.Failed
+            (Hgp_error.Internal
+               { stage = "server.update"; msg = Hgp_error.message_of_exn exn }))
+    in
+    let solve_ms = Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e6 in
+    (pu.u_index, { Protocol.id = u.Protocol.u_id; outcome; queue_ms; solve_ms })
+  end
+
 let tally t (responses : Protocol.response list) steals =
   with_lock t (fun () ->
       let s = ref { t.stats with steals = t.stats.steals + steals } in
@@ -269,6 +469,8 @@ let tally t (responses : Protocol.response list) steals =
             s := { !s with ok = !s.ok + 1 };
             if sol.Protocol.degraded then s := { !s with degraded = !s.degraded + 1 };
             if sol.Protocol.cache_hit then s := { !s with cache_hits = !s.cache_hits + 1 }
+          | Protocol.Updated _ ->
+            s := { !s with ok = !s.ok + 1; updates = !s.updates + 1 }
           | Protocol.Failed (Hgp_error.Deadline_exceeded _) ->
             s :=
               { !s with errors = !s.errors + 1; deadline_expired = !s.deadline_expired + 1 }
@@ -282,6 +484,9 @@ let tally t (responses : Protocol.response list) steals =
         Obs.count "server.responses.ok" 1;
         if sol.Protocol.degraded then Obs.count "server.degraded" 1;
         if sol.Protocol.cache_hit then Obs.count "server.cache_hits" 1
+      | Protocol.Updated _ ->
+        Obs.count "server.responses.ok" 1;
+        Obs.count "server.updates" 1
       | Protocol.Failed (Hgp_error.Deadline_exceeded _) ->
         Obs.count "server.responses.error" 1;
         Obs.count "server.deadline_expired" 1
@@ -289,84 +494,98 @@ let tally t (responses : Protocol.response list) steals =
     responses
 
 let drain t =
-  let batch =
+  let batch, updates =
     with_lock t (fun () ->
         let grabbed = List.rev t.queue in
+        let upds = List.rev t.update_queue in
         t.queue <- [];
-        t.queued <- t.queued - List.length grabbed;
-        grabbed)
+        t.update_queue <- [];
+        t.queued <- t.queued - List.length grabbed - List.length upds;
+        (grabbed, upds))
   in
-  match batch with
-  | [] -> []
-  | _ ->
+  if batch = [] && updates = [] then []
+  else begin
     with_lock t (fun () -> t.stats <- { t.stats with batches = t.stats.batches + 1 });
     Obs.count "server.batches" 1;
-    Obs.gauge "server.queue_depth" (float_of_int (List.length batch));
+    Obs.gauge "server.queue_depth"
+      (float_of_int (List.length batch + List.length updates));
     Obs.span "server.drain" @@ fun () ->
-    (* Coalesce by affinity key, preserving first-seen order so the response
-       order and the shard layout are both deterministic. *)
-    let tbl : (Fingerprint.t, pending list ref) Hashtbl.t = Hashtbl.create 32 in
-    let order = ref [] in
-    List.iter
-      (fun p ->
-        let k = p.resolved.Protocol.key in
-        match Hashtbl.find_opt tbl k with
-        | None ->
-          Hashtbl.add tbl k (ref [ p ]);
-          order := k :: !order
-        | Some r -> r := p :: !r)
-      batch;
-    let groups =
-      !order
-      |> List.rev_map (fun k ->
-             let members = List.rev !(Hashtbl.find tbl k) in
-             let priority =
-               List.fold_left
-                 (fun a p -> max a p.resolved.Protocol.request.Protocol.priority)
-                 min_int members
-             in
-             { key = k; members; priority })
-      |> List.rev
-      |> Array.of_list
-    in
-    Log.info (fun m ->
-        m "drain: %d requests in %d groups over %d workers" (List.length batch)
-          (Array.length groups) t.config.workers);
-    let results, sstats =
-      Scheduler.run ~pool:t.pool ~shards:t.config.workers
-        ~shard_of:(fun g -> g.key)
-        ~priority_of:(fun g -> g.priority)
-        ~f:(handle t) groups
-    in
     let responses = ref [] in
-    Array.iteri
-      (fun gi slot ->
-        match slot with
-        | Ok rs -> responses := rs @ !responses
-        | Error exn ->
-          (* The per-group fence failed — answer every member structurally
-             rather than dropping them. *)
-          let msg = Hgp_error.message_of_exn exn in
-          List.iter
-            (fun p ->
-              responses :=
-                ( p.index,
-                  {
-                    Protocol.id = p.resolved.Protocol.request.Protocol.id;
-                    outcome =
-                      Protocol.Failed
-                        (Hgp_error.Internal { stage = "server.dispatch"; msg });
-                    queue_ms = 0.;
-                    solve_ms = 0.;
-                  } )
-                :: !responses)
-            groups.(gi).members)
-      results;
+    let steals = ref 0 in
+    if batch <> [] then begin
+      (* Coalesce by affinity key, preserving first-seen order so the response
+         order and the shard layout are both deterministic. *)
+      let tbl : (Fingerprint.t, pending list ref) Hashtbl.t = Hashtbl.create 32 in
+      let order = ref [] in
+      List.iter
+        (fun p ->
+          let k = p.resolved.Protocol.key in
+          match Hashtbl.find_opt tbl k with
+          | None ->
+            Hashtbl.add tbl k (ref [ p ]);
+            order := k :: !order
+          | Some r -> r := p :: !r)
+        batch;
+      let groups =
+        !order
+        |> List.rev_map (fun k ->
+               let members = List.rev !(Hashtbl.find tbl k) in
+               let priority =
+                 List.fold_left
+                   (fun a p -> max a p.resolved.Protocol.request.Protocol.priority)
+                   min_int members
+               in
+               { key = k; members; priority })
+        |> List.rev
+        |> Array.of_list
+      in
+      Log.info (fun m ->
+          m "drain: %d requests in %d groups over %d workers" (List.length batch)
+            (Array.length groups) t.config.workers);
+      let results, sstats =
+        Scheduler.run ~pool:t.pool ~shards:t.config.workers
+          ~shard_of:(fun g -> g.key)
+          ~priority_of:(fun g -> g.priority)
+          ~f:(handle t) groups
+      in
+      steals := sstats.Scheduler.steals;
+      Array.iteri
+        (fun gi slot ->
+          match slot with
+          | Ok rs -> responses := rs @ !responses
+          | Error exn ->
+            (* The per-group fence failed — answer every member structurally
+               rather than dropping them. *)
+            let msg = Hgp_error.message_of_exn exn in
+            List.iter
+              (fun p ->
+                responses :=
+                  ( p.index,
+                    {
+                      Protocol.id = p.resolved.Protocol.request.Protocol.id;
+                      outcome =
+                        Protocol.Failed
+                          (Hgp_error.Internal { stage = "server.dispatch"; msg });
+                      queue_ms = 0.;
+                      solve_ms = 0.;
+                    } )
+                  :: !responses)
+              groups.(gi).members)
+        results
+    end;
+    if updates <> [] then begin
+      Log.info (fun m -> m "drain: %d updates" (List.length updates));
+      let dispatch_ns = Obs.now_ns () in
+      List.iter
+        (fun pu -> responses := run_update t pu ~dispatch_ns :: !responses)
+        (List.sort (fun a b -> compare a.u_index b.u_index) updates)
+    end;
     let ordered =
       List.sort (fun (a, _) (b, _) -> compare a b) !responses |> List.map snd
     in
-    tally t ordered sstats.Scheduler.steals;
+    tally t ordered !steals;
     ordered
+  end
 
 let shutdown t =
   with_lock t (fun () -> t.stopping <- true);

@@ -53,6 +53,7 @@ type stats = {
   cache_hits : int;  (** packed-cache hits + coalesced followers *)
   steals : int;
   batches : int;
+  updates : int;  (** update requests answered with status ["updated"] *)
 }
 
 type t
@@ -71,6 +72,38 @@ val pending : t -> int
     rejection response ([overloaded], [parse], [io], ...).  The queue-wait
     clock starts here. *)
 val submit : t -> Protocol.request -> [ `Admitted | `Rejected of Protocol.response ]
+
+(** {1 Incremental sessions}
+
+    A solve request carrying [session = Some name] is solved fail-fast
+    through [Pipeline.start_session]: the response and the registered
+    session embody the same bit-identical pipeline solution, and later
+    {!submit_update} requests naming the session re-solve only the dirty
+    cone of the delta (docs/INCREMENTAL.md).  If the fail-fast solve is
+    infeasible or raises, the request falls back to the supervised
+    degradation ladder and {e no} session is registered — a fallback-rung
+    answer has no DP snapshots to update.  Re-using a name replaces the
+    session.  Session solves ignore the remaining [deadline_ms] budget
+    (queue-expiry still applies). *)
+
+(** [submit_update t u] admits a delta against a named session under the
+    same bounded queue ([Overloaded] past the limit); a malformed delta is
+    rejected at admission with its structured [Parse] error.  Updates
+    execute during {!drain}, {e after} the solve batch (so a session opened
+    in the same batch is visible) and in submission order; responses
+    interleave with solve responses by submission index.  Failure modes per
+    update: unknown session → [Invalid_input]; queue-expired deadline →
+    [Deadline_exceeded]; post-delta infeasibility → [Infeasible] (the
+    session keeps its pre-delta state). *)
+val submit_update :
+  t -> Protocol.update_request -> [ `Admitted | `Rejected of Protocol.response ]
+
+(** Dispatches on the request kind. *)
+val submit_any :
+  t -> Protocol.any_request -> [ `Admitted | `Rejected of Protocol.response ]
+
+(** Currently registered sessions. *)
+val session_count : t -> int
 
 (** [drain t] dispatches every pending request and returns their responses in
     submission order.  Blocks until the batch completes.  Never raises on

@@ -210,3 +210,227 @@ let run w hy ~assignment cfg =
     max_core_utilization;
     throughput = float_of_int !completed /. cfg.duration;
   }
+
+(* ---- drifting workload: delta streams against a live placement ---- *)
+
+module Obs = Hgp_obs.Obs
+module Graph = Hgp_graph.Graph
+module Instance = Hgp_core.Instance
+module Delta = Hgp_core.Delta
+module Pipeline = Hgp_core.Pipeline
+module Vcycle = Hgp_multilevel.Vcycle
+
+type drift_params = {
+  steps : int;
+  edits_per_step : int;
+  magnitude : float;
+  structural_every : int;
+  cold_every : int;
+}
+
+let default_drift_params =
+  { steps = 20; edits_per_step = 2; magnitude = 0.5; structural_every = 0; cold_every = 5 }
+
+type drift_backend = Exact of Pipeline.options | Multilevel of Vcycle.options
+
+type drift_step = {
+  d_step : int;
+  d_edits : int;
+  d_structural : bool;
+  d_incr_ms : float;
+  d_cold_ms : float;
+  d_identical : bool;
+  d_churn : float;
+  d_certified : bool;
+  d_resolved : int;
+  d_reused : int;
+}
+
+type drift_report = {
+  d_steps : drift_step list;
+  d_final_n : int;
+  d_mean_incr_ms : float;
+  d_mean_cold_ms : float;
+  d_amortized : float;
+  d_all_certified : bool;
+  d_all_identical : bool;
+}
+
+(* Edit stream against the CURRENT instance: reweights of distinct existing
+   edges (rates drifting by up to [magnitude] relative), plus — on
+   structural steps — one topology edit appended last, so a removal can
+   only retire an edge the earlier reweights have already touched (the
+   delta stays valid under sequential application). *)
+let drift_delta rng inst ~edits ~magnitude ~structural =
+  let g = inst.Instance.graph in
+  let es = Graph.edges g in
+  let m = Array.length es in
+  let n = Graph.n g in
+  let reweight idx =
+    let u, v, w = es.(idx) in
+    let f = 1. +. (magnitude *. ((2. *. Prng.float rng 1.) -. 1.)) in
+    Delta.Reweight_edge (u, v, Float.max 1e-9 (w *. f))
+  in
+  let k = min edits m in
+  let picks = Prng.sample_without_replacement rng ~n:m ~k in
+  let reweights = Array.to_list (Array.map reweight picks) in
+  if not structural then reweights
+  else
+    let edit =
+      if Prng.bool rng && n >= 2 then begin
+        (* add a chord between a probed non-adjacent pair *)
+        let rec probe tries =
+          if tries = 0 then reweight (Prng.int rng m)
+          else
+            let u = Prng.int rng n and v = Prng.int rng n in
+            if u <> v && not (Graph.has_edge g u v) then
+              Delta.Add_edge (min u v, max u v, 0.5 +. Prng.float rng 2.)
+            else probe (tries - 1)
+        in
+        probe 16
+      end
+      else if m > 1 then begin
+        (* remove an edge that is not a bridge: the exact decomposition
+           requires a connected graph, so a removal that severs it would
+           poison the whole stream.  One DSU pass over the other edges
+           tells whether the candidate's endpoints stay connected. *)
+        let keeps_connected skip =
+          let parent = Array.init n Fun.id in
+          let rec find x =
+            if parent.(x) = x then x
+            else begin
+              parent.(x) <- find parent.(x);
+              parent.(x)
+            end
+          in
+          Array.iteri
+            (fun i (u, v, _) ->
+              if i <> skip then begin
+                let a = find u and b = find v in
+                if a <> b then parent.(a) <- b
+              end)
+            es;
+          let u, v, _ = es.(skip) in
+          find u = find v
+        in
+        let rec probe tries =
+          if tries = 0 then reweight (Prng.int rng m)
+          else
+            let i = Prng.int rng m in
+            if keeps_connected i then
+              let u, v, _ = es.(i) in
+              Delta.Remove_edge (u, v)
+            else probe (tries - 1)
+        in
+        probe 8
+      end
+      else reweight 0
+    in
+    reweights @ [ edit ]
+
+type drift_session = S_exact of Pipeline.session | S_ml of Vcycle.session
+
+let run_drift ?(params = default_drift_params) rng inst backend =
+  let ms t0 t1 = Int64.to_float (Int64.sub t1 t0) /. 1e6 in
+  let sess =
+    match backend with
+    | Exact options -> (
+      match Pipeline.start_session inst options with
+      | Some (s, _) -> S_exact s
+      | None -> invalid_arg "Des.run_drift: instance is infeasible")
+    | Multilevel options ->
+      let s, _ = Vcycle.start_session ~options inst in
+      S_ml s
+  in
+  let current_instance () =
+    match sess with
+    | S_exact s -> Pipeline.session_instance s
+    | S_ml s -> Vcycle.session_instance s
+  in
+  let current_assignment () =
+    match sess with
+    | S_exact s -> Pipeline.session_assignment s
+    | S_ml s -> Vcycle.session_assignment s
+  in
+  (* Cache-independent cold oracle: [set_caching false] bypasses the
+     pipeline caches outright; the multilevel chain LRU ignores that flag,
+     so it is dropped explicitly — sessions keep their own chain, only the
+     next coarse re-solve pays a re-warm. *)
+  let cold_solve inst' =
+    Pipeline.set_caching false;
+    Fun.protect
+      ~finally:(fun () -> Pipeline.set_caching true)
+      (fun () ->
+        match backend with
+        | Exact options -> (
+          match Pipeline.run inst' options with
+          | Some sol -> sol.Pipeline.assignment
+          | None -> invalid_arg "Des.run_drift: cold re-solve infeasible")
+        | Multilevel options ->
+          Pipeline.clear_caches ();
+          (Vcycle.solve ~options inst').Vcycle.solution.Pipeline.assignment)
+  in
+  let steps = ref [] in
+  for step = 1 to params.steps do
+    let structural =
+      params.structural_every > 0 && step mod params.structural_every = 0
+    in
+    let delta =
+      drift_delta rng (current_instance ()) ~edits:params.edits_per_step
+        ~magnitude:params.magnitude ~structural
+    in
+    let t0 = Obs.now_ns () in
+    let churn, certified, resolved, reused =
+      match sess with
+      | S_exact s -> (
+        match Pipeline.resolve_delta s delta with
+        | Some r ->
+          ( r.Pipeline.churn,
+            r.Pipeline.certified,
+            r.Pipeline.resolved_subtrees,
+            r.Pipeline.reused_subtrees )
+        | None -> invalid_arg "Des.run_drift: delta made the instance infeasible")
+      | S_ml s ->
+        let r = Vcycle.resolve_delta s delta in
+        (r.Vcycle.u_churn, r.Vcycle.u_certified, r.Vcycle.u_resolved_subtrees,
+         r.Vcycle.u_reused_subtrees)
+    in
+    let incr_ms = ms t0 (Obs.now_ns ()) in
+    let cold_ms, identical =
+      if params.cold_every > 0 && step mod params.cold_every = 0 then begin
+        let inst' = current_instance () in
+        let c0 = Obs.now_ns () in
+        let cold = cold_solve inst' in
+        (ms c0 (Obs.now_ns ()), cold = current_assignment ())
+      end
+      else (nan, true)
+    in
+    steps :=
+      {
+        d_step = step;
+        d_edits = List.length delta;
+        d_structural = structural;
+        d_incr_ms = incr_ms;
+        d_cold_ms = cold_ms;
+        d_identical = identical;
+        d_churn = churn;
+        d_certified = certified;
+        d_resolved = resolved;
+        d_reused = reused;
+      }
+      :: !steps
+  done;
+  let steps = List.rev !steps in
+  let mean f xs = match xs with [] -> nan | _ -> List.fold_left (fun a x -> a +. f x) 0. xs /. float_of_int (List.length xs) in
+  let sampled = List.filter (fun s -> Float.is_finite s.d_cold_ms) steps in
+  let d_mean_incr_ms = mean (fun s -> s.d_incr_ms) steps in
+  let d_mean_cold_ms = mean (fun s -> s.d_cold_ms) sampled in
+  {
+    d_steps = steps;
+    d_final_n = Instance.n (current_instance ());
+    d_mean_incr_ms;
+    d_mean_cold_ms;
+    d_amortized = d_mean_incr_ms /. d_mean_cold_ms;
+    d_all_certified = List.for_all (fun s -> s.d_certified) steps;
+    d_all_identical = List.for_all (fun s -> s.d_identical) steps;
+  }

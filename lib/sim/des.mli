@@ -65,3 +65,85 @@ val run :
   assignment:int array ->
   config ->
   metrics
+
+(** {1 Drifting workloads}
+
+    The incremental re-partitioning scenario (docs/INCREMENTAL.md): the
+    stream's rates drift, each drift step becomes a {!Hgp_core.Delta}
+    against the live instance, and a solve {e session} re-solves only the
+    dirty cone.  [run_drift] drives such a delta stream and measures the
+    amortized incremental re-solve cost against periodically sampled cold
+    full solves — the workload behind the CI incremental-smoke gate and
+    bench experiment E21. *)
+
+type drift_params = {
+  steps : int;  (** drift steps (one delta each) *)
+  edits_per_step : int;  (** edge reweights per delta *)
+  magnitude : float;  (** max relative weight perturbation, e.g. [0.5] *)
+  structural_every : int;
+      (** every k-th delta also adds or removes one edge; [0] keeps the
+          stream reweight-only (the multilevel fast path) *)
+  cold_every : int;
+      (** sample a cache-bypassing cold solve (timing + bit-identity check)
+          every k-th step; [0] disables — note a multilevel cold sample
+          clears the process-wide caches (sessions keep their own state) *)
+}
+
+(** [{steps = 20; edits_per_step = 2; magnitude = 0.5; structural_every = 0;
+     cold_every = 5}] *)
+val default_drift_params : drift_params
+
+type drift_backend =
+  | Exact of Hgp_core.Pipeline.options  (** flat pipeline session *)
+  | Multilevel of Hgp_multilevel.Vcycle.options  (** V-cycle session *)
+
+type drift_step = {
+  d_step : int;  (** 1-based *)
+  d_edits : int;
+  d_structural : bool;
+  d_incr_ms : float;  (** wall time of the incremental re-solve *)
+  d_cold_ms : float;  (** wall time of the sampled cold solve; [nan] unsampled *)
+  d_identical : bool;
+      (** cold assignment bit-identical to the session's; vacuously [true]
+          on unsampled steps *)
+  d_churn : float;
+  d_certified : bool;
+  d_resolved : int;  (** subtree-DP nodes recomputed *)
+  d_reused : int;  (** subtree-DP nodes spliced from snapshots *)
+}
+
+type drift_report = {
+  d_steps : drift_step list;  (** in step order *)
+  d_final_n : int;
+  d_mean_incr_ms : float;
+  d_mean_cold_ms : float;  (** over sampled steps; [nan] when [cold_every = 0] *)
+  d_amortized : float;  (** [mean_incr / mean_cold]; [nan] without samples *)
+  d_all_certified : bool;
+  d_all_identical : bool;
+}
+
+(** [drift_delta rng inst ~edits ~magnitude ~structural] is one drift step's
+    delta against [inst]: [min edits m] reweights of distinct edges; when
+    [structural], one add/remove-edge edit appended last.  Deterministic in
+    [rng]; always valid for [Delta.apply inst], and removals never pick a
+    bridge (the exact decomposition requires a connected graph, so a
+    disconnecting edit would poison every later step of the stream). *)
+val drift_delta :
+  Hgp_util.Prng.t ->
+  Hgp_core.Instance.t ->
+  edits:int ->
+  magnitude:float ->
+  structural:bool ->
+  Hgp_core.Delta.t
+
+(** [run_drift rng inst backend] opens a session on [inst], streams
+    [params.steps] drift deltas through it, and reports per-step and
+    aggregate metrics.  Raises [Invalid_argument] if the initial instance or
+    any drifted instance is infeasible (drift magnitudes that keep weights
+    positive cannot change feasibility — demands are untouched). *)
+val run_drift :
+  ?params:drift_params ->
+  Hgp_util.Prng.t ->
+  Hgp_core.Instance.t ->
+  drift_backend ->
+  drift_report

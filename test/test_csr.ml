@@ -253,6 +253,41 @@ let test_sparse_id_normalization () =
    budget on a 10^5-vertex stream DAG through the multilevel smoke step. *)
 let budget_bytes_per_edge = 320.
 
+(* Csr.reweight's contract: patching edge weights in place is bit-identical
+   (full record equality, floats included) to rebuilding the CSR from the
+   graph patched by Graph.reweight_edges — the incremental V-cycle leans on
+   this to keep O(n + m) rebuilds off the reweight fast path. *)
+let test_reweight_matches_of_graph () =
+  List.iter
+    (fun (name, g) ->
+      let rng = Prng.create (1 + Hashtbl.hash name) in
+      let edges = Graph.edges g in
+      let m = Array.length edges in
+      if m > 0 then begin
+        let k = 1 + Prng.int rng (min 5 m) in
+        let updates =
+          List.init k (fun _ ->
+              let u, v, w = edges.(Prng.int rng m) in
+              let factor = 0.25 +. (1.5 *. Prng.float rng 1.) in
+              if Prng.bool rng then (u, v, w *. factor) else (v, u, w *. factor))
+        in
+        let g' = Graph.reweight_edges g updates in
+        let patched =
+          Csr.reweight (Csr.of_graph g) ~total_ew:(Graph.total_weight g') updates
+        in
+        if patched <> Csr.of_graph g' then
+          Alcotest.failf "%s: patched CSR differs from rebuild" name
+      end)
+    (preset_graphs ());
+  (* unknown edges and malformed updates are structured rejects *)
+  let csr = Csr.of_graph (Gen.path 4) in
+  List.iter
+    (fun bad ->
+      match Csr.reweight csr ~total_ew:3. [ bad ] with
+      | _ -> Alcotest.fail "expected Invalid_input"
+      | exception E.Error (E.Invalid_input _) -> ())
+    [ (0, 2, 1.) (* no such edge *); (1, 1, 1.); (0, 9, 1.); (0, 1, -1.) ]
+
 let test_build_allocation_budget () =
   let m = 200_000 in
   let n = m + 1 in
@@ -285,6 +320,11 @@ let () =
           Alcotest.test_case "bit-identical to Graph.contract" `Quick
             test_contract_matches_graph_contract;
           Alcotest.test_case "structured rejects" `Quick test_contract_rejects;
+        ] );
+      ( "reweight",
+        [
+          Alcotest.test_case "patch = rebuild (bit-identical)" `Quick
+            test_reweight_matches_of_graph;
         ] );
       ( "validation",
         [

@@ -68,6 +68,41 @@ let test_edge_list_roundtrip () =
   let g' = Io.of_edge_list_string (Io.to_edge_list_string g) in
   Alcotest.(check bool) "roundtrip" true (graphs_equal g g')
 
+(* normalize_ids with sparse original ids: the mapping must be dense,
+   order-preserving, and cover ~vertices even when they touch no edge —
+   the delta layer relies on this to keep a vertex alive after its last
+   incident edge is removed. *)
+let test_normalize_sparse_ids () =
+  let g, map = Io.normalize_ids [ (10, 3, 1.5); (7, 10, 2.) ] in
+  Alcotest.(check int) "n" 3 (Graph.n g);
+  Alcotest.(check int) "m" 2 (Graph.m g);
+  Alcotest.(check (array int)) "order-preserving map" [| 3; 7; 10 |] map;
+  Test_support.check_close "edge 10-3" 1.5 (Graph.edge_weight g 2 0);
+  Test_support.check_close "edge 7-10" 2. (Graph.edge_weight g 1 2)
+
+let test_normalize_isolated_vertices () =
+  (* 5 and 42 have no incident edge but must still get dense ids. *)
+  let g, map = Io.normalize_ids ~vertices:[ 42; 5; 3 ] [ (3, 9, 1.) ] in
+  Alcotest.(check int) "n" 4 (Graph.n g);
+  Alcotest.(check int) "m" 1 (Graph.m g);
+  Alcotest.(check (array int)) "map" [| 3; 5; 9; 42 |] map;
+  Alcotest.(check bool) "edge kept" true (Graph.has_edge g 0 2);
+  (* all vertices already covered by edges: ~vertices is a no-op *)
+  let g', map' = Io.normalize_ids ~vertices:[ 3; 9 ] [ (3, 9, 1.) ] in
+  Alcotest.(check int) "no-op n" 2 (Graph.n g');
+  Alcotest.(check (array int)) "no-op map" [| 3; 9 |] map';
+  (* edge-free instance: a single surviving isolated vertex *)
+  let g'', map'' = Io.normalize_ids ~vertices:[ 6 ] [] in
+  Alcotest.(check int) "lonely n" 1 (Graph.n g'');
+  Alcotest.(check int) "lonely m" 0 (Graph.m g'');
+  Alcotest.(check (array int)) "lonely map" [| 6 |] map'';
+  Alcotest.(check bool) "negative id rejected" true
+    (try
+       ignore (Io.normalize_ids ~vertices:[ -1 ] []);
+       false
+     with Hgp_resilience.Hgp_error.Error (Hgp_resilience.Hgp_error.Invalid_input _) ->
+       true)
+
 let prop_metis_roundtrip =
   Test_support.qtest ~count:50 "METIS roundtrip on random graphs"
     (Test_support.gen_graph ())
@@ -97,6 +132,9 @@ let () =
           Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
           Alcotest.test_case "crlf parse" `Quick test_crlf_parse;
           Alcotest.test_case "edge list roundtrip" `Quick test_edge_list_roundtrip;
+          Alcotest.test_case "normalize sparse ids" `Quick test_normalize_sparse_ids;
+          Alcotest.test_case "normalize isolated vertices" `Quick
+            test_normalize_isolated_vertices;
         ] );
       ("property", [ prop_metis_roundtrip; prop_edge_list_roundtrip ]);
     ]

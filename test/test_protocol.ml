@@ -201,6 +201,70 @@ let test_response_lines () =
       | Error e -> Alcotest.failf "response line is not json (%s): %s" e l)
     [ ok_line; err_line ]
 
+(* ---- update requests ---- *)
+
+let test_update_roundtrip_and_parse_any () =
+  let u =
+    Protocol.update_request ~id:"u \"q\"" ~session:"sess-1" ~deadline_ms:12.5
+      "%hgp-delta 1\nreweight 0 1 2.5\n"
+  in
+  let line = Protocol.update_to_line u in
+  Alcotest.(check bool) "one line" true (not (String.contains line '\n'));
+  (match Protocol.parse_any line with
+  | Ok (Protocol.Update u') -> Alcotest.(check bool) "update round-trips" true (u = u')
+  | Ok (Protocol.Solve _) -> Alcotest.fail "classified as solve"
+  | Error e -> Alcotest.failf "re-parse failed: %s" e);
+  (* A line without "delta" is a solve; the session field rides along. *)
+  (match Protocol.parse_any {|{"id":"s","instance":"txt","session":"sess-1"}|} with
+  | Ok (Protocol.Solve r) ->
+    Alcotest.(check bool) "session parsed" true (r.Protocol.session = Some "sess-1")
+  | Ok (Protocol.Update _) -> Alcotest.fail "classified as update"
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (* Session survives the solve-request round trip. *)
+  let r = Protocol.request ~id:"s" ~session:"sx" (Protocol.Path "p.hgp") in
+  (match Protocol.parse_request (Protocol.request_to_line r) with
+  | Ok r' -> Alcotest.(check bool) "session round-trips" true (r = r')
+  | Error e -> Alcotest.failf "session re-parse failed: %s" e);
+  (* Malformed updates reject with a reason. *)
+  List.iter
+    (fun s ->
+      match Protocol.parse_any s with
+      | Ok _ -> Alcotest.failf "accepted bad update %S" s
+      | Error _ -> ())
+    [
+      {|{"id":"u","delta":"d"}|} (* no session *);
+      {|{"session":"s","delta":"d"}|} (* no id *);
+      {|{"id":"u","session":"s","delta":42}|};
+    ]
+
+let test_updated_response_line () =
+  let line =
+    Protocol.response_to_line
+      {
+        Protocol.id = "u1";
+        outcome =
+          Protocol.Updated
+            {
+              Protocol.up_cost = 7.25;
+              up_violation = 1.;
+              up_churn = 0.125;
+              up_resolved_subtrees = 3;
+              up_reused_subtrees = 11;
+              up_incremental = true;
+              up_certified = true;
+              up_assignment = [| 2; 0 |];
+            };
+        queue_ms = 0.5;
+        solve_ms = 1.25;
+      }
+  in
+  Alcotest.(check string) "updated line"
+    {|{"id":"u1","status":"updated","cost":7.25,"violation":1,"churn":0.125,"resolved_subtrees":3,"reused_subtrees":11,"incremental":true,"certified":true,"queue_ms":0.500,"solve_ms":1.250,"assignment":[2,0]}|}
+    line;
+  match Protocol.parse_json line with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "updated line is not json: %s" e
+
 (* ---- properties ---- *)
 
 (* Instances across the CLI's generator presets, demands with non-round
@@ -240,6 +304,7 @@ let gen_request =
       resolution;
       deadline_ms;
       priority;
+      session = None;
     }
 
 let prop_fingerprint_stable_over_wire =
@@ -274,6 +339,9 @@ let () =
           Alcotest.test_case "key excludes qos fields" `Quick test_key_excludes_deadline_and_priority;
           Alcotest.test_case "options sequential" `Quick test_options_force_sequential;
           Alcotest.test_case "response lines" `Quick test_response_lines;
+          Alcotest.test_case "update roundtrip / parse_any" `Quick
+            test_update_roundtrip_and_parse_any;
+          Alcotest.test_case "updated response line" `Quick test_updated_response_line;
         ] );
       ( "property",
         [ prop_fingerprint_stable_over_wire; prop_double_roundtrip_fixpoint ] );

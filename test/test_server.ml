@@ -43,6 +43,8 @@ let submit_ok server r =
 let solved (r : Protocol.response) =
   match r.Protocol.outcome with
   | Protocol.Solved s -> s
+  | Protocol.Updated _ ->
+    Alcotest.failf "request %s answered as an update" r.Protocol.id
   | Protocol.Failed e ->
     Alcotest.failf "request %s failed: %s" r.Protocol.id (Hgp_error.to_string e)
 
@@ -312,11 +314,14 @@ let test_queue_deadline_and_fault_isolation () =
         Alcotest.failf "late: expected queue deadline, got %s"
           (match o with
           | Protocol.Solved _ -> "a solution"
+          | Protocol.Updated _ -> "an update"
           | Protocol.Failed e -> Hgp_error.to_string e)
       | _, Protocol.Solved s ->
         (* The armed fault bypasses the caches and crashes the ensemble
            lookup site; the supervised ladder absorbs it. *)
         Alcotest.(check bool) "degraded under fault" true s.Protocol.degraded
+      | id, Protocol.Updated _ ->
+        Alcotest.failf "%s unexpectedly answered as an update" id
       | id, Protocol.Failed e ->
         Alcotest.failf "%s should have degraded, not failed: %s" id
           (Hgp_error.to_string e))
@@ -359,6 +364,102 @@ let test_render_stats_line () =
         (contains needle))
     [ "submitted=1"; "admitted=1"; "ok=1"; "batches=1" ]
 
+(* ---- incremental sessions ---- *)
+
+module Delta = Hgp_core.Delta
+module Solver = Hgp_core.Solver
+
+let submit_update_ok server u =
+  match Server.submit_update server u with
+  | `Admitted -> ()
+  | `Rejected resp ->
+    Alcotest.failf "unexpected update rejection: %s" (Protocol.response_to_line resp)
+
+(* A session-opening solve and an update against it in the SAME batch: the
+   drain runs updates after the solve batch, so the session is visible; the
+   updated assignment must be bit-identical to a cache-disabled cold solve
+   of the post-delta instance. *)
+let test_session_update_bit_identical () =
+  Pipeline.clear_caches ();
+  let inst = mk_instance 11 in
+  let u, v, w =
+    let e = (Hgp_graph.Graph.edges inst.Instance.graph).(0) in
+    e
+  in
+  let delta = [ Delta.Reweight_edge (u, v, (w *. 3.) +. 0.5) ] in
+  let solve_req =
+    Protocol.inline_request ~id:"open" ~trees:2 ~seed:5 ~session:"s1" inst
+  in
+  let server = mk_server () in
+  submit_ok server solve_req;
+  submit_update_ok server
+    (Protocol.update_request ~id:"upd" ~session:"s1" (Delta.to_string delta));
+  (match Server.drain server with
+  | [ first; second ] -> (
+    (match first.Protocol.outcome with
+    | Protocol.Solved _ -> ()
+    | _ -> Alcotest.failf "open: %s" (Protocol.response_to_line first));
+    Alcotest.(check string) "order" "upd" second.Protocol.id;
+    match second.Protocol.outcome with
+    | Protocol.Updated up ->
+      let options =
+        match Protocol.resolve solve_req with
+        | Ok res -> res.Protocol.options
+        | Error e -> Alcotest.failf "resolve: %s" (Hgp_error.to_string e)
+      in
+      let inst' = Delta.apply inst delta in
+      Pipeline.clear_caches ();
+      Pipeline.set_caching false;
+      let cold =
+        Fun.protect
+          ~finally:(fun () -> Pipeline.set_caching true)
+          (fun () -> Pipeline.run inst' options)
+      in
+      (match cold with
+      | None -> Alcotest.fail "cold solve infeasible"
+      | Some sol ->
+        Alcotest.(check bool) "assignment bit-identical" true
+          (up.Protocol.up_assignment = sol.Solver.assignment);
+        Alcotest.(check bool) "cost bits" true
+          (Int64.bits_of_float up.Protocol.up_cost
+          = Int64.bits_of_float sol.Solver.cost));
+      Alcotest.(check bool) "certified" true up.Protocol.up_certified;
+      Alcotest.(check bool) "churn in [0,1]" true
+        (up.Protocol.up_churn >= 0. && up.Protocol.up_churn <= 1.);
+      Alcotest.(check bool) "some subtrees reused" true
+        (up.Protocol.up_reused_subtrees > 0)
+    | _ -> Alcotest.failf "upd: %s" (Protocol.response_to_line second))
+  | rs -> Alcotest.failf "expected 2 responses, got %d" (List.length rs));
+  Alcotest.(check int) "session registered" 1 (Server.session_count server);
+  Alcotest.(check int) "updates counted" 1 (Server.stats server).Server.updates;
+  ignore (Server.shutdown server)
+
+let test_update_unknown_session () =
+  let server = mk_server () in
+  submit_update_ok server
+    (Protocol.update_request ~id:"u" ~session:"nope"
+       (Delta.to_string [ Delta.Reweight_edge (0, 1, 2.) ]));
+  (match Server.drain server with
+  | [ r ] -> (
+    match r.Protocol.outcome with
+    | Protocol.Failed (Hgp_error.Invalid_input { context; _ }) ->
+      Alcotest.(check string) "context" "server.update" context
+    | _ -> Alcotest.failf "expected invalid-input, got %s" (Protocol.response_to_line r))
+  | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs));
+  ignore (Server.shutdown server)
+
+let test_update_bad_delta_rejected_at_admission () =
+  let server = mk_server () in
+  (match
+     Server.submit_update server
+       (Protocol.update_request ~id:"bad" ~session:"s" "not a delta")
+   with
+  | `Rejected { Protocol.outcome = Protocol.Failed (Hgp_error.Parse _); _ } -> ()
+  | `Rejected r -> Alcotest.failf "expected parse error, got %s" (Protocol.response_to_line r)
+  | `Admitted -> Alcotest.fail "malformed delta admitted");
+  Alcotest.(check int) "slot freed" 0 (Server.pending server);
+  ignore (Server.shutdown server)
+
 let () =
   Alcotest.run "server"
     [
@@ -381,5 +482,13 @@ let () =
           Alcotest.test_case "empty drain / idempotent shutdown" `Quick
             test_drain_empty_and_shutdown_idempotent;
           Alcotest.test_case "render stats" `Quick test_render_stats_line;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "session update bit-identical" `Quick
+            test_session_update_bit_identical;
+          Alcotest.test_case "unknown session" `Quick test_update_unknown_session;
+          Alcotest.test_case "bad delta rejected" `Quick
+            test_update_bad_delta_rejected_at_admission;
         ] );
     ]

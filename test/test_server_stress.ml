@@ -166,6 +166,8 @@ let mk_instance seed =
 let solved (r : Protocol.response) =
   match r.Protocol.outcome with
   | Protocol.Solved s -> s
+  | Protocol.Updated _ ->
+    Alcotest.failf "request %s answered as an update" r.Protocol.id
   | Protocol.Failed e ->
     Alcotest.failf "request %s failed: %s" r.Protocol.id (Hgp_error.to_string e)
 
